@@ -1,0 +1,1 @@
+bin/carsim.ml: Arg Cmd Cmdliner Format Fun List Printf Secpol Term

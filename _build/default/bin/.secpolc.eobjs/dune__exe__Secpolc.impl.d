@@ -1,0 +1,1 @@
+bin/secpolc.ml: Arg Cmd Cmdliner Format Fun List Option Printf Secpol String Term

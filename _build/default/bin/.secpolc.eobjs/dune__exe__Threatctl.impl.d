@@ -1,0 +1,1 @@
+bin/threatctl.ml: Arg Cmd Cmdliner Format Fun List Printf Secpol String Term

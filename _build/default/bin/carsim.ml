@@ -1,0 +1,236 @@
+(* carsim: connected-car scenario runner.
+
+   Subcommands:
+     list      list the Table-I attack scenarios
+     table1    print the regenerated Table I
+     run       benign drive, print state and statistics
+     attack    execute one attack scenario
+     campaign  the full attack matrix across enforcement levels
+     policy    print the car's derived baseline policy
+*)
+
+module V = Secpol.Vehicle
+module Car = V.Car
+module Catalog = V.Threat_catalog
+module Scenarios = Secpol.Attack.Scenarios
+module Campaign = Secpol.Attack.Campaign
+module Threat = Secpol.Threat.Threat
+module Derive = Secpol.Policy.Derive
+open Cmdliner
+
+let enforcement_conv =
+  let parse = function
+    | "off" | "none" -> Ok Campaign.Off
+    | "sw" | "software" -> Ok Campaign.Software
+    | "hpe" | "hardware" -> Ok Campaign.Hardware
+    | s -> Error (`Msg (Printf.sprintf "unknown enforcement %S (off|sw|hpe)" s))
+  in
+  let print ppf level = Format.pp_print_string ppf (Campaign.level_name level) in
+  Arg.conv (parse, print)
+
+let enforcement =
+  Arg.(value & opt enforcement_conv Campaign.Hardware
+       & info [ "e"; "enforcement" ] ~docv:"LEVEL" ~doc:"off, sw or hpe.")
+
+let seed =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-40s %s\n" (Scenarios.threat_id s)
+          (match Catalog.find (Scenarios.threat_id s) with
+          | Some row -> row.Catalog.threat.Threat.title
+          | None -> ""))
+      Scenarios.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table-I attack scenarios.")
+    Term.(const run $ const ())
+
+(* ---------- table1 ---------- *)
+
+let table1_cmd =
+  let run () =
+    Printf.printf "%-40s %-6s %-17s %-6s\n" "threat" "STRIDE" "DREAD (avg)" "policy";
+    List.iter
+      (fun (row : Catalog.row) ->
+        Printf.printf "%-40s %-6s %-17s %-6s\n" row.threat.Threat.id
+          (Secpol.Threat.Stride.to_string row.threat.Threat.stride)
+          (Format.asprintf "%a" Secpol.Threat.Dread.pp row.threat.Threat.dread)
+          (match Derive.row_access row.threat with
+          | Some a -> Derive.access_name a
+          | None -> "-"))
+      Catalog.rows;
+    0
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the regenerated Table I.")
+    Term.(const run $ const ())
+
+(* ---------- run ---------- *)
+
+let run_cmd =
+  let run level seed seconds =
+    let car =
+      Car.create ~seed ~enforcement:(Campaign.enforcement_of level) ()
+    in
+    Car.run car ~seconds;
+    Format.printf "state after %.1f s: %a@." seconds V.State.pp car.Car.state;
+    Printf.printf "bus utilisation: %.1f%%, frames: %d, deliveries: %d\n"
+      (100.0 *. Secpol.Can.Bus.utilisation car.Car.bus)
+      (Secpol.Can.Bus.frames_sent car.Car.bus)
+      (Car.total_deliveries car);
+    (match car.Car.hpes with
+    | [] -> ()
+    | hpes ->
+        List.iter
+          (fun (_, hpe) ->
+            print_endline (Format.asprintf "%a" (fun ppf () -> Secpol.Hpe.Engine.pp_stats ppf hpe) ()))
+          hpes);
+    List.iter
+      (fun (t, msg) -> Printf.printf "[%8.3f] %s\n" t msg)
+      (V.State.events car.Car.state);
+    0
+  in
+  let seconds =
+    Arg.(value & opt float 2.0 & info [ "t"; "seconds" ] ~docv:"S" ~doc:"Duration.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Drive the car and print what happened.")
+    Term.(const run $ enforcement $ seed $ seconds)
+
+(* ---------- attack ---------- *)
+
+let attack_cmd =
+  let run level seed threat_id =
+    match Scenarios.find threat_id with
+    | None ->
+        Printf.eprintf "unknown scenario %S; see `carsim list`\n" threat_id;
+        1
+    | Some s ->
+        print_endline (Scenarios.description s);
+        print_newline ();
+        let o =
+          Scenarios.run ~seed ~enforcement:(Campaign.enforcement_of level) s
+        in
+        Format.printf "%a@." Scenarios.pp_outcome o;
+        Printf.printf "detail: %s\n" o.Scenarios.detail;
+        if o.Scenarios.succeeded then 3 else 0
+  in
+  let threat_id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"THREAT" ~doc:"Threat id.")
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Execute one Table-I attack scenario. Exit 0 blocked / 3 succeeded.")
+    Term.(const run $ enforcement $ seed $ threat_id)
+
+(* ---------- campaign ---------- *)
+
+let campaign_cmd =
+  let run seed =
+    let summaries = Campaign.table ~seed () in
+    List.iter (fun s -> Format.printf "%a@." Campaign.pp_summary s) summaries;
+    Printf.printf "matches the paper's expectation: %b\n"
+      (Campaign.matches_paper summaries);
+    if Campaign.matches_paper summaries then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run all sixteen scenarios at every enforcement level.")
+    Term.(const run $ seed)
+
+(* ---------- policy ---------- *)
+
+let policy_cmd =
+  let run permissive =
+    let p =
+      if permissive then V.Policy_map.permissive () else V.Policy_map.baseline ()
+    in
+    print_string (Secpol.Policy.Printer.to_string p);
+    0
+  in
+  let permissive =
+    Arg.(value & flag & info [ "permissive" ] ~doc:"Print the factory (allow-all) policy instead.")
+  in
+  Cmd.v
+    (Cmd.info "policy" ~doc:"Print the car's derived least-privilege baseline policy.")
+    Term.(const run $ permissive)
+
+(* ---------- sniff ---------- *)
+
+let sniff_cmd =
+  let run level seed seconds =
+    let car =
+      Car.create ~seed ~enforcement:(Campaign.enforcement_of level) ()
+    in
+    Car.run car ~seconds;
+    print_string (Secpol.Can.Candump.export (Car.trace car));
+    0
+  in
+  let seconds =
+    Arg.(value & opt float 1.0 & info [ "t"; "seconds" ] ~docv:"S" ~doc:"Capture duration.")
+  in
+  Cmd.v
+    (Cmd.info "sniff"
+       ~doc:"Drive the car and dump its bus traffic in candump format.")
+    Term.(const run $ enforcement $ seed $ seconds)
+
+(* ---------- replay ---------- *)
+
+let replay_cmd =
+  let run level seed file =
+    let text =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Secpol.Can.Candump.import text with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok records ->
+        let car =
+          Car.create ~seed ~enforcement:(Campaign.enforcement_of level) ()
+        in
+        Car.run car ~seconds:0.2;
+        (* the replay device is foreign hardware on the bus *)
+        let _replayer = Secpol.Can.Node.create ~name:"replayer" car.Car.bus in
+        let span =
+          List.fold_left
+            (fun (lo, hi) (r : Secpol.Can.Candump.record) ->
+              (min lo r.time, max hi r.time))
+            (infinity, neg_infinity) records
+        in
+        Secpol.Can.Candump.replay car.Car.sim car.Car.bus ~sender:"replayer"
+          records;
+        Car.run car ~seconds:(snd span -. fst span +. 1.0);
+        Printf.printf "replayed %d frames from %s\n" (List.length records) file;
+        Format.printf "state after replay: %a@." V.State.pp car.Car.state;
+        List.iter
+          (fun (t, msg) -> Printf.printf "[%8.3f] %s\n" t msg)
+          (V.State.events car.Car.state);
+        0
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG" ~doc:"candump log file.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a candump log onto the car's bus from an alien station.")
+    Term.(const run $ enforcement $ seed $ file)
+
+let () =
+  let info =
+    Cmd.info "carsim" ~version:"1.0.0"
+      ~doc:"Connected-car simulation and attack-scenario runner."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd; table1_cmd; run_cmd; attack_cmd; campaign_cmd; policy_cmd;
+            sniff_cmd; replay_cmd;
+          ]))

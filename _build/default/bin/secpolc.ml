@@ -1,0 +1,232 @@
+(* secpolc: the policy compiler / toolchain CLI.
+
+   Subcommands:
+     check   parse + compile + static analysis (conflicts, shadowing)
+     fmt     pretty-print the normal form
+     eval    evaluate one access request against a policy
+     diff    rule-level difference between two policy files
+     bundle  seal a policy file into an update bundle (prints the checksum)
+*)
+
+module Policy = Secpol.Policy
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Policy.Parser.parse (read_file path) with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let policy_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY" ~doc:"Policy source file.")
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let run strategy_first_match file =
+    match load file with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok ast -> (
+        match Policy.Compile.compile ast with
+        | Error issues ->
+            List.iter
+              (fun i -> Format.eprintf "%a@." Policy.Compile.pp_issue i)
+              issues;
+            1
+        | Ok (db, warnings) ->
+            List.iter
+              (fun i -> Format.printf "%a@." Policy.Compile.pp_issue i)
+              warnings;
+            let conflicts = Policy.Conflict.conflicts db in
+            List.iter
+              (fun c -> Format.printf "conflict: %a@." Policy.Conflict.pp_conflict c)
+              conflicts;
+            let shadowed = Policy.Conflict.shadowed db in
+            List.iter
+              (fun ((a : Policy.Ir.rule), (b : Policy.Ir.rule)) ->
+                Format.printf "shadowed: rule #%d is covered by rule #%d@."
+                  b.idx a.idx)
+              shadowed;
+            (* coverage over the universes the policy itself names *)
+            let modes =
+              match
+                List.concat_map
+                  (fun (r : Policy.Ir.rule) -> Option.value ~default:[] r.modes)
+                  db.Policy.Ir.rules
+                |> List.sort_uniq String.compare
+              with
+              | [] -> [ "(any)" ]
+              | l -> l
+            in
+            let subjects = Policy.Ir.subjects db in
+            let assets = Policy.Ir.assets db in
+            if subjects <> [] && assets <> [] then
+              Format.printf "%a@."
+                Policy.Coverage.pp
+                (Policy.Coverage.analyse db ~modes ~subjects ~assets);
+            Format.printf "%s v%d: %d rules, default %s: %s@." db.Policy.Ir.name
+              db.Policy.Ir.version
+              (List.length db.Policy.Ir.rules)
+              (Policy.Ast.decision_name db.Policy.Ir.default)
+              (if conflicts = [] then "OK"
+               else if strategy_first_match then
+                 "conflicts resolved by source order (first-match)"
+               else "conflicts resolved by deny-overrides");
+            if conflicts <> [] then 2 else 0)
+  in
+  let first_match =
+    Arg.(value & flag & info [ "first-match" ] ~doc:"Report conflicts assuming first-match resolution.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, compile and statically analyse a policy.")
+    Term.(const run $ first_match $ policy_file)
+
+(* ---------- fmt ---------- *)
+
+let fmt_cmd =
+  let run file =
+    match load file with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok ast ->
+        print_string (Policy.Printer.to_string ast);
+        0
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Print the canonical form of a policy.")
+    Term.(const run $ policy_file)
+
+(* ---------- eval ---------- *)
+
+let eval_cmd =
+  let run file mode subject asset op msg_id strategy =
+    match load file with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok ast -> (
+        match Policy.Compile.compile ast with
+        | Error issues ->
+            List.iter (fun i -> Format.eprintf "%a@." Policy.Compile.pp_issue i) issues;
+            1
+        | Ok (db, _) ->
+            let strategy =
+              match strategy with
+              | "deny-overrides" -> Policy.Engine.Deny_overrides
+              | "allow-overrides" -> Policy.Engine.Allow_overrides
+              | "first-match" -> Policy.Engine.First_match
+              | s ->
+                  Printf.eprintf "unknown strategy %s\n" s;
+                  exit 1
+            in
+            let engine = Policy.Engine.create ~strategy db in
+            let op =
+              match op with
+              | "read" -> Policy.Ir.Read
+              | "write" -> Policy.Ir.Write
+              | s ->
+                  Printf.eprintf "unknown operation %s (read|write)\n" s;
+                  exit 1
+            in
+            let request = { Policy.Ir.mode; subject; asset; op; msg_id } in
+            let outcome = Policy.Engine.decide engine request in
+            Format.printf "%a -> %a@." Policy.Ir.pp_request request
+              Policy.Engine.pp_outcome outcome;
+            (match outcome.Policy.Engine.decision with
+            | Policy.Ast.Allow -> 0
+            | Policy.Ast.Deny -> 3))
+  in
+  let mode =
+    Arg.(value & opt string "" & info [ "mode" ] ~docv:"MODE" ~doc:"Operating mode.")
+  in
+  let subject =
+    Arg.(required & opt (some string) None & info [ "subject" ] ~docv:"SUBJECT" ~doc:"Requesting subject.")
+  in
+  let asset =
+    Arg.(required & opt (some string) None & info [ "asset" ] ~docv:"ASSET" ~doc:"Target asset.")
+  in
+  let op =
+    Arg.(value & opt string "read" & info [ "op" ] ~docv:"OP" ~doc:"read or write.")
+  in
+  let msg =
+    Arg.(value & opt (some int) None & info [ "msg" ] ~docv:"ID" ~doc:"CAN message id.")
+  in
+  let strategy =
+    Arg.(value & opt string "deny-overrides"
+         & info [ "strategy" ] ~docv:"S" ~doc:"deny-overrides, allow-overrides or first-match.")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate one access request. Exit 0 allow / 3 deny.")
+    Term.(const run $ policy_file $ mode $ subject $ asset $ op $ msg $ strategy)
+
+(* ---------- diff ---------- *)
+
+let diff_cmd =
+  let run old_file new_file =
+    match (load old_file, load new_file) with
+    | Error e, _ | _, Error e ->
+        prerr_endline e;
+        1
+    | Ok old_p, Ok new_p ->
+        let d = Policy.Update.diff old_p new_p in
+        Format.printf "%a" Policy.Update.pp_diff d;
+        if d.Policy.Update.added = [] && d.Policy.Update.removed = []
+           && d.Policy.Update.default_changed = None
+        then begin
+          print_endline "policies are semantically identical";
+          0
+        end
+        else 0
+  in
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Old policy.")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New policy.")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Rule-level difference between two policies.")
+    Term.(const run $ old_file $ new_file)
+
+(* ---------- bundle ---------- *)
+
+let bundle_cmd =
+  let run file key =
+    match Policy.Update.bundle_of_source (read_file file) with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        1
+    | Ok b ->
+        let b =
+          match key with None -> b | Some key -> Policy.Update.sign ~key b
+        in
+        Printf.printf "name:      %s\nversion:   %d\nchecksum:  %s\nsize:      %d bytes\n"
+          b.Policy.Update.name b.Policy.Update.version b.Policy.Update.checksum
+          (String.length b.Policy.Update.source);
+        (match b.Policy.Update.signature with
+        | Some s -> Printf.printf "signature: %s\n" s
+        | None -> ());
+        0
+  in
+  let key =
+    Arg.(value & opt (some string) None
+         & info [ "sign" ] ~docv:"KEY" ~doc:"Sign the bundle under the OEM key.")
+  in
+  Cmd.v
+    (Cmd.info "bundle" ~doc:"Validate and seal a policy into an update bundle.")
+    Term.(const run $ policy_file $ key)
+
+let () =
+  let info =
+    Cmd.info "secpolc" ~version:"1.0.0"
+      ~doc:"Policy compiler and toolchain for the Secpol policy DSL."
+  in
+  exit (Cmd.eval' (Cmd.group info [ check_cmd; fmt_cmd; eval_cmd; diff_cmd; bundle_cmd ]))

@@ -1,0 +1,1 @@
+examples/connected_car.ml: Format List Printf Secpol String

@@ -1,0 +1,1 @@
+examples/infotainment_attack.ml: Format List Printf Secpol String

@@ -1,0 +1,1 @@
+examples/monitoring.ml: Format Hashtbl List Option Printf Secpol String

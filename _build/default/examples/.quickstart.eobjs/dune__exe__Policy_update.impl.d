@@ -1,0 +1,1 @@
+examples/policy_update.ml: Format List Printf Secpol String

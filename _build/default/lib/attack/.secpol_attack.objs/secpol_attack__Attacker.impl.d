@@ -1,0 +1,1 @@
+lib/attack/attacker.ml: List Secpol_can Secpol_hpe Secpol_vehicle String

@@ -1,0 +1,1 @@
+lib/attack/attacker.mli: Secpol_can Secpol_vehicle

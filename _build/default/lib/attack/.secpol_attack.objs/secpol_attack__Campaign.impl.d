@@ -1,0 +1,1 @@
+lib/attack/campaign.ml: Array Attacker Format Int64 List Primitives Scenarios Secpol_can Secpol_sim Secpol_vehicle String

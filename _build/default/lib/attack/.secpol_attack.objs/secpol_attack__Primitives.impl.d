@@ -1,0 +1,1 @@
+lib/attack/primitives.ml: Attacker Char Secpol_can Secpol_sim String

@@ -1,0 +1,1 @@
+lib/attack/primitives.mli: Attacker Secpol_sim

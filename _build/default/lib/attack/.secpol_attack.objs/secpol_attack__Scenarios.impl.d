@@ -1,0 +1,1 @@
+lib/attack/scenarios.ml: Attacker Format List Primitives Printf Secpol_can Secpol_threat Secpol_vehicle String

@@ -1,0 +1,1 @@
+lib/attack/scenarios.mli: Format Secpol_vehicle

@@ -1,0 +1,70 @@
+(** Attack campaigns: the quantitative experiments behind the paper's
+    comparative claims.
+
+    - {!run_level} / {!table}: all sixteen Table-I scenarios under one
+      enforcement level (experiment Q1).  The paper's expectation: with no
+      enforcement every attack lands; with the HPE and the least-privilege
+      baseline policy, exactly the residual (W/RW) rows survive.
+    - {!firmware_sweep}: containment as node firmware compromise spreads
+      (experiment Q3).  Software acceptance filters sit in firmware, so
+      they vanish with the nodes; the locked HPE does not.
+    - {!benign_run}: false-block measurement on clean traffic
+      (experiment Q4). *)
+
+type level = Off | Software | Hardware
+
+val level_name : level -> string
+
+val enforcement_of : level -> Secpol_vehicle.Car.enforcement
+(** [Hardware] uses the least-privilege baseline policy of
+    {!Secpol_vehicle.Policy_map.baseline}. *)
+
+type summary = {
+  level : level;
+  outcomes : Scenarios.outcome list;
+  succeeded : int;
+  residual_succeeded : int;  (** successes on W/RW rows *)
+  clean_succeeded : int;  (** successes on R rows *)
+}
+
+val run_level : ?seed:int64 -> level -> summary
+
+val table : ?seed:int64 -> unit -> summary list
+(** All three levels. *)
+
+val matches_paper : summary list -> bool
+(** The reproduction criterion: under [Off] every scenario succeeds; under
+    [Hardware] the R rows are all blocked and the W/RW rows all remain
+    (the paper's residual-risk cases). *)
+
+type sweep_point = {
+  compromised : int;  (** number of compromised nodes *)
+  attack_frames : int;  (** forged frames attempted *)
+  delivered : int;  (** forged frames accepted by some victim *)
+}
+
+val firmware_sweep :
+  ?seed:int64 ->
+  ?frames_per_node:int ->
+  level ->
+  compromised_counts:int list ->
+  sweep_point list
+(** For each count, compromise that many nodes (deterministically shuffled
+    by [seed]), let each forge [frames_per_node] (default 20) command
+    frames it is not designed to produce, and measure deliveries. *)
+
+type benign_stats = {
+  seconds : float;
+  deliveries : int;  (** frames accepted by designed consumers *)
+  hpe_blocks : int;
+      (** false HPE blocks on clean traffic
+          ({!Secpol_vehicle.Car.false_hpe_blocks}) *)
+  undelivered : int;  (** designed deliveries missing vs the Off baseline *)
+}
+
+val benign_run : ?seed:int64 -> ?seconds:float -> level -> benign_stats
+(** Clean traffic only.  Under [Hardware] the reproduction expects
+    [hpe_blocks = 0] and [undelivered = 0]: least privilege must not break
+    legitimate function. *)
+
+val pp_summary : Format.formatter -> summary -> unit

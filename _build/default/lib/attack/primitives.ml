@@ -1,0 +1,24 @@
+module Frame = Secpol_can.Frame
+module Identifier = Secpol_can.Identifier
+module Rng = Secpol_sim.Rng
+
+let spoof attacker ~msg_id ~payload =
+  Attacker.send attacker (Frame.data (Identifier.standard msg_id) payload)
+
+let burst attacker ~msg_id ~payload ~count =
+  let sent = ref 0 in
+  for _ = 1 to count do
+    if spoof attacker ~msg_id ~payload then incr sent
+  done;
+  !sent
+
+let dos_flood attacker ~count = burst attacker ~msg_id:0x000 ~payload:"" ~count
+
+let fuzz attacker rng ~count =
+  let sent = ref 0 in
+  for _ = 1 to count do
+    let msg_id = Rng.int rng 0x800 in
+    let payload = String.make 1 (Char.chr (Rng.int rng 256)) in
+    if spoof attacker ~msg_id ~payload then incr sent
+  done;
+  !sent

@@ -1,0 +1,21 @@
+(** Attack primitives composed by the scenarios. *)
+
+val spoof :
+  Attacker.t -> msg_id:int -> payload:string -> bool
+(** Inject a forged data frame. *)
+
+val burst :
+  Attacker.t -> msg_id:int -> payload:string -> count:int -> int
+(** Inject [count] copies back-to-back; returns how many the local transmit
+    path accepted. *)
+
+val dos_flood :
+  Attacker.t -> count:int -> int
+(** Classic CAN denial of service: flood the bus with the
+    highest-priority identifier (0x000) so arbitration starves everyone
+    else.  Returns frames accepted for transmission. *)
+
+val fuzz :
+  Attacker.t -> Secpol_sim.Rng.t -> count:int -> int
+(** Random standard IDs with random 1-byte payloads; returns frames
+    accepted for transmission. *)

@@ -1,0 +1,1 @@
+lib/can/bus.ml: Frame Identifier List Printf Secpol_sim Trace Transceiver

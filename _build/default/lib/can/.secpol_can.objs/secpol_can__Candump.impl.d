@@ -1,0 +1,1 @@
+lib/can/candump.ml: Buffer Bus Char Frame Identifier List Printf Secpol_sim String Trace

@@ -1,0 +1,1 @@
+lib/can/candump.mli: Bus Frame Secpol_sim Trace

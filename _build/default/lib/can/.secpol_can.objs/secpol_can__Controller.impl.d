@@ -1,0 +1,1 @@
+lib/can/controller.ml: Acceptance Errors Format Frame Transceiver

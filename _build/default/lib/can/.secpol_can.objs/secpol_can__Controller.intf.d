@@ -1,0 +1,1 @@
+lib/can/controller.mli: Acceptance Errors Format Frame Transceiver

@@ -1,0 +1,1 @@
+lib/can/crc.ml: List

@@ -1,0 +1,1 @@
+lib/can/errors.mli: Format

@@ -1,0 +1,1 @@
+lib/can/frame.ml: Bitstuff Bool Char Crc Format Fun Identifier List Printf String

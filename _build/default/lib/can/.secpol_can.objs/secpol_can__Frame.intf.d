@@ -1,0 +1,1 @@
+lib/can/frame.mli: Format Identifier

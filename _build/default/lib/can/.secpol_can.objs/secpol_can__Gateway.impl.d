@@ -1,0 +1,1 @@
+lib/can/gateway.ml: Bus Transceiver

@@ -1,0 +1,1 @@
+lib/can/identifier.mli: Format

@@ -1,0 +1,1 @@
+lib/can/node.ml: Bus Controller Errors Frame List Option Secpol_sim Trace Transceiver

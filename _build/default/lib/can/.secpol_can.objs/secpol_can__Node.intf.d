@@ -1,0 +1,1 @@
+lib/can/node.mli: Acceptance Bus Controller Frame

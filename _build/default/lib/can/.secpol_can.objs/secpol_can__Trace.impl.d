@@ -1,0 +1,1 @@
+lib/can/trace.ml: Format Frame List Printf

@@ -1,0 +1,1 @@
+lib/can/trace.mli: Format Frame Identifier

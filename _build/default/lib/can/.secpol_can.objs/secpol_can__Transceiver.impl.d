@@ -1,0 +1,1 @@
+lib/can/transceiver.ml: Frame List Secpol_sim String

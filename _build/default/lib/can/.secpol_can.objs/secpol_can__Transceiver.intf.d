@@ -1,0 +1,1 @@
+lib/can/transceiver.mli: Frame Secpol_sim

@@ -1,0 +1,21 @@
+type t = { mask : int; value : int; extended : bool }
+
+let make ?(extended = false) ~mask ~value () =
+  if mask < 0 || value < 0 then invalid_arg "Acceptance.make: negative field";
+  { mask; value; extended }
+
+let exact id =
+  {
+    mask = (if Identifier.is_extended id then 0x1FFFFFFF else 0x7FF);
+    value = Identifier.raw id;
+    extended = Identifier.is_extended id;
+  }
+
+let accept_all extended = { mask = 0; value = 0; extended }
+
+let matches t id =
+  Identifier.is_extended id = t.extended
+  && Identifier.raw id land t.mask = t.value land t.mask
+
+let accepts filters id =
+  match filters with [] -> true | fs -> List.exists (fun f -> matches f id) fs

@@ -1,0 +1,29 @@
+(** Software acceptance filters, as found in commodity CAN controllers.
+
+    A filter is a mask/value pair over the raw identifier: a frame is
+    accepted when [(raw id) land mask = value land mask] and the frame
+    format (standard/extended) matches.  These are the "programmable
+    software based filter[s]" the paper contrasts with the hardware policy
+    engine: node firmware configures them, so compromised firmware can
+    disable them. *)
+
+type t = {
+  mask : int;
+  value : int;
+  extended : bool;  (** which frame format this filter addresses *)
+}
+
+val make : ?extended:bool -> mask:int -> value:int -> unit -> t
+(** @raise Invalid_argument on negative mask or value. *)
+
+val exact : Identifier.t -> t
+(** Filter accepting exactly one identifier. *)
+
+val accept_all : bool -> t
+(** [accept_all extended] passes every id of that format (mask 0). *)
+
+val matches : t -> Identifier.t -> bool
+
+val accepts : t list -> Identifier.t -> bool
+(** True when any filter matches.  The empty filter bank accepts
+    everything (filtering disabled — the controller's reset state). *)

@@ -1,0 +1,39 @@
+let stuff bits =
+  let rec loop run prev acc = function
+    | [] -> List.rev acc
+    | b :: rest ->
+        let run = if b = prev then run + 1 else 1 in
+        if run = 5 then
+          (* emit b then a stuff bit of opposite polarity; the stuff bit
+             restarts the run *)
+          loop 1 (not b) (not b :: b :: acc) rest
+        else loop run b (b :: acc) rest
+  in
+  match bits with
+  | [] -> []
+  | b :: rest -> loop 1 b [ b ] rest
+
+let unstuff bits =
+  let rec loop run prev acc = function
+    | [] -> Ok (List.rev acc)
+    | b :: rest ->
+        if run = 5 then
+          if b = prev then Error "stuffing violation: six consecutive equal bits"
+          else (* b is a stuff bit: drop it and restart the run *)
+            loop 1 b acc rest
+        else
+          let run = if b = prev then run + 1 else 1 in
+          loop run b (b :: acc) rest
+  in
+  match bits with
+  | [] -> Ok []
+  | b :: rest -> loop 1 b [ b ] rest
+
+let stuffed_length bits =
+  let rec loop run prev n = function
+    | [] -> n
+    | b :: rest ->
+        let run = if b = prev then run + 1 else 1 in
+        if run = 5 then loop 1 (not b) (n + 2) rest else loop run b (n + 1) rest
+  in
+  match bits with [] -> 0 | b :: rest -> loop 1 b 1 rest

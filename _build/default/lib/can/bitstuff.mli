@@ -1,0 +1,15 @@
+(** CAN bit stuffing.
+
+    After five consecutive bits of the same polarity the transmitter
+    inserts one bit of opposite polarity; receivers strip it.  Stuffing
+    applies from start-of-frame through the CRC sequence. *)
+
+val stuff : bool list -> bool list
+(** Insert stuff bits. *)
+
+val unstuff : bool list -> (bool list, string) result
+(** Remove stuff bits.  Errors on a stuffing violation (six consecutive
+    equal bits), which on a real bus raises a stuff-error frame. *)
+
+val stuffed_length : bool list -> int
+(** [List.length (stuff bits)] without building the list. *)

@@ -1,0 +1,138 @@
+module Engine = Secpol_sim.Engine
+module Rng = Secpol_sim.Rng
+
+type tx_outcome = Sent | Retried of int | Abandoned
+
+type station = {
+  name : string;
+  deliver : time:float -> sender:string -> bool list -> unit;
+  on_wire_error : unit -> unit;
+}
+
+type pending = {
+  sender : string;
+  frame : Frame.t;
+  attempts : int;
+  seq : int;
+  on_outcome : tx_outcome -> unit;
+}
+
+type t = {
+  sim : Engine.t;
+  bitrate : float;
+  corrupt_prob : float;
+  max_retries : int;
+  rng : Rng.t;
+  trace : Trace.t;
+  mutable stations : station list;
+  mutable queue : pending list;
+  mutable busy : bool;
+  mutable seq : int;
+  mutable frames_sent : int;
+  mutable busy_time : float;
+}
+
+let create ?(corrupt_prob = 0.0) ?(max_retries = 16) ~bitrate sim =
+  if bitrate <= 0.0 then invalid_arg "Bus.create: bitrate must be positive";
+  if corrupt_prob < 0.0 || corrupt_prob > 1.0 then
+    invalid_arg "Bus.create: corrupt_prob outside [0,1]";
+  {
+    sim;
+    bitrate;
+    corrupt_prob;
+    max_retries;
+    rng = Rng.split (Engine.rng sim);
+    trace = Trace.create ();
+    stations = [];
+    queue = [];
+    busy = false;
+    seq = 0;
+    frames_sent = 0;
+    busy_time = 0.0;
+  }
+
+let sim t = t.sim
+
+let trace t = t.trace
+
+let attach t ~name ~deliver ~on_wire_error =
+  if List.exists (fun s -> s.name = name) t.stations then
+    invalid_arg (Printf.sprintf "Bus.attach: duplicate station %S" name);
+  t.stations <- t.stations @ [ { name; deliver; on_wire_error } ]
+
+let detach t name = t.stations <- List.filter (fun s -> s.name <> name) t.stations
+
+let stations t = List.map (fun s -> s.name) t.stations
+
+let pending t = List.length t.queue
+
+let frames_sent t = t.frames_sent
+
+let busy_time t = t.busy_time
+
+let utilisation t =
+  let now = Engine.now t.sim in
+  if now <= 0.0 then 0.0 else t.busy_time /. now
+
+(* Arbitration: dominant identifier wins; FIFO (by seq) among equal ids,
+   which models a node's internal queue order. *)
+let arbitrate queue =
+  let better a b =
+    match Identifier.arbitration_compare a.frame.Frame.id b.frame.Frame.id with
+    | 0 -> a.seq < b.seq
+    | c -> c < 0
+  in
+  match queue with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun best p -> if better p best then p else best) first rest)
+
+let remove queue (winner : pending) =
+  List.filter (fun (p : pending) -> p.seq <> winner.seq) queue
+
+let rec start_transmission t =
+  match arbitrate t.queue with
+  | None -> t.busy <- false
+  | Some winner ->
+      t.queue <- remove t.queue winner;
+      t.busy <- true;
+      let duration = Frame.transmission_time winner.frame ~bitrate:t.bitrate in
+      Engine.schedule_in t.sim ~delay:duration (fun sim ->
+          t.busy_time <- t.busy_time +. duration;
+          let now = Engine.now sim in
+          let corrupted = Rng.chance t.rng t.corrupt_prob in
+          if corrupted then begin
+            Trace.record t.trace ~time:now ~node:winner.sender winner.frame
+              Trace.Tx_error;
+            List.iter
+              (fun s -> if s.name <> winner.sender then s.on_wire_error ())
+              t.stations;
+            if winner.attempts + 1 > t.max_retries then begin
+              Trace.record t.trace ~time:now ~node:winner.sender winner.frame
+                Trace.Tx_abandoned;
+              winner.on_outcome Abandoned
+            end
+            else begin
+              winner.on_outcome (Retried (winner.attempts + 1));
+              t.queue <- t.queue @ [ { winner with attempts = winner.attempts + 1 } ]
+            end
+          end
+          else begin
+            t.frames_sent <- t.frames_sent + 1;
+            Trace.record t.trace ~time:now ~node:winner.sender winner.frame
+              Trace.Tx_ok;
+            let wire = Transceiver.transmit winner.frame in
+            List.iter
+              (fun s ->
+                if s.name <> winner.sender then
+                  s.deliver ~time:now ~sender:winner.sender wire)
+              t.stations;
+            winner.on_outcome Sent
+          end;
+          start_transmission t)
+
+let transmit t ~sender ?(on_outcome = fun _ -> ()) frame =
+  let p = { sender; frame; attempts = 0; seq = t.seq; on_outcome } in
+  t.seq <- t.seq + 1;
+  t.queue <- t.queue @ [ p ];
+  if not t.busy then start_transmission t

@@ -1,0 +1,58 @@
+(** The shared CAN bus (paper Fig. 2): broadcast medium with priority
+    arbitration, transmission timing, optional noise, and automatic
+    retransmission.
+
+    CAN is multi-master CSMA/CR: when the bus goes idle, the pending frame
+    with the dominant (numerically lowest) identifier wins arbitration and
+    transmits; losers wait.  Every attached station sees every frame —
+    which is the security problem the paper starts from. *)
+
+type tx_outcome = Sent | Retried of int | Abandoned
+
+type t
+
+val create :
+  ?corrupt_prob:float ->
+  ?max_retries:int ->
+  bitrate:float ->
+  Secpol_sim.Engine.t ->
+  t
+(** [corrupt_prob] (default 0.) is the per-transmission probability of a
+    line error; [max_retries] (default 16) bounds automatic
+    retransmission.  [bitrate] in bits/s (classic CAN: 125k/250k/500k/1M).
+    @raise Invalid_argument on a non-positive bitrate or a probability
+    outside [0,1]. *)
+
+val sim : t -> Secpol_sim.Engine.t
+
+val trace : t -> Trace.t
+
+val attach :
+  t ->
+  name:string ->
+  deliver:(time:float -> sender:string -> bool list -> unit) ->
+  on_wire_error:(unit -> unit) ->
+  unit
+(** Connect a station.  [deliver] receives the raw wire bits of every frame
+    some *other* station transmits; [on_wire_error] fires when a
+    transmission is corrupted on the wire.
+    @raise Invalid_argument on a duplicate station name. *)
+
+val detach : t -> string -> unit
+
+val stations : t -> string list
+
+val transmit :
+  t -> sender:string -> ?on_outcome:(tx_outcome -> unit) -> Frame.t -> unit
+(** Queue a frame for transmission.  Delivery happens after arbitration and
+    the frame's wire time; [on_outcome] reports the final fate. *)
+
+val pending : t -> int
+
+val frames_sent : t -> int
+
+val busy_time : t -> float
+(** Cumulative seconds the bus spent transmitting (for utilisation). *)
+
+val utilisation : t -> float
+(** [busy_time / now]; 0. at time 0. *)

@@ -1,0 +1,143 @@
+type record = { time : float; interface : string; frame : Frame.t }
+
+let hex_payload payload =
+  String.concat ""
+    (List.map (Printf.sprintf "%02X")
+       (List.init (String.length payload) (fun i -> Char.code payload.[i])))
+
+let id_text id =
+  if Identifier.is_extended id then Printf.sprintf "%08X" (Identifier.raw id)
+  else Printf.sprintf "%03X" (Identifier.raw id)
+
+let line_of ?(interface = "can0") ~time (frame : Frame.t) =
+  let body =
+    if frame.rtr then
+      if frame.dlc = 0 then "R" else Printf.sprintf "R%d" frame.dlc
+    else hex_payload frame.payload
+  in
+  Printf.sprintf "(%.6f) %s %s#%s" time interface (id_text frame.id) body
+
+let parse_hex_byte s i =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  match (digit s.[i], digit s.[i + 1]) with
+  | Some hi, Some lo -> Some ((hi lsl 4) lor lo)
+  | _ -> None
+
+let parse_frame_body id_part body =
+  let id_value =
+    match int_of_string_opt ("0x" ^ id_part) with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad identifier %S" id_part)
+  in
+  match id_value with
+  | Error _ as e -> e
+  | Ok raw -> (
+      let make_id () =
+        (* candump convention: >3 hex digits means an extended id *)
+        if String.length id_part > 3 then Identifier.extended raw
+        else Identifier.standard raw
+      in
+      match make_id () with
+      | exception Invalid_argument m -> Error m
+      | id ->
+          if body = "R" then Ok (Frame.remote id ~dlc:0)
+          else if String.length body > 0 && body.[0] = 'R' then
+            match int_of_string_opt (String.sub body 1 (String.length body - 1)) with
+            | Some dlc when dlc >= 0 && dlc <= 8 -> Ok (Frame.remote id ~dlc)
+            | Some _ | None -> Error (Printf.sprintf "bad remote dlc %S" body)
+          else begin
+            let n = String.length body in
+            if n mod 2 <> 0 then Error "odd number of payload hex digits"
+            else if n / 2 > 8 then Error "payload exceeds 8 bytes"
+            else
+              let rec bytes i acc =
+                if i >= n then Ok (List.rev acc)
+                else
+                  match parse_hex_byte body i with
+                  | Some b -> bytes (i + 2) (b :: acc)
+                  | None -> Error (Printf.sprintf "bad hex payload %S" body)
+              in
+              match bytes 0 [] with
+              | Error _ as e -> e
+              | Ok byte_list ->
+                  let payload =
+                    String.init (List.length byte_list) (fun i ->
+                        Char.chr (List.nth byte_list i))
+                  in
+                  Ok (Frame.data id payload)
+          end)
+
+let parse_line line =
+  (* "(time) interface id#body" *)
+  let line = String.trim line in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if String.length line = 0 || line.[0] <> '(' then fail "missing timestamp"
+  else
+    match String.index_opt line ')' with
+    | None -> fail "unterminated timestamp"
+    | Some close -> (
+        let time_text = String.sub line 1 (close - 1) in
+        match float_of_string_opt time_text with
+        | None -> fail "bad timestamp %S" time_text
+        | Some time -> (
+            let rest = String.trim (String.sub line (close + 1) (String.length line - close - 1)) in
+            match String.split_on_char ' ' rest with
+            | [ interface; frame_text ] -> (
+                match String.index_opt frame_text '#' with
+                | None -> fail "missing '#' in %S" frame_text
+                | Some hash -> (
+                    let id_part = String.sub frame_text 0 hash in
+                    let body =
+                      String.sub frame_text (hash + 1)
+                        (String.length frame_text - hash - 1)
+                    in
+                    match parse_frame_body id_part body with
+                    | Ok frame -> Ok { time; interface; frame }
+                    | Error e -> Error e))
+            | _ -> fail "expected 'interface id#data', got %S" rest))
+
+let export ?interface trace =
+  let buffer = Buffer.create 1024 in
+  List.iter
+    (fun (e : Trace.entry) ->
+      match e.event with
+      | Trace.Tx_ok ->
+          Buffer.add_string buffer (line_of ?interface ~time:e.time e.frame);
+          Buffer.add_char buffer '\n'
+      | _ -> ())
+    (Trace.entries trace);
+  Buffer.contents buffer
+
+let import text =
+  let lines = String.split_on_char '\n' text in
+  let rec loop i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then loop (i + 1) acc rest
+        else (
+          match parse_line line with
+          | Ok r -> loop (i + 1) (r :: acc) rest
+          | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+  in
+  loop 1 [] lines
+
+let replay sim bus ~sender records =
+  match records with
+  | [] -> ()
+  | first :: _ ->
+      let t0 =
+        List.fold_left (fun acc r -> min acc r.time) first.time records
+      in
+      let start = Secpol_sim.Engine.now sim in
+      List.iter
+        (fun r ->
+          Secpol_sim.Engine.schedule sim
+            ~at:(start +. (r.time -. t0))
+            (fun _ -> Bus.transmit bus ~sender r.frame))
+        records

@@ -1,0 +1,34 @@
+(** candump-compatible log format (the de-facto interchange format of
+    SocketCAN's can-utils).
+
+    Line shape, as produced by [candump -L]:
+    {v (1436509052.249713) can0 123#2A366C v}
+    Standard IDs print as 3 hex digits, extended as 8; remote frames use
+    [R] plus an optional DLC ([R3]).  Export/import lets simulated traces
+    be compared with, or replayed from, real captures. *)
+
+type record = { time : float; interface : string; frame : Frame.t }
+
+val line_of : ?interface:string -> time:float -> Frame.t -> string
+(** One log line (no trailing newline).  [interface] defaults to ["can0"]. *)
+
+val parse_line : string -> (record, string) result
+
+val export : ?interface:string -> Trace.t -> string
+(** Every successful transmission ([Tx_ok]) of the trace, one line each,
+    chronological, trailing newline included (empty string for an idle
+    trace). *)
+
+val import : string -> (record list, string) result
+(** Parse a whole log; blank lines are skipped; fails on the first
+    malformed line with its line number. *)
+
+val replay :
+  Secpol_sim.Engine.t ->
+  Bus.t ->
+  sender:string ->
+  record list ->
+  unit
+(** Schedule the records' frames for transmission at their timestamps
+    (relative to the earliest record, offset to the current simulation
+    time).  The sender must be attached to the bus. *)

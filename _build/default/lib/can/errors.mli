@@ -1,0 +1,37 @@
+(** CAN error confinement (ISO 11898-1, simplified).
+
+    Every controller keeps a transmit error counter (TEC) and receive error
+    counter (REC).  Errors raise them fast (+8 transmit, +1 receive),
+    successes decay them (-1); the controller moves between error-active,
+    error-passive and bus-off states on the standard thresholds. *)
+
+type state = Error_active | Error_passive | Bus_off
+
+type t
+
+val create : unit -> t
+
+val tec : t -> int
+
+val rec_ : t -> int
+
+val state : t -> state
+
+val on_tx_success : t -> unit
+
+val on_tx_error : t -> unit
+
+val on_rx_success : t -> unit
+
+val on_rx_error : t -> unit
+
+val can_transmit : t -> bool
+(** False once bus-off: the controller must not touch the bus. *)
+
+val reset : t -> unit
+(** Bus-off recovery (128 occurrences of 11 recessive bits, modelled as an
+    explicit reset): counters to zero, state back to error-active. *)
+
+val state_name : state -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+type t = { id : Identifier.t; rtr : bool; dlc : int; payload : string }
+
+let data id payload =
+  if String.length payload > 8 then
+    invalid_arg "Frame.data: payload exceeds 8 bytes";
+  { id; rtr = false; dlc = String.length payload; payload }
+
+let remote id ~dlc =
+  if dlc < 0 || dlc > 8 then invalid_arg "Frame.remote: dlc outside 0..8";
+  { id; rtr = true; dlc; payload = "" }
+
+let data_ext id payload = data (Identifier.extended id) payload
+
+let data_std id payload = data (Identifier.standard id) payload
+
+(* Bit helpers: [true] is the recessive level (logical 1), [false]
+   dominant (logical 0).  Fields are transmitted MSB first. *)
+let int_bits value width =
+  List.init width (fun i -> value land (1 lsl (width - 1 - i)) <> 0)
+
+let bits_int bits = List.fold_left (fun acc b -> (acc lsl 1) lor Bool.to_int b) 0 bits
+
+(* Unstuffed body: SOF through the data field. *)
+let body_bits t =
+  let sof = [ false ] in
+  let arbitration_and_control =
+    match t.id with
+    | Identifier.Standard id ->
+        (* ID[10..0]  RTR  IDE=0  r0=0 *)
+        int_bits id 11 @ [ t.rtr; false; false ]
+    | Identifier.Extended id ->
+        (* ID[28..18]  SRR=1  IDE=1  ID[17..0]  RTR  r1=0  r0=0 *)
+        int_bits (id lsr 18) 11
+        @ [ true; true ]
+        @ int_bits (id land 0x3FFFF) 18
+        @ [ t.rtr; false; false ]
+  in
+  let dlc = int_bits t.dlc 4 in
+  let data_bits =
+    List.concat_map
+      (fun i -> int_bits (Char.code t.payload.[i]) 8)
+      (List.init (String.length t.payload) Fun.id)
+  in
+  sof @ arbitration_and_control @ dlc @ data_bits
+
+(* CRC delimiter, ACK slot (transmitted recessive), ACK delimiter and seven
+   end-of-frame bits; not subject to stuffing. *)
+let trailer = List.init 10 (fun _ -> true)
+
+let to_wire t =
+  let body = body_bits t in
+  let crc = Crc.compute body in
+  Bitstuff.stuff (body @ Crc.to_bits crc) @ trailer
+
+let wire_length t =
+  let body = body_bits t in
+  let crc = Crc.compute body in
+  Bitstuff.stuffed_length (body @ Crc.to_bits crc) + List.length trailer
+
+let interframe_space = 3
+
+let transmission_time t ~bitrate =
+  if bitrate <= 0.0 then invalid_arg "Frame.transmission_time: bitrate <= 0";
+  float_of_int (wire_length t + interframe_space) /. bitrate
+
+let take n l =
+  let rec loop n acc = function
+    | rest when n = 0 -> Some (List.rev acc, rest)
+    | [] -> None
+    | x :: rest -> loop (n - 1) (x :: acc) rest
+  in
+  loop n [] l
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name n bits =
+  match take n bits with
+  | Some (f, rest) -> Ok (f, rest)
+  | None -> Error (Printf.sprintf "truncated frame: missing %s" name)
+
+let of_wire wire =
+  let n = List.length wire in
+  if n < 10 then Error "frame too short"
+  else begin
+    let stuffed, tail =
+      match take (n - 10) wire with
+      | Some (s, t) -> (s, t)
+      | None -> assert false
+    in
+    if List.exists not tail then Error "malformed trailer (expected recessive bits)"
+    else
+      let* bits = Bitstuff.unstuff stuffed in
+      let* sof, bits = field "SOF" 1 bits in
+      if List.hd sof then Error "SOF must be dominant"
+      else
+        let* id_base, bits = field "base id" 11 bits in
+        let* flag1, bits = field "RTR/SRR" 1 bits in
+        let* ide, bits = field "IDE" 1 bits in
+        let parse_tail ~id ~rtr bits reserved_count =
+          let* reserved, bits = field "reserved" reserved_count bits in
+          if List.exists Fun.id reserved then Error "reserved bits must be dominant"
+          else
+            let* dlc_bits, bits = field "DLC" 4 bits in
+            let dlc = bits_int dlc_bits in
+            if dlc > 8 then Error (Printf.sprintf "DLC %d out of range" dlc)
+            else
+              let data_len = if rtr then 0 else dlc in
+              let* data_bits, bits = field "data" (8 * data_len) bits in
+              let* crc_bits, bits = field "CRC" Crc.width bits in
+              if bits <> [] then Error "trailing bits after CRC"
+              else
+                let payload =
+                  String.init data_len (fun i ->
+                      match take 8 (List.filteri (fun j _ -> j >= 8 * i) data_bits) with
+                      | Some (byte, _) -> Char.chr (bits_int byte)
+                      | None -> assert false)
+                in
+                let frame = { id; rtr; dlc; payload } in
+                let body = body_bits frame in
+                if Crc.compute body <> bits_int crc_bits then Error "CRC mismatch"
+                else Ok frame
+        in
+        if List.hd ide then
+          (* extended: flag1 is SRR (must be recessive) *)
+          if not (List.hd flag1) then Error "SRR must be recessive"
+          else
+            let* id_ext, bits = field "extended id" 18 bits in
+            let* rtr, bits = field "RTR" 1 bits in
+            let id =
+              Identifier.extended ((bits_int id_base lsl 18) lor bits_int id_ext)
+            in
+            parse_tail ~id ~rtr:(List.hd rtr) bits 2
+        else
+          let id = Identifier.standard (bits_int id_base) in
+          parse_tail ~id ~rtr:(List.hd flag1) bits 1
+  end
+
+let payload_bytes t = List.init (String.length t.payload) (fun i -> Char.code t.payload.[i])
+
+let equal a b = a = b
+
+let pp ppf t =
+  if t.rtr then Format.fprintf ppf "%a remote dlc=%d" Identifier.pp t.id t.dlc
+  else begin
+    Format.fprintf ppf "%a [%d]" Identifier.pp t.id t.dlc;
+    String.iter (fun c -> Format.fprintf ppf " %02x" (Char.code c)) t.payload
+  end

@@ -1,0 +1,50 @@
+(** CAN frames and their wire encoding (ISO 11898-1 classic frames).
+
+    A frame is a data frame (payload of 0..8 bytes) or a remote frame
+    (payload-less request carrying only a DLC).  [to_wire] produces the
+    physical bit sequence: the bit-stuffed segment from start-of-frame
+    through the CRC sequence, followed by the unstuffed trailer (CRC
+    delimiter, ACK slot, ACK delimiter, seven end-of-frame bits).
+    [of_wire] inverts it, checking structure, stuffing and CRC — the
+    round-trip is exercised by property tests. *)
+
+type t = private {
+  id : Identifier.t;
+  rtr : bool;  (** remote transmission request *)
+  dlc : int;  (** data length code, 0..8 *)
+  payload : string;  (** [dlc] bytes for data frames, [""] for remote *)
+}
+
+val data : Identifier.t -> string -> t
+(** Data frame; DLC is the payload length.
+    @raise Invalid_argument when the payload exceeds 8 bytes. *)
+
+val remote : Identifier.t -> dlc:int -> t
+(** Remote frame requesting [dlc] bytes.
+    @raise Invalid_argument when [dlc] is outside 0..8. *)
+
+val data_ext : int -> string -> t
+(** Convenience: extended-identifier data frame. *)
+
+val data_std : int -> string -> t
+(** Convenience: standard-identifier data frame. *)
+
+val to_wire : t -> bool list
+(** Physical bit sequence (false = dominant). *)
+
+val of_wire : bool list -> (t, string) result
+
+val wire_length : t -> int
+(** [List.length (to_wire t)]: used for transmission timing. *)
+
+val transmission_time : t -> bitrate:float -> float
+(** Seconds on a bus of [bitrate] bits/s, including the 3-bit interframe
+    space. *)
+
+val payload_bytes : t -> int list
+(** Payload as unsigned byte values. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [0x0f0 [8] 01 02 03 04 05 06 07 08] or [0x0f0 remote dlc=2]. *)

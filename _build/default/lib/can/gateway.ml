@@ -1,0 +1,44 @@
+type t = {
+  name : string;
+  a : Bus.t;
+  b : Bus.t;
+  mutable forwarded : int;
+  mutable dropped : int;
+}
+
+let bridge t ~dst ~predicate wire =
+  match Transceiver.receive wire with
+  | Transceiver.Line_error _ -> ()
+  | Transceiver.Frame frame ->
+      if predicate frame then begin
+        t.forwarded <- t.forwarded + 1;
+        Bus.transmit dst ~sender:t.name frame
+      end
+      else t.dropped <- t.dropped + 1
+
+let connect ~name ~a ~b ~forward_a_to_b ~forward_b_to_a =
+  if a == b then invalid_arg "Gateway.connect: both sides are the same bus";
+  let t = { name; a; b; forwarded = 0; dropped = 0 } in
+  Bus.attach a ~name
+    ~deliver:(fun ~time:_ ~sender:_ wire ->
+      bridge t ~dst:b ~predicate:forward_a_to_b wire)
+    ~on_wire_error:(fun () -> ());
+  (try
+     Bus.attach b ~name
+       ~deliver:(fun ~time:_ ~sender:_ wire ->
+         bridge t ~dst:a ~predicate:forward_b_to_a wire)
+       ~on_wire_error:(fun () -> ())
+   with Invalid_argument _ as e ->
+     Bus.detach a name;
+     raise e);
+  t
+
+let name t = t.name
+
+let forwarded t = t.forwarded
+
+let dropped t = t.dropped
+
+let disconnect t =
+  Bus.detach t.a t.name;
+  Bus.detach t.b t.name

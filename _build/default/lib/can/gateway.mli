@@ -1,0 +1,34 @@
+(** A CAN-to-CAN gateway bridging two bus segments.
+
+    Network segmentation is the *guideline* countermeasure the paper's §V
+    lists ("CAN bus gateway: limit components with CAN bus access"): nodes
+    live on separate buses and only whitelisted traffic crosses.  The
+    gateway forwards by frame predicate (typically an ID whitelist) with
+    store-and-forward semantics; it is deliberately ID-granular, not
+    sender-granular — a frame whose ID legitimately crosses is forwarded
+    regardless of who injected it, which is exactly the residual weakness
+    the per-node HPE addresses (shown in the ablation bench). *)
+
+type t
+
+val connect :
+  name:string ->
+  a:Bus.t ->
+  b:Bus.t ->
+  forward_a_to_b:(Frame.t -> bool) ->
+  forward_b_to_a:(Frame.t -> bool) ->
+  t
+(** Attach a station named [name] to both buses.  Every decodable frame
+    seen on one side is forwarded to the other when its predicate allows.
+    @raise Invalid_argument if the name is taken on either bus, or the two
+    arguments are the same bus. *)
+
+val name : t -> string
+
+val forwarded : t -> int
+(** Frames bridged (both directions). *)
+
+val dropped : t -> int
+(** Frames the predicates refused. *)
+
+val disconnect : t -> unit

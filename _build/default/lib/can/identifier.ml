@@ -1,0 +1,41 @@
+type t = Standard of int | Extended of int
+
+let max_standard = 0x7FF
+
+let max_extended = 0x1FFFFFFF
+
+let standard id =
+  if id < 0 || id > max_standard then
+    invalid_arg (Printf.sprintf "Identifier.standard: 0x%x out of 11-bit range" id);
+  Standard id
+
+let extended id =
+  if id < 0 || id > max_extended then
+    invalid_arg (Printf.sprintf "Identifier.extended: 0x%x out of 29-bit range" id);
+  Extended id
+
+let raw = function Standard id | Extended id -> id
+
+let is_extended = function Standard _ -> false | Extended _ -> true
+
+let base_id = function
+  | Standard id -> id
+  | Extended id -> (id lsr 18) land 0x7FF
+
+let arbitration_compare a b =
+  match compare (base_id a) (base_id b) with
+  | 0 -> (
+      (* Equal base ids: the standard frame's RTR bit is dominant where the
+         extended frame transmits its recessive SRR bit, so standard wins. *)
+      match (a, b) with
+      | Standard _, Standard _ -> 0
+      | Standard _, Extended _ -> -1
+      | Extended _, Standard _ -> 1
+      | Extended x, Extended y -> compare (x land 0x3FFFF) (y land 0x3FFFF))
+  | c -> c
+
+let equal a b = a = b
+
+let pp ppf = function
+  | Standard id -> Format.fprintf ppf "0x%03x" id
+  | Extended id -> Format.fprintf ppf "0x%08xx" id

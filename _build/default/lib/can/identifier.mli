@@ -1,0 +1,37 @@
+(** CAN message identifiers (ISO 11898-1).
+
+    Standard frames carry an 11-bit identifier, extended frames a 29-bit
+    one.  The identifier doubles as the arbitration priority: during the
+    arbitration field a dominant bit (0) overrides a recessive bit (1), so
+    numerically lower identifiers win the bus. *)
+
+type t =
+  | Standard of int  (** 11-bit, 0 .. 0x7FF *)
+  | Extended of int  (** 29-bit, 0 .. 0x1FFFFFFF *)
+
+val standard : int -> t
+(** @raise Invalid_argument when out of 11-bit range. *)
+
+val extended : int -> t
+(** @raise Invalid_argument when out of 29-bit range. *)
+
+val raw : t -> int
+(** The numeric identifier value. *)
+
+val is_extended : t -> bool
+
+val base_id : t -> int
+(** The 11 most significant identifier bits as transmitted first: the whole
+    identifier for standard frames, bits 28..18 for extended frames. *)
+
+val arbitration_compare : t -> t -> int
+(** Bus-arbitration order: negative when the first identifier wins.
+    Mirrors the wire: base IDs compare first; on equal base IDs a standard
+    frame beats an extended one (its RTR slot is dominant where the extended
+    frame sends recessive SRR); extended frames with equal base IDs compare
+    on their 18 extension bits. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [0x123] or [0x12345678x] (extended ids carry an [x] suffix). *)

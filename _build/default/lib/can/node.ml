@@ -1,0 +1,110 @@
+type gate = { gate_name : string; check : Frame.t -> bool }
+
+type t = {
+  name : string;
+  bus : Bus.t;
+  controller : Controller.t;
+  mutable tx_gate : gate option;
+  mutable rx_gate : gate option;
+  mutable on_receive : (t -> sender:string -> Frame.t -> unit) option;
+  mutable received : Frame.t list; (* newest first *)
+  mutable received_count : int;
+}
+
+let trace_now t event frame =
+  let time = Secpol_sim.Engine.now (Bus.sim t.bus) in
+  Trace.record (Bus.trace t.bus) ~time ~node:t.name frame event
+
+(* Receive-side trace entries are attributed to the *sender* (the entry's
+   event names the receiver), so traces answer "who injected what". *)
+let trace_rx t ~sender event frame =
+  let time = Secpol_sim.Engine.now (Bus.sim t.bus) in
+  Trace.record (Bus.trace t.bus) ~time ~node:sender frame event
+
+let rec deliver t ~time:_ ~sender wire =
+  match t.rx_gate with
+  | Some gate -> (
+      (* The read gate samples the wire before the controller: decode just
+         for the check; line errors still reach the controller so error
+         counters behave identically with and without a gate. *)
+      match Transceiver.receive wire with
+      | Transceiver.Frame frame when not (gate.check frame) ->
+          trace_rx t ~sender (Trace.Rx_blocked (t.name, gate.gate_name)) frame
+      | Transceiver.Frame _ | Transceiver.Line_error _ -> deliver_to_controller t ~sender wire)
+  | None -> deliver_to_controller t ~sender wire
+
+and deliver_to_controller t ~sender wire =
+  match Controller.receive t.controller wire with
+  | Controller.Line_error _ ->
+      (* nothing to trace against a decodable frame; counters already bumped *)
+      ()
+  | Controller.Filtered frame -> trace_rx t ~sender (Trace.Rx_filtered t.name) frame
+  | Controller.Deliver frame ->
+      trace_rx t ~sender (Trace.Rx_delivered t.name) frame;
+      t.received <- frame :: t.received;
+      t.received_count <- t.received_count + 1;
+      Option.iter (fun f -> f t ~sender frame) t.on_receive
+
+let create ?(filters = []) ~name bus =
+  let controller = Controller.create ~name () in
+  Controller.set_filters controller filters;
+  let t =
+    {
+      name;
+      bus;
+      controller;
+      tx_gate = None;
+      rx_gate = None;
+      on_receive = None;
+      received = [];
+      received_count = 0;
+    }
+  in
+  Bus.attach bus ~name
+    ~deliver:(fun ~time ~sender wire -> deliver t ~time ~sender wire)
+    ~on_wire_error:(fun () -> Controller.note_wire_error controller);
+  t
+
+let name t = t.name
+
+let bus t = t.bus
+
+let controller t = t.controller
+
+let set_on_receive t f = t.on_receive <- Some f
+
+let set_tx_gate t ~name check = t.tx_gate <- Some { gate_name = name; check }
+
+let set_rx_gate t ~name check = t.rx_gate <- Some { gate_name = name; check }
+
+let clear_gates t =
+  t.tx_gate <- None;
+  t.rx_gate <- None
+
+let send t ?(on_outcome = fun _ -> ()) frame =
+  let refused () =
+    Controller.note_tx_refused t.controller;
+    trace_now t Trace.Tx_refused frame;
+    false
+  in
+  match t.tx_gate with
+  | Some gate when not (gate.check frame) -> refused ()
+  | Some _ | None ->
+      if not (Errors.can_transmit (Controller.errors t.controller)) then refused ()
+      else begin
+        Bus.transmit t.bus ~sender:t.name frame ~on_outcome:(fun outcome ->
+            (match outcome with
+            | Bus.Sent -> Controller.note_tx_ok t.controller
+            | Bus.Retried _ -> Controller.note_tx_error t.controller
+            | Bus.Abandoned -> Controller.note_tx_abandoned t.controller);
+            on_outcome outcome);
+        true
+      end
+
+let received t = List.rev t.received
+
+let received_count t = t.received_count
+
+let last_received t = match t.received with [] -> None | f :: _ -> Some f
+
+let detach t = Bus.detach t.bus t.name

@@ -1,0 +1,50 @@
+(** A CAN node (paper Fig. 3): transceiver + controller + processor.
+
+    The "processor" is an OCaml callback ([set_on_receive]).  Gates model
+    hardware sitting between the controller and the bus: the paper's
+    hardware policy engine installs a write gate (outbound frames checked
+    against the approved writing list) and a read gate (inbound frames
+    checked against the approved reading list).  Gates are installed by
+    {!Secpol_hpe}, not by node firmware, so "firmware compromise" (which
+    may clear acceptance filters and forge frames) cannot remove them. *)
+
+type t
+
+val create : ?filters:Acceptance.t list -> name:string -> Bus.t -> t
+(** Create a node and attach it to the bus.
+    @raise Invalid_argument on a duplicate name. *)
+
+val name : t -> string
+
+val bus : t -> Bus.t
+
+val controller : t -> Controller.t
+
+val set_on_receive : t -> (t -> sender:string -> Frame.t -> unit) -> unit
+(** Processor callback invoked for every frame that passes the read gate
+    and the acceptance filters. *)
+
+val set_tx_gate : t -> name:string -> (Frame.t -> bool) -> unit
+(** Install a write gate: outbound frames for which the gate returns
+    [false] never reach the bus (traced as [Tx_refused]). *)
+
+val set_rx_gate : t -> name:string -> (Frame.t -> bool) -> unit
+(** Install a read gate: inbound frames for which the gate returns [false]
+    never reach the controller (traced as [Rx_blocked]). *)
+
+val clear_gates : t -> unit
+(** Remove both gates (e.g. to model a device without an HPE). *)
+
+val send : t -> ?on_outcome:(Bus.tx_outcome -> unit) -> Frame.t -> bool
+(** Transmit a frame.  Returns [false] when refused locally (write gate or
+    bus-off controller); [true] when queued on the bus. *)
+
+val received : t -> Frame.t list
+(** Frames delivered to the processor so far, oldest first. *)
+
+val received_count : t -> int
+
+val last_received : t -> Frame.t option
+
+val detach : t -> unit
+(** Remove the node from the bus (it stops receiving). *)

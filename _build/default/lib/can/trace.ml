@@ -1,0 +1,55 @@
+type event =
+  | Tx_ok
+  | Tx_error
+  | Tx_abandoned
+  | Tx_refused
+  | Rx_delivered of string
+  | Rx_filtered of string
+  | Rx_blocked of string * string
+  | Rx_line_error of string
+
+type entry = { time : float; node : string; frame : Frame.t; event : event }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+
+let record t ~time ~node frame event =
+  t.entries <- { time; node; frame; event } :: t.entries
+
+let entries t = List.rev t.entries
+
+let length t = List.length t.entries
+
+let deliveries_to t name =
+  List.filter
+    (fun e -> match e.event with Rx_delivered r -> r = name | _ -> false)
+    (entries t)
+
+let delivered_ids_to t name =
+  List.map (fun e -> e.frame.Frame.id) (deliveries_to t name)
+
+let blocked_at t name =
+  List.filter
+    (fun e -> match e.event with Rx_blocked (r, _) -> r = name | _ -> false)
+    (entries t)
+
+let count t pred = List.length (List.filter pred (entries t))
+
+let clear t = t.entries <- []
+
+let event_name = function
+  | Tx_ok -> "tx-ok"
+  | Tx_error -> "tx-error"
+  | Tx_abandoned -> "tx-abandoned"
+  | Tx_refused -> "tx-refused"
+  | Rx_delivered r -> "rx-delivered:" ^ r
+  | Rx_filtered r -> "rx-filtered:" ^ r
+  | Rx_blocked (r, by) -> Printf.sprintf "rx-blocked:%s(%s)" r by
+  | Rx_line_error r -> "rx-line-error:" ^ r
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.6f] %-12s %a %s" e.time e.node Frame.pp e.frame
+    (event_name e.event)
+
+let pp ppf t = List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

@@ -1,0 +1,45 @@
+(** Bus activity trace: the simulator's observability layer.
+
+    Scenarios assert on traces (did the spoofed frame reach the ECU?), and
+    the benches summarise them. *)
+
+type event =
+  | Tx_ok  (** frame transmitted and acknowledged *)
+  | Tx_error  (** transmission corrupted; will be retried *)
+  | Tx_abandoned  (** retry budget exhausted *)
+  | Tx_refused  (** controller bus-off, or blocked by a write gate *)
+  | Rx_delivered of string  (** accepted by the named receiver *)
+  | Rx_filtered of string  (** dropped by the receiver's acceptance filter *)
+  | Rx_blocked of string * string  (** receiver, blocking gate ("hpe") *)
+  | Rx_line_error of string  (** receiver observed a line error *)
+
+type entry = { time : float; node : string; frame : Frame.t; event : event }
+
+type t
+
+val create : unit -> t
+
+val record : t -> time:float -> node:string -> Frame.t -> event -> unit
+
+val entries : t -> entry list
+(** Chronological. *)
+
+val length : t -> int
+
+val deliveries_to : t -> string -> entry list
+(** Frames accepted by the given node. *)
+
+val delivered_ids_to : t -> string -> Identifier.t list
+
+val blocked_at : t -> string -> entry list
+(** Frames a gate blocked at the given node. *)
+
+val count : t -> (entry -> bool) -> int
+
+val clear : t -> unit
+
+val event_name : event -> string
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+type line_error = Stuff_violation | Crc_mismatch | Form_error
+
+type rx = Frame of Frame.t | Line_error of line_error
+
+let transmit = Frame.to_wire
+
+let receive wire =
+  match Frame.of_wire wire with
+  | Ok frame -> Frame frame
+  | Error msg ->
+      if String.length msg >= 5 && String.sub msg 0 5 = "stuff" then
+        Line_error Stuff_violation
+      else if msg = "CRC mismatch" then Line_error Crc_mismatch
+      else Line_error Form_error
+
+let corrupt rng wire =
+  match wire with
+  | [] -> []
+  | _ ->
+      let n = List.length wire in
+      let target = Secpol_sim.Rng.int rng n in
+      List.mapi (fun i b -> if i = target then not b else b) wire
+
+let line_error_name = function
+  | Stuff_violation -> "stuff violation"
+  | Crc_mismatch -> "CRC mismatch"
+  | Form_error -> "form error"

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Format List Secpol_policy Secpol_threat String

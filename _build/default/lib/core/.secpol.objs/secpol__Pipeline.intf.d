@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Format Secpol_policy Secpol_threat

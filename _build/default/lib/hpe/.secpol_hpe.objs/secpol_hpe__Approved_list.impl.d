@@ -1,0 +1,1 @@
+lib/hpe/approved_list.ml: Bytes Char Format Hashtbl List Secpol_can String

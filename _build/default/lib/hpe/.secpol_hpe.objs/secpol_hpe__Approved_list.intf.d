@@ -1,0 +1,1 @@
+lib/hpe/approved_list.mli: Format Secpol_can

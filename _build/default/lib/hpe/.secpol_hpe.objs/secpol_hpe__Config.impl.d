@@ -1,0 +1,1 @@
+lib/hpe/config.ml: Bool Format List Printf Registers Secpol_policy String

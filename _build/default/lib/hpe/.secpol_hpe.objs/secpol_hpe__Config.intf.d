@@ -1,0 +1,1 @@
+lib/hpe/config.mli: Format Registers Secpol_policy

@@ -1,0 +1,1 @@
+lib/hpe/decision.ml: Approved_list Secpol_can

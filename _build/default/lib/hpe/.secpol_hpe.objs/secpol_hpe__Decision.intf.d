@@ -1,0 +1,1 @@
+lib/hpe/decision.mli: Approved_list Secpol_can

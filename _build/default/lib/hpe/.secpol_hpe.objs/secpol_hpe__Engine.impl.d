@@ -1,0 +1,1 @@
+lib/hpe/engine.ml: Config Decision Format Hashtbl List Rate_limiter Registers Secpol_can Secpol_sim

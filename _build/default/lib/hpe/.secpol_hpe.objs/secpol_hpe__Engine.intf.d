@@ -1,0 +1,1 @@
+lib/hpe/engine.mli: Config Format Registers Secpol_can

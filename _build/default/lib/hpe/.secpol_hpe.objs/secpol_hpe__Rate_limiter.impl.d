@@ -1,0 +1,1 @@
+lib/hpe/rate_limiter.ml: Hashtbl List Option Secpol_policy

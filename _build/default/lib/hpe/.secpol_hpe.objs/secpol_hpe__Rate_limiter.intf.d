@@ -1,0 +1,1 @@
+lib/hpe/rate_limiter.mli: Secpol_policy

@@ -1,0 +1,1 @@
+lib/hpe/registers.ml: Approved_list Bool Printf Secpol_can

@@ -1,0 +1,1 @@
+lib/hpe/registers.mli: Approved_list

@@ -1,0 +1,100 @@
+module Identifier = Secpol_can.Identifier
+
+type backend = Bitset | Hashtable
+
+type repr =
+  | Bits of { std : Bytes.t; ext : (int, unit) Hashtbl.t }
+  | Table of (int * bool, unit) Hashtbl.t
+      (** key: raw id, is_extended *)
+
+type t = { backend : backend; repr : repr; mutable cardinal : int }
+
+let create ?(backend = Bitset) () =
+  let repr =
+    match backend with
+    | Bitset -> Bits { std = Bytes.make 256 '\000'; ext = Hashtbl.create 16 }
+    | Hashtable -> Table (Hashtbl.create 64)
+  in
+  { backend; repr; cardinal = 0 }
+
+let backend t = t.backend
+
+let bit_get bytes i =
+  Char.code (Bytes.get bytes (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set bytes i v =
+  let byte = Char.code (Bytes.get bytes (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set bytes (i lsr 3) (Char.chr byte)
+
+let mem t id =
+  match (t.repr, id) with
+  | Bits { std; _ }, Identifier.Standard i -> bit_get std i
+  | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.mem ext i
+  | Table tbl, _ -> Hashtbl.mem tbl (Identifier.raw id, Identifier.is_extended id)
+
+let add t id =
+  if not (mem t id) then begin
+    t.cardinal <- t.cardinal + 1;
+    match (t.repr, id) with
+    | Bits { std; _ }, Identifier.Standard i -> bit_set std i true
+    | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.replace ext i ()
+    | Table tbl, _ ->
+        Hashtbl.replace tbl (Identifier.raw id, Identifier.is_extended id) ()
+  end
+
+let add_range t ~lo ~hi =
+  if lo < 0 || hi > 0x7FF || hi < lo then
+    invalid_arg "Approved_list.add_range: bad 11-bit range";
+  for i = lo to hi do
+    add t (Identifier.standard i)
+  done
+
+let remove t id =
+  if mem t id then begin
+    t.cardinal <- t.cardinal - 1;
+    match (t.repr, id) with
+    | Bits { std; _ }, Identifier.Standard i -> bit_set std i false
+    | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.remove ext i
+    | Table tbl, _ ->
+        Hashtbl.remove tbl (Identifier.raw id, Identifier.is_extended id)
+  end
+
+let cardinal t = t.cardinal
+
+let clear t =
+  (match t.repr with
+  | Bits { std; ext } ->
+      Bytes.fill std 0 (Bytes.length std) '\000';
+      Hashtbl.reset ext
+  | Table tbl -> Hashtbl.reset tbl);
+  t.cardinal <- 0
+
+let of_ids ?backend ids =
+  let t = create ?backend () in
+  List.iter (add t) ids;
+  t
+
+let to_ids t =
+  let std, ext =
+    match t.repr with
+    | Bits { std; ext } ->
+        let s = ref [] in
+        for i = 0x7FF downto 0 do
+          if bit_get std i then s := i :: !s
+        done;
+        (!s, Hashtbl.fold (fun k () acc -> k :: acc) ext [])
+    | Table tbl ->
+        Hashtbl.fold
+          (fun (raw, is_ext) () (s, e) ->
+            if is_ext then (s, raw :: e) else (raw :: s, e))
+          tbl ([], [])
+  in
+  List.map Identifier.standard (List.sort compare std)
+  @ List.map Identifier.extended (List.sort compare ext)
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (Format.asprintf "%a" Identifier.pp) (to_ids t)))

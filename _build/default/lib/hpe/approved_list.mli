@@ -1,0 +1,37 @@
+(** Approved CAN-message-ID lists (paper Fig. 4).
+
+    The HPE holds one list of approved IDs for reading and one for writing;
+    the decision block consults them per frame.  Two interchangeable
+    implementations are provided for the lookup-structure ablation bench:
+    a bitset over the 11-bit standard ID space (with a hash table for the
+    sparse extended IDs) and a plain hash table. *)
+
+type backend = Bitset | Hashtable
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** Empty list; default backend [Bitset]. *)
+
+val backend : t -> backend
+
+val add : t -> Secpol_can.Identifier.t -> unit
+
+val add_range : t -> lo:int -> hi:int -> unit
+(** Approve every *standard* ID in [lo..hi] (inclusive).
+    @raise Invalid_argument when outside the 11-bit space or [hi < lo]. *)
+
+val remove : t -> Secpol_can.Identifier.t -> unit
+
+val mem : t -> Secpol_can.Identifier.t -> bool
+
+val cardinal : t -> int
+
+val clear : t -> unit
+
+val of_ids : ?backend:backend -> Secpol_can.Identifier.t list -> t
+
+val to_ids : t -> Secpol_can.Identifier.t list
+(** Sorted: standard IDs ascending, then extended ascending. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+(** Compiling a policy database into HPE approved lists.
+
+    The bridge between the policy world (subject/asset/operation) and the
+    HPE world (message IDs): a [binding] declares which asset's state each
+    CAN message ID carries.  For a node hosting subject [s] in mode [m],
+    message ID [i] bound to asset [a] is approved for reading when the
+    policy allows [(m, s, a, read)], and for writing when it allows
+    [(m, s, a, write)]. *)
+
+type binding = { msg_id : int; asset : string }
+(** [msg_id] is a standard (11-bit) CAN ID. *)
+
+type t = {
+  read_ids : int list;
+  write_ids : int list;
+  write_rates : (int * Secpol_policy.Ast.rate) list;
+      (** behavioural budgets for approved write IDs, from rate-carrying
+          policy rules *)
+  own_ids : int list;
+      (** IDs this node is the *exclusive* designed producer of; an
+          incoming frame carrying one of them must be an impersonation and
+          raises a spoof alert ({!Engine.spoof_alerts}) *)
+}
+
+val make :
+  ?write_rates:(int * Secpol_policy.Ast.rate) list ->
+  ?own_ids:int list ->
+  read_ids:int list ->
+  write_ids:int list ->
+  unit ->
+  t
+
+val of_policy :
+  Secpol_policy.Engine.t ->
+  mode:string ->
+  subject:string ->
+  bindings:binding list ->
+  t
+(** Evaluate the policy for every binding in both directions.  Message-ID-
+    scoped policy rules are honoured: each query carries its binding's
+    [msg_id]. *)
+
+val provision :
+  Registers.t ->
+  t ->
+  ?enable_read:bool ->
+  ?enable_write:bool ->
+  ?lock:bool ->
+  unit ->
+  (unit, string) result
+(** Boot-time provisioning through the register file: clear, load both
+    lists, set the enables (default both [true]) and finally the lock
+    (default [true]).  Fails if the register file is already locked. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type direction = Reading | Writing
+
+type verdict = Grant | Block
+
+type t = {
+  direction : direction;
+  approved : Approved_list.t;
+  mutable grants : int;
+  mutable blocks : int;
+}
+
+let create direction approved = { direction; approved; grants = 0; blocks = 0 }
+
+let direction t = t.direction
+
+let decide t (frame : Secpol_can.Frame.t) =
+  if Approved_list.mem t.approved frame.id then begin
+    t.grants <- t.grants + 1;
+    Grant
+  end
+  else begin
+    t.blocks <- t.blocks + 1;
+    Block
+  end
+
+let grants t = t.grants
+
+let blocks t = t.blocks
+
+let reset_counters t =
+  t.grants <- 0;
+  t.blocks <- 0
+
+let direction_name = function Reading -> "reading" | Writing -> "writing"
+
+let verdict_name = function Grant -> "grant" | Block -> "block"

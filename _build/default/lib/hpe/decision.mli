@@ -1,0 +1,27 @@
+(** The HPE decision block (paper Fig. 4): compares a frame's message ID
+    against the approved list for its direction and grants or blocks. *)
+
+type direction = Reading | Writing
+
+type verdict = Grant | Block
+
+type t
+(** A decision block bound to one approved list, with counters. *)
+
+val create : direction -> Approved_list.t -> t
+
+val direction : t -> direction
+
+val decide : t -> Secpol_can.Frame.t -> verdict
+(** Grant iff the frame's identifier is on the approved list.  Remote
+    frames are judged by the same identifier rule. *)
+
+val grants : t -> int
+
+val blocks : t -> int
+
+val reset_counters : t -> unit
+
+val direction_name : direction -> string
+
+val verdict_name : verdict -> string

@@ -1,0 +1,97 @@
+module Node = Secpol_can.Node
+
+type t = {
+  node : Node.t;
+  regs : Registers.t;
+  read_block : Decision.t;
+  write_block : Decision.t;
+  rates : Rate_limiter.t;
+  mutable rate_blocks : int;
+  own_ids : (int, unit) Hashtbl.t;
+  mutable spoof_alerts : int;
+}
+
+let gate_name = "hpe"
+
+let install node =
+  let regs = Registers.create () in
+  let read_block = Decision.create Decision.Reading (Registers.read_list regs) in
+  let write_block = Decision.create Decision.Writing (Registers.write_list regs) in
+  let t =
+    { node; regs; read_block; write_block; rates = Rate_limiter.create ();
+      rate_blocks = 0; own_ids = Hashtbl.create 8; spoof_alerts = 0 }
+  in
+  let now () = Secpol_sim.Engine.now (Secpol_can.Bus.sim (Node.bus node)) in
+  Node.set_rx_gate node ~name:gate_name (fun frame ->
+      (* impersonation detection: a frame arriving with an ID this node is
+         the sole producer of cannot be genuine.  Detection, not
+         prevention: the frame is flagged but filtering is still governed
+         by the approved reading list. *)
+      (match frame.Secpol_can.Frame.id with
+      | Secpol_can.Identifier.Standard id when Hashtbl.mem t.own_ids id ->
+          t.spoof_alerts <- t.spoof_alerts + 1
+      | Secpol_can.Identifier.Standard _ | Secpol_can.Identifier.Extended _ ->
+          ());
+      (not (Registers.read_filter_enabled regs))
+      || Decision.decide read_block frame = Decision.Grant);
+  Node.set_tx_gate node ~name:gate_name (fun frame ->
+      (not (Registers.write_filter_enabled regs))
+      ||
+      if Decision.decide write_block frame <> Decision.Grant then false
+      else
+        match frame.Secpol_can.Frame.id with
+        | Secpol_can.Identifier.Standard id ->
+            let ok = Rate_limiter.admit t.rates ~now:(now ()) ~msg_id:id in
+            if not ok then t.rate_blocks <- t.rate_blocks + 1;
+            ok
+        | Secpol_can.Identifier.Extended _ -> true);
+  t
+
+let node_name t = Node.name t.node
+
+let registers t = t.regs
+
+let load_rates t (config : Config.t) =
+  Rate_limiter.clear t.rates;
+  List.iter
+    (fun (msg_id, rate) -> Rate_limiter.set t.rates ~msg_id rate)
+    config.Config.write_rates;
+  Hashtbl.reset t.own_ids;
+  List.iter (fun id -> Hashtbl.replace t.own_ids id ()) config.Config.own_ids
+
+let provision t config =
+  match Config.provision t.regs config () with
+  | Error _ as e -> e
+  | Ok () ->
+      (* the rate table freezes under the same lock as the lists *)
+      load_rates t config;
+      Ok ()
+
+let provision_unlocked t config =
+  match Config.provision t.regs config ~lock:false () with
+  | Error _ as e -> e
+  | Ok () ->
+      load_rates t config;
+      Ok ()
+
+let locked t = Registers.locked t.regs
+
+let read_grants t = Decision.grants t.read_block
+
+let read_blocks t = Decision.blocks t.read_block
+
+let write_grants t = Decision.grants t.write_block
+
+let write_blocks t = Decision.blocks t.write_block
+
+let rate_blocks t = t.rate_blocks
+
+let spoof_alerts t = t.spoof_alerts
+
+let uninstall t = Node.clear_gates t.node
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: read grant=%d block=%d; write grant=%d block=%d%s"
+    (node_name t) (read_grants t) (read_blocks t) (write_grants t)
+    (write_blocks t)
+    (if locked t then " [locked]" else "")

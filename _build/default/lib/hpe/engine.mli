@@ -1,0 +1,51 @@
+(** The hardware policy engine, installed on a CAN node (paper Fig. 4).
+
+    The engine owns a register file and two decision blocks.  [install]
+    plants read/write gates between the node's transceiver and controller;
+    the gates consult the decision blocks, which consult the approved lists
+    in the register file.  The engine is *transparent*: node firmware (the
+    processor callback, the acceptance filters) is untouched, and once the
+    register file is locked firmware cannot influence filtering at all. *)
+
+type t
+
+val install : Secpol_can.Node.t -> t
+(** Create an HPE with a reset register file and attach its gates to the
+    node.  Until filters are enabled by provisioning, everything passes. *)
+
+val node_name : t -> string
+
+val registers : t -> Registers.t
+
+val provision : t -> Config.t -> (unit, string) result
+(** {!Config.provision} with both filters enabled and the lock set. *)
+
+val provision_unlocked : t -> Config.t -> (unit, string) result
+(** Same but without locking — for the ablation that shows why the lock
+    matters. *)
+
+val locked : t -> bool
+
+val read_grants : t -> int
+
+val read_blocks : t -> int
+
+val write_grants : t -> int
+
+val write_blocks : t -> int
+
+val rate_blocks : t -> int
+(** Writes that passed the approved list but exceeded their behavioural
+    budget (see {!Rate_limiter}). *)
+
+val spoof_alerts : t -> int
+(** Incoming frames carrying an ID this node exclusively produces
+    ({!Config.t.own_ids}) — somebody on the bus is impersonating it.
+    Alert-only: per-ID filtering cannot prove which copy is genuine, so
+    the frame's fate is still decided by the reading list; the alert
+    feeds intrusion detection. *)
+
+val uninstall : t -> unit
+(** Remove the gates from the node (for baseline comparisons). *)
+
+val pp_stats : Format.formatter -> t -> unit

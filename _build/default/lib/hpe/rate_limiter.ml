@@ -1,0 +1,35 @@
+type entry = {
+  rate : Secpol_policy.Ast.rate;
+  mutable grants : float list; (* timestamps within the window, newest first *)
+}
+
+type t = (int, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let set t ~msg_id rate = Hashtbl.replace t msg_id { rate; grants = [] }
+
+let remove t ~msg_id = Hashtbl.remove t msg_id
+
+let clear t = Hashtbl.reset t
+
+let limit t ~msg_id =
+  Option.map (fun e -> e.rate) (Hashtbl.find_opt t msg_id)
+
+let limits t =
+  Hashtbl.fold (fun id e acc -> (id, e.rate) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let admit t ~now ~msg_id =
+  match Hashtbl.find_opt t msg_id with
+  | None -> true
+  | Some e ->
+      let horizon = now -. (float_of_int e.rate.window_ms /. 1000.0) in
+      e.grants <- List.filter (fun ts -> ts > horizon) e.grants;
+      if List.length e.grants < e.rate.count then begin
+        e.grants <- now :: e.grants;
+        true
+      end
+      else false
+
+let reset_state t = Hashtbl.iter (fun _ e -> e.grants <- []) t

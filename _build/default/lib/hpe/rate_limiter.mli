@@ -1,0 +1,32 @@
+(** Hardware rate limiter: the HPE's behavioural-policy block.
+
+    Per approved message ID, an optional sliding-window budget: at most
+    [count] transmissions per [window_ms].  This hardens the residual cases
+    where a legitimate writer is compromised — the forged traffic is shaped
+    down to the designed rate (e.g. a lock-command replay storm).  The
+    table is provisioned together with the approved lists and is frozen by
+    the same lock bit. *)
+
+type t
+
+val create : unit -> t
+(** Empty table: every ID unlimited. *)
+
+val set : t -> msg_id:int -> Secpol_policy.Ast.rate -> unit
+(** Install or replace the budget for one ID. *)
+
+val remove : t -> msg_id:int -> unit
+
+val clear : t -> unit
+
+val limit : t -> msg_id:int -> Secpol_policy.Ast.rate option
+
+val limits : t -> (int * Secpol_policy.Ast.rate) list
+(** Sorted by message ID. *)
+
+val admit : t -> now:float -> msg_id:int -> bool
+(** [true] when the ID carries no budget or the budget has room; admission
+    consumes one unit. *)
+
+val reset_state : t -> unit
+(** Forget consumption history but keep the configured budgets. *)

@@ -1,0 +1,86 @@
+type t = {
+  read_list : Approved_list.t;
+  write_list : Approved_list.t;
+  mutable read_enable : bool;
+  mutable write_enable : bool;
+  mutable locked : bool;
+}
+
+let ctrl = 0x00
+
+let status = 0x04
+
+let cmd_add_read = 0x08
+
+let cmd_add_write = 0x0C
+
+let cmd_clear = 0x10
+
+let count_read = 0x14
+
+let count_write = 0x18
+
+let create () =
+  {
+    read_list = Approved_list.create ();
+    write_list = Approved_list.create ();
+    read_enable = false;
+    write_enable = false;
+    locked = false;
+  }
+
+let read_list t = t.read_list
+
+let write_list t = t.write_list
+
+let read_filter_enabled t = t.read_enable
+
+let write_filter_enabled t = t.write_enable
+
+let locked t = t.locked
+
+let ctrl_value t =
+  Bool.to_int t.read_enable
+  lor (Bool.to_int t.write_enable lsl 1)
+  lor (Bool.to_int t.locked lsl 2)
+
+let write_reg t ~addr value =
+  if t.locked && not (addr = ctrl && value = ctrl_value t) then
+    Error "HPE register file is locked"
+  else if addr = ctrl then begin
+    t.read_enable <- value land 1 <> 0;
+    t.write_enable <- value land 2 <> 0;
+    if value land 4 <> 0 then t.locked <- true;
+    Ok ()
+  end
+  else if addr = cmd_add_read || addr = cmd_add_write then
+    if value < 0 || value > 0x7FF then
+      Error (Printf.sprintf "CAN id 0x%x outside 11-bit range" value)
+    else begin
+      let list = if addr = cmd_add_read then t.read_list else t.write_list in
+      Approved_list.add list (Secpol_can.Identifier.standard value);
+      Ok ()
+    end
+  else if addr = cmd_clear then begin
+    Approved_list.clear t.read_list;
+    Approved_list.clear t.write_list;
+    Ok ()
+  end
+  else if addr = status || addr = count_read || addr = count_write then
+    Error (Printf.sprintf "register 0x%02x is read-only" addr)
+  else Error (Printf.sprintf "unknown register 0x%02x" addr)
+
+let read_reg t ~addr =
+  if addr = ctrl || addr = status then Ok (ctrl_value t)
+  else if addr = count_read then Ok (Approved_list.cardinal t.read_list)
+  else if addr = count_write then Ok (Approved_list.cardinal t.write_list)
+  else if addr = cmd_add_read || addr = cmd_add_write || addr = cmd_clear then
+    Error (Printf.sprintf "register 0x%02x is write-only" addr)
+  else Error (Printf.sprintf "unknown register 0x%02x" addr)
+
+let hard_reset t =
+  Approved_list.clear t.read_list;
+  Approved_list.clear t.write_list;
+  t.read_enable <- false;
+  t.write_enable <- false;
+  t.locked <- false

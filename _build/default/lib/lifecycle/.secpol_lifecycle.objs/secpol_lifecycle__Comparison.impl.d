@@ -1,0 +1,1 @@
+lib/lifecycle/comparison.ml: Format List Ota Response Secpol_sim

@@ -1,0 +1,1 @@
+lib/lifecycle/comparison.mli: Format Ota Response Secpol_sim

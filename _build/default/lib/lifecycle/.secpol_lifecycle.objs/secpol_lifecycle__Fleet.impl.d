@@ -1,0 +1,1 @@
+lib/lifecycle/fleet.ml: Array Hashtbl List Option Ota Secpol_policy Secpol_sim

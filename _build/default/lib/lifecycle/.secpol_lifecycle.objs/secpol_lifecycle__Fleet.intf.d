@@ -1,0 +1,1 @@
+lib/lifecycle/fleet.mli: Ota Secpol_policy

@@ -1,0 +1,1 @@
+lib/lifecycle/ota.ml: Array Float Secpol_sim

@@ -1,0 +1,1 @@
+lib/lifecycle/ota.mli: Secpol_sim

@@ -1,0 +1,1 @@
+lib/lifecycle/phases.mli: Format

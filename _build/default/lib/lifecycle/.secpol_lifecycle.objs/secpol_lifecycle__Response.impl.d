@@ -1,0 +1,1 @@
+lib/lifecycle/response.ml: Format List Secpol_sim

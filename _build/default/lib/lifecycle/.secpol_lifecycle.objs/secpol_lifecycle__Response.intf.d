@@ -1,0 +1,1 @@
+lib/lifecycle/response.mli: Format Secpol_sim

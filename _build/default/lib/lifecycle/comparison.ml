@@ -1,0 +1,58 @@
+module Rng = Secpol_sim.Rng
+module Stats = Secpol_sim.Stats
+
+type result = {
+  kind : Response.kind;
+  development : Stats.t;
+  exposure : Stats.t;
+  unreachable : int;
+}
+
+let channel_of (plan : Response.plan) =
+  if plan.requires_recall then Ota.Recall else Ota.Over_the_air
+
+let run ?(seed = 42L) ?(trials = 500) ?(target = 0.95)
+    ?(params = Ota.default_params) kind =
+  if trials <= 0 then invalid_arg "Comparison.run: trials must be positive";
+  if target <= 0.0 || target > 1.0 then
+    invalid_arg "Comparison.run: target outside (0,1]";
+  let rng = Rng.create seed in
+  let development = Stats.create () in
+  let exposure = Stats.create () in
+  let unreachable = ref 0 in
+  for _ = 1 to trials do
+    let plan = Response.sample rng kind in
+    let dev = Response.development_days plan in
+    Stats.add development dev;
+    let rollout = Ota.simulate rng params (channel_of plan) in
+    match rollout.Ota.days_to_quantile target with
+    | Some d -> Stats.add exposure (dev +. d)
+    | None -> incr unreachable
+  done;
+  { kind; development; exposure; unreachable = !unreachable }
+
+let compare_all ?seed ?trials ?target ?params () =
+  List.map
+    (fun kind -> run ?seed ?trials ?target ?params kind)
+    [ Response.Guideline_redesign; Response.Policy_update;
+      Response.Reduced_functionality ]
+
+let speedup results =
+  let median kind =
+    match List.find_opt (fun r -> r.kind = kind) results with
+    | Some r when Stats.count r.exposure > 0 -> Some (Stats.median r.exposure)
+    | Some _ | None -> None
+  in
+  match (median Response.Guideline_redesign, median Response.Policy_update) with
+  | Some g, Some p when p > 0.0 -> Some (g /. p)
+  | _ -> None
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>%s:@,  development: %a@,  exposure:    %a"
+    (Response.kind_name r.kind) Stats.pp_summary r.development Stats.pp_summary
+    r.exposure;
+  if r.unreachable > 0 then
+    Format.fprintf ppf "@,  %d/%d trials never reached the protection target"
+      r.unreachable
+      (Stats.count r.exposure + r.unreachable);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,131 @@
+module Policy = Secpol_policy
+module Rng = Secpol_sim.Rng
+
+type device = { store : Policy.Update.store }
+
+type t = { devices : device array; policy_name : string; rng : Rng.t }
+
+let create ?(seed = 42L) ~size policy =
+  if size <= 0 then Error "Fleet.create: size must be positive"
+  else begin
+    let factory = Policy.Update.bundle policy in
+    let make_device _ =
+      let store = Policy.Update.create () in
+      match Policy.Update.install store factory with
+      | Ok () -> Ok { store }
+      | Error e -> Error e
+    in
+    let rec build i acc =
+      if i = size then Ok (Array.of_list (List.rev acc))
+      else
+        match make_device i with
+        | Ok d -> build (i + 1) (d :: acc)
+        | Error e -> Error e
+    in
+    match build 0 [] with
+    | Error e -> Error e
+    | Ok devices ->
+        Ok { devices; policy_name = policy.Policy.Ast.name; rng = Rng.create seed }
+  end
+
+let size t = Array.length t.devices
+
+let versions t =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun d ->
+      let v =
+        match Policy.Update.current d.store t.policy_name with
+        | Some b -> b.Policy.Update.version
+        | None -> 0
+      in
+      Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+    t.devices;
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) counts [] |> List.sort compare
+
+type distribution = {
+  bundle_version : int;
+  adoption_days : float array;
+  tampered_rejections : int;
+  never : int;
+}
+
+let distribute t ?(channel = Ota.Over_the_air) ?params ?(corruption = 0.0)
+    bundle =
+  let params =
+    match params with
+    | Some p -> { p with Ota.fleet = size t }
+    | None -> { Ota.default_params with Ota.fleet = size t }
+  in
+  if corruption < 0.0 || corruption > 1.0 then
+    Error "Fleet.distribute: corruption outside [0,1]"
+  else begin
+    let tampered = ref 0 in
+    let never = ref 0 in
+    let adoptions = ref [] in
+    let failure = ref None in
+    Array.iter
+      (fun d ->
+        match !failure with
+        | Some _ -> ()
+        | None -> (
+            let delay =
+              match channel with
+              | Ota.Over_the_air -> Some (Rng.exponential t.rng params.Ota.ota_mean_days)
+              | Ota.Recall ->
+                  if Rng.chance t.rng params.Ota.recall_no_show then None
+                  else Some (Rng.exponential t.rng params.Ota.recall_mean_days)
+            in
+            match delay with
+            | None -> incr never
+            | Some base_delay ->
+                (* a corrupted delivery is rejected by the device (integrity
+                   check) and retried with a clean copy *)
+                let delay = ref base_delay in
+                while Rng.chance t.rng corruption do
+                  incr tampered;
+                  let evil =
+                    Policy.Update.tampered bundle ~payload:"policy \"evil\" version 99 { }"
+                  in
+                  (match Policy.Update.install d.store evil with
+                  | Ok () -> failure := Some "device installed a tampered bundle"
+                  | Error _ -> ());
+                  delay := !delay +. Rng.exponential t.rng params.Ota.ota_mean_days
+                done;
+                (match Policy.Update.install d.store bundle with
+                | Ok () -> adoptions := !delay :: !adoptions
+                | Error e -> failure := Some e)))
+      t.devices;
+    match !failure with
+    | Some e -> Error e
+    | None ->
+        let adoption_days = Array.of_list !adoptions in
+        Array.sort compare adoption_days;
+        Ok
+          {
+            bundle_version = bundle.Policy.Update.version;
+            adoption_days;
+            tampered_rejections = !tampered;
+            never = !never;
+          }
+  end
+
+let protected_fraction dist t ~days =
+  let n = Array.length dist.adoption_days in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if dist.adoption_days.(mid) <= days then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  float_of_int (bsearch 0 n) /. float_of_int (size t)
+
+let days_to_quantile dist t q =
+  if q <= 0.0 then Some 0.0
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int (size t))) in
+    let n = Array.length dist.adoption_days in
+    if target > n then None else Some dist.adoption_days.(target - 1)
+  end

@@ -1,0 +1,48 @@
+(** A deployed fleet of devices, each holding a real policy store.
+
+    Where {!Ota} models adoption *times* statistically, [Fleet] executes
+    the distribution: every device runs {!Secpol_policy.Update.install},
+    so version monotonicity and bundle integrity are enforced per device —
+    a bundle corrupted in transit is rejected by the device and retried,
+    exactly the property the sealed-bundle design buys. *)
+
+type t
+
+val create :
+  ?seed:int64 -> size:int -> Secpol_policy.Ast.policy -> (t, string) result
+(** Manufacture [size] devices, each with the given policy installed as its
+    factory version. *)
+
+val size : t -> int
+
+val versions : t -> (int * int) list
+(** Installed version -> device count, ascending. *)
+
+type distribution = {
+  bundle_version : int;
+  adoption_days : float array;  (** sorted days-since-release, adopters only *)
+  tampered_rejections : int;
+      (** deliveries that arrived corrupted and were refused by the device
+          (each is retried with a clean copy) *)
+  never : int;  (** devices that never applied the update (recall no-shows) *)
+}
+
+val distribute :
+  t ->
+  ?channel:Ota.channel ->
+  ?params:Ota.params ->
+  ?corruption:float ->
+  Secpol_policy.Update.bundle ->
+  (distribution, string) result
+(** Push a bundle to every device.  [channel] (default [Over_the_air]) and
+    [params] (default {!Ota.default_params}, with the fleet size overridden)
+    shape the per-device delay; [corruption] (default [0.]) is the
+    probability a delivery arrives tampered — the device rejects it and a
+    clean retry lands after an extra delay.  Errors if the bundle is not
+    newer than what some device already runs. *)
+
+val protected_fraction : distribution -> t -> days:float -> float
+(** Fraction of the fleet running the new version [days] after release. *)
+
+val days_to_quantile : distribution -> t -> float -> float option
+(** Days until the given fleet fraction is protected; [None] if never. *)

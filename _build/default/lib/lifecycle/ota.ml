@@ -1,0 +1,59 @@
+module Rng = Secpol_sim.Rng
+
+type channel = Over_the_air | Recall
+
+type params = {
+  fleet : int;
+  ota_mean_days : float;
+  recall_mean_days : float;
+  recall_no_show : float;
+}
+
+let default_params =
+  { fleet = 100_000; ota_mean_days = 3.0; recall_mean_days = 90.0; recall_no_show = 0.25 }
+
+type rollout = {
+  channel : channel;
+  days_to_quantile : float -> float option;
+  protected_at : float -> float;
+}
+
+let channel_name = function
+  | Over_the_air -> "over-the-air"
+  | Recall -> "recall"
+
+let simulate rng params channel =
+  if params.fleet <= 0 then invalid_arg "Ota.simulate: empty fleet";
+  (* per-vehicle days until protected; infinity = never *)
+  let times =
+    Array.init params.fleet (fun _ ->
+        match channel with
+        | Over_the_air -> Rng.exponential rng params.ota_mean_days
+        | Recall ->
+            if Rng.chance rng params.recall_no_show then infinity
+            else Rng.exponential rng params.recall_mean_days)
+  in
+  Array.sort compare times;
+  let n = float_of_int params.fleet in
+  let days_to_quantile q =
+    if q <= 0.0 then Some 0.0
+    else if q > 1.0 then None
+    else begin
+      let idx = int_of_float (ceil (q *. n)) - 1 in
+      let idx = max 0 (min (params.fleet - 1) idx) in
+      let t = times.(idx) in
+      if Float.is_finite t then Some t else None
+    end
+  in
+  let protected_at d =
+    (* binary search: count of times <= d *)
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if times.(mid) <= d then bsearch (mid + 1) hi else bsearch lo mid
+      end
+    in
+    float_of_int (bsearch 0 params.fleet) /. n
+  in
+  { channel; days_to_quantile; protected_at }

@@ -1,0 +1,95 @@
+type process = Threat_modelling | Security_model_bridge | Secure_testing
+
+type stage = {
+  id : string;
+  name : string;
+  process : process;
+  description : string;
+  outputs : string list;
+}
+
+let stage ~id ~name ~process ~description ~outputs =
+  { id; name; process; description; outputs }
+
+let pipeline =
+  [
+    stage ~id:"risk_assessment" ~name:"Risk assessment"
+      ~process:Threat_modelling
+      ~description:
+        "Understand the application use case; decompose it into internal \
+         and external entities and their interactions."
+      ~outputs:[ "security requirements" ];
+    stage ~id:"identify_assets" ~name:"Identify assets"
+      ~process:Threat_modelling
+      ~description:
+        "Identify items of value to protect, including dependent assets \
+         seen from a data-flow perspective."
+      ~outputs:[ "asset inventory" ];
+    stage ~id:"entry_points" ~name:"Entry points" ~process:Threat_modelling
+      ~description:
+        "Enumerate the interfaces that expose critical assets to an \
+         attacker."
+      ~outputs:[ "entry-point inventory" ];
+    stage ~id:"threat_identification" ~name:"Threat identification"
+      ~process:Threat_modelling
+      ~description:
+        "Identify exploitable vulnerabilities and categorise them with \
+         STRIDE."
+      ~outputs:[ "system threat model" ];
+    stage ~id:"threat_rating" ~name:"Threat rating" ~process:Threat_modelling
+      ~description:
+        "Prioritise and quantify each threat's likelihood, risk and \
+         potential damage with DREAD."
+      ~outputs:[ "ranked threat list" ];
+    stage ~id:"countermeasures" ~name:"Determine countermeasures"
+      ~process:Threat_modelling
+      ~description:
+        "Define a countermeasure per threat by priority.  Traditional: \
+         prose guidelines.  This paper: enforceable access-control \
+         policies."
+      ~outputs:[ "guidelines (traditional)"; "security policies (proposed)" ];
+    stage ~id:"security_model" ~name:"Device security model"
+      ~process:Security_model_bridge
+      ~description:
+        "The bridge between modelling and testing: the technical document \
+         (or policy set) implementations must comply with."
+      ~outputs:[ "security model / policy set" ];
+    stage ~id:"implementation" ~name:"Compliant implementation"
+      ~process:Secure_testing
+      ~description:
+        "Hardware and software development against the security model; \
+         policies compile into HPE approved lists and MAC rules."
+      ~outputs:[ "device firmware + policy configuration" ];
+    stage ~id:"security_testing" ~name:"Secure application testing"
+      ~process:Secure_testing
+      ~description:
+        "Verify the implementation against the security model; attack \
+         scenarios double as regression tests."
+      ~outputs:[ "test evidence" ];
+    stage ~id:"deployment" ~name:"Deployment & maintenance"
+      ~process:Secure_testing
+      ~description:
+        "Ship; on new threats, loop back — through redesign under the \
+         traditional approach, through a policy update under the proposed \
+         one."
+      ~outputs:[ "deployed fleet"; "policy updates" ];
+  ]
+
+let find id = List.find_opt (fun s -> s.id = id) pipeline
+
+let process_name = function
+  | Threat_modelling -> "Application threat modelling"
+  | Security_model_bridge -> "Device security model"
+  | Secure_testing -> "Secure application testing"
+
+let pp_stage ppf s =
+  Format.fprintf ppf "%-28s [%s]@,    %s@,    -> %s" s.name
+    (process_name s.process) s.description
+    (String.concat ", " s.outputs)
+
+let pp_pipeline ppf () =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i s -> Format.fprintf ppf "%d. %a@," (i + 1) pp_stage s)
+    pipeline;
+  Format.fprintf ppf "@]"

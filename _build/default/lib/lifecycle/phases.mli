@@ -1,0 +1,29 @@
+(** The secure product development life-cycle of paper Fig. 1.
+
+    Two processes — application threat modelling and secure application
+    testing — bridged by the device security model.  Under the paper's
+    approach the "determine countermeasure" stage emits enforceable
+    policies, which is what makes the post-deployment loop
+    ({!Response.Policy_update}) possible at all. *)
+
+type process = Threat_modelling | Security_model_bridge | Secure_testing
+
+type stage = {
+  id : string;
+  name : string;
+  process : process;
+  description : string;
+  outputs : string list;
+}
+
+val pipeline : stage list
+(** All stages in life-cycle order. *)
+
+val find : string -> stage option
+
+val process_name : process -> string
+
+val pp_stage : Format.formatter -> stage -> unit
+
+val pp_pipeline : Format.formatter -> unit -> unit
+(** Render Fig. 1 as text. *)

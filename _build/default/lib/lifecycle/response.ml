@@ -1,0 +1,79 @@
+module Rng = Secpol_sim.Rng
+
+type kind = Guideline_redesign | Policy_update | Reduced_functionality
+
+type stage = { name : string; days : float }
+
+type plan = { kind : kind; stages : stage list; requires_recall : bool }
+
+let kind_name = function
+  | Guideline_redesign -> "guideline redesign + recall"
+  | Policy_update -> "policy update (OTA)"
+  | Reduced_functionality -> "reduced functionality patch"
+
+(* Inverse-CDF triangular sampling. *)
+let triangular rng ~low ~mode ~high =
+  if not (low <= mode && mode <= high) then
+    invalid_arg "Response.triangular: need low <= mode <= high";
+  if low = high then low
+  else begin
+    let u = Rng.float rng 1.0 in
+    let cut = (mode -. low) /. (high -. low) in
+    if u < cut then low +. sqrt (u *. (high -. low) *. (mode -. low))
+    else high -. sqrt ((1.0 -. u) *. (high -. low) *. (high -. mode))
+  end
+
+let stage rng name ~low ~mode ~high =
+  { name; days = triangular rng ~low ~mode ~high }
+
+let sample rng = function
+  | Guideline_redesign ->
+      {
+        kind = Guideline_redesign;
+        stages =
+          [
+            stage rng "impact analysis & re-modelling" ~low:7.0 ~mode:14.0
+              ~high:30.0;
+            stage rng "hardware/software redesign" ~low:60.0 ~mode:120.0
+              ~high:240.0;
+            stage rng "re-validation & testing" ~low:30.0 ~mode:60.0 ~high:90.0;
+            stage rng "certification & homologation" ~low:14.0 ~mode:45.0
+              ~high:90.0;
+          ];
+        requires_recall = true;
+      }
+  | Policy_update ->
+      {
+        kind = Policy_update;
+        stages =
+          [
+            stage rng "threat modelling refresh" ~low:0.5 ~mode:1.0 ~high:3.0;
+            stage rng "policy authoring" ~low:0.5 ~mode:1.0 ~high:2.0;
+            stage rng "offline validation (compile/conflicts/regression)"
+              ~low:1.0 ~mode:2.0 ~high:5.0;
+          ];
+        requires_recall = false;
+      }
+  | Reduced_functionality ->
+      {
+        kind = Reduced_functionality;
+        stages =
+          [
+            stage rng "quick patch disabling the feature" ~low:3.0 ~mode:7.0
+              ~high:21.0;
+            stage rng "regression testing" ~low:3.0 ~mode:7.0 ~high:14.0;
+          ];
+        requires_recall = false;
+      }
+
+let development_days plan =
+  List.fold_left (fun acc s -> acc +. s.days) 0.0 plan.stages
+
+let pp_plan ppf plan =
+  Format.fprintf ppf "@[<v>%s (development %.1f days)" (kind_name plan.kind)
+    (development_days plan);
+  List.iter
+    (fun s -> Format.fprintf ppf "@,  %-48s %6.1f days" s.name s.days)
+    plan.stages;
+  Format.fprintf ppf "@,  deployment: %s@]"
+    (if plan.requires_recall then "physical recall" else "over the air")

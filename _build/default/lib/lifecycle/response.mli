@@ -1,0 +1,42 @@
+(** Post-deployment threat-response models.
+
+    When a new threat invalidates the shipped security model, the OEM
+    responds either the traditional way (redesign / recall, §V.A.1) or with
+    a policy update (§V.A.2).  Each response is a chain of stochastic
+    stages; durations are in days, drawn from triangular distributions
+    with documented industry-plausible parameters.  Absolute numbers are
+    not the claim — the *orders-of-magnitude gap* between the two paths is
+    (see {!Comparison}). *)
+
+type kind = Guideline_redesign | Policy_update | Reduced_functionality
+(** [Reduced_functionality] is the paper's stop-gap: disable the feature in
+    software now, fix properly in the next product cycle. *)
+
+type stage = { name : string; days : float }
+
+type plan = {
+  kind : kind;
+  stages : stage list;  (** in order; development ends when all complete *)
+  requires_recall : bool;
+      (** physical deployment (dealer visit) vs over-the-air *)
+}
+
+val kind_name : kind -> string
+
+val sample : Secpol_sim.Rng.t -> kind -> plan
+(** Draw one concrete plan.  Stage menus:
+    - [Guideline_redesign]: impact analysis, hardware/software redesign,
+      re-validation, certification; deployed by recall.
+    - [Policy_update]: threat modelling refresh, policy authoring, offline
+      validation (compile + conflict analysis + regression scenarios);
+      deployed over the air.
+    - [Reduced_functionality]: quick software patch that disables the
+      vulnerable feature; OTA, but leaves functionality degraded. *)
+
+val development_days : plan -> float
+(** Sum of stage durations (before fleet deployment starts). *)
+
+val triangular : Secpol_sim.Rng.t -> low:float -> mode:float -> high:float -> float
+(** Triangular sampler used by [sample]; exposed for tests. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/policy/audit.ml: Ast Engine Format Ir List Option

@@ -1,0 +1,1 @@
+lib/policy/audit.mli: Ast Engine Format Ir

@@ -1,0 +1,1 @@
+lib/policy/compile.ml: Ast Format Ir List Parser Printf String

@@ -1,0 +1,1 @@
+lib/policy/compile.mli: Ast Format Ir

@@ -1,0 +1,1 @@
+lib/policy/conflict.ml: Ast Format Ir List Printf

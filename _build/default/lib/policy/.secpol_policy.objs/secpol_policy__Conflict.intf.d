@@ -1,0 +1,1 @@
+lib/policy/conflict.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/policy/coverage.ml: Ast Format Ir List

@@ -1,0 +1,1 @@
+lib/policy/coverage.mli: Ast Format Ir

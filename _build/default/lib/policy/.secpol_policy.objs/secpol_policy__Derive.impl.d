@@ -1,0 +1,1 @@
+lib/policy/derive.ml: Ast Char Hashtbl List Option Printer Printf Secpol_threat String

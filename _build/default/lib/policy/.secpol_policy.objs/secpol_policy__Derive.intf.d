@@ -1,0 +1,1 @@
+lib/policy/derive.mli: Ast Secpol_threat

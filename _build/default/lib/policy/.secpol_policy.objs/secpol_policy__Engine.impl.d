@@ -1,0 +1,1 @@
+lib/policy/engine.ml: Ast Format Hashtbl Ir List Option Printf String

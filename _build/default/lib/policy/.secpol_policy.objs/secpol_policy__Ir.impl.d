@@ -1,0 +1,1 @@
+lib/policy/ir.ml: Ast Format List Printf String

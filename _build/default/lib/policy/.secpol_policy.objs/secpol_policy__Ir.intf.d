@@ -1,0 +1,1 @@
+lib/policy/ir.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/policy/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/policy/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/policy/printer.ml: Ast Buffer Format List String

@@ -1,0 +1,1 @@
+lib/policy/printer.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/policy/update.ml: Ast Char Compile Digest Format Hashtbl Ir List Option Parser Printer Printf String

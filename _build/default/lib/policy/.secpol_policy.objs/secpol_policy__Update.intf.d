@@ -1,0 +1,1 @@
+lib/policy/update.mli: Ast Format Ir

@@ -1,0 +1,59 @@
+type entry = {
+  time : float;
+  request : Ir.request;
+  decision : Ast.decision;
+  rule_origin : string option;
+}
+
+type t = {
+  capacity : int;
+  mutable buffer : entry list;  (* newest first *)
+  mutable retained : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Audit.create: capacity must be positive";
+  { capacity; buffer = []; retained = 0; total = 0 }
+
+let log t ~time request (outcome : Engine.outcome) =
+  let entry =
+    {
+      time;
+      request;
+      decision = outcome.decision;
+      rule_origin = Option.map (fun (r : Ir.rule) -> r.origin) outcome.matched;
+    }
+  in
+  t.buffer <- entry :: t.buffer;
+  t.retained <- t.retained + 1;
+  t.total <- t.total + 1;
+  if t.retained > t.capacity then begin
+    (* drop the oldest half lazily to avoid O(n) per log call *)
+    let keep = t.capacity in
+    t.buffer <- List.filteri (fun i _ -> i < keep) t.buffer;
+    t.retained <- keep
+  end
+
+let entries t = List.rev t.buffer
+
+let denials t = List.filter (fun e -> e.decision = Ast.Deny) (entries t)
+
+let allows t = List.filter (fun e -> e.decision = Ast.Allow) (entries t)
+
+let total_logged t = t.total
+
+let denials_for_subject t subject =
+  List.filter (fun e -> e.request.Ir.subject = subject) (denials t)
+
+let clear t =
+  t.buffer <- [];
+  t.retained <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%8.3f] %a -> %s%s" e.time Ir.pp_request e.request
+    (Ast.decision_name e.decision)
+    (match e.rule_origin with None -> " (default)" | Some o -> " (" ^ o ^ ")")
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)

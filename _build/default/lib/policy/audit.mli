@@ -1,0 +1,37 @@
+(** Bounded audit log of policy decisions.
+
+    Both enforcement paths log here; the connected-car scenarios read the
+    log back to prove which attacks were blocked, by which rule. *)
+
+type entry = {
+  time : float;  (** simulation time of the decision *)
+  request : Ir.request;
+  decision : Ast.decision;
+  rule_origin : string option;  (** origin of the deciding rule, if any *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer; oldest entries are evicted past [capacity]
+    (default 4096). *)
+
+val log : t -> time:float -> Ir.request -> Engine.outcome -> unit
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val denials : t -> entry list
+
+val allows : t -> entry list
+
+val total_logged : t -> int
+(** Includes evicted entries. *)
+
+val denials_for_subject : t -> string -> entry list
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Compiler from policy AST to the flat rule database ({!Ir.db}).
+
+    Lowering: every [rw] rule expands to both operations; mode sections
+    stamp their asset blocks with the mode list; the [default] section sets
+    the database default (deny when absent — fail-closed). *)
+
+type issue = {
+  severity : [ `Error | `Warning ];
+  message : string;
+}
+
+val compile :
+  ?known_modes:string list ->
+  ?known_assets:string list ->
+  ?known_subjects:string list ->
+  Ast.policy ->
+  (Ir.db * issue list, issue list) result
+(** [compile p] lowers [p].  Errors (compilation fails):
+    - more than one [default] section;
+    - an empty mode section ([mode x { }] with no asset blocks).
+    Warnings (returned alongside the database):
+    - an asset block with no rules;
+    - references to modes / assets / subjects outside the optional known
+      universes (when provided) — these catch typos against a threat model. *)
+
+val compile_exn :
+  ?known_modes:string list ->
+  ?known_assets:string list ->
+  ?known_subjects:string list ->
+  Ast.policy ->
+  Ir.db
+(** @raise Invalid_argument on errors; warnings are discarded. *)
+
+val of_source : string -> (Ir.db, string) result
+(** Parse then compile; warnings discarded, first error rendered. *)
+
+val pp_issue : Format.formatter -> issue -> unit

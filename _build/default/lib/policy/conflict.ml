@@ -1,0 +1,97 @@
+type conflict = { rule_a : Ir.rule; rule_b : Ir.rule; reason : string }
+
+let intersect a b = List.exists (fun x -> List.mem x b) a
+
+let subjects_overlap a b =
+  match (a, b) with
+  | Ast.Any_subject, _ | _, Ast.Any_subject -> true
+  | Ast.Subjects xs, Ast.Subjects ys -> intersect xs ys
+
+let modes_overlap a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some xs, Some ys -> intersect xs ys
+
+let ranges_overlap (a : Ast.msg_range) (b : Ast.msg_range) =
+  a.lo <= b.hi && b.lo <= a.hi
+
+let messages_overlap a b =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some xs, Some ys ->
+      List.exists (fun x -> List.exists (ranges_overlap x) ys) xs
+
+let overlap (a : Ir.rule) (b : Ir.rule) =
+  a.asset = b.asset
+  && intersect a.ops b.ops
+  && subjects_overlap a.subjects b.subjects
+  && modes_overlap a.modes b.modes
+  && messages_overlap a.messages b.messages
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+let subjects_covers a b =
+  match (a, b) with
+  | Ast.Any_subject, _ -> true
+  | Ast.Subjects _, Ast.Any_subject -> false
+  | Ast.Subjects xs, Ast.Subjects ys -> subset ys xs
+
+let modes_covers a b =
+  match (a, b) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some xs, Some ys -> subset ys xs
+
+(* Both range lists are normalised (sorted, merged), so a range of [b] is
+   covered iff it fits inside a single range of [a]. *)
+let messages_covers a b =
+  match (a, b) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some xs, Some ys ->
+      List.for_all
+        (fun (y : Ast.msg_range) ->
+          List.exists (fun (x : Ast.msg_range) -> x.lo <= y.lo && y.hi <= x.hi) xs)
+        ys
+
+let covers (a : Ir.rule) (b : Ir.rule) =
+  (* a rate-limited rule stops matching once its budget is spent, so it
+     never fully covers another rule *)
+  a.rate = None
+  && a.asset = b.asset
+  && subset b.ops a.ops
+  && subjects_covers a.subjects b.subjects
+  && modes_covers a.modes b.modes
+  && messages_covers a.messages b.messages
+
+let ordered_pairs rules =
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        let acc = List.fold_left (fun acc r' -> (r, r') :: acc) acc rest in
+        loop acc rest
+  in
+  loop [] rules
+
+let conflicts (db : Ir.db) =
+  ordered_pairs db.rules
+  |> List.filter_map (fun ((a : Ir.rule), (b : Ir.rule)) ->
+         if a.decision <> b.decision && overlap a b then
+           Some
+             {
+               rule_a = a;
+               rule_b = b;
+               reason =
+                 Printf.sprintf
+                   "rules #%d (%s) and #%d (%s) overlap on asset %s with opposite decisions"
+                   a.idx (Ast.decision_name a.decision) b.idx
+                   (Ast.decision_name b.decision) a.asset;
+             }
+         else None)
+
+let shadowed (db : Ir.db) =
+  ordered_pairs db.rules
+  |> List.filter (fun ((a : Ir.rule), (b : Ir.rule)) ->
+         a.decision = b.decision && covers a b)
+
+let pp_conflict ppf c = Format.pp_print_string ppf c.reason

@@ -1,0 +1,32 @@
+(** Static policy analysis: conflicting and shadowed rules.
+
+    Run after compilation to surface mistakes before deployment — the
+    policy-update workflow of the paper depends on being able to validate a
+    new policy off-device. *)
+
+type conflict = {
+  rule_a : Ir.rule;
+  rule_b : Ir.rule;
+  reason : string;
+}
+(** Two rules whose scopes overlap in every dimension but whose decisions
+    differ.  Under [Deny_overrides] the deny silently wins; under
+    [First_match] source order silently wins — either way the author should
+    be told. *)
+
+val conflicts : Ir.db -> conflict list
+(** Every conflicting pair, earlier rule first. *)
+
+val shadowed : Ir.db -> (Ir.rule * Ir.rule) list
+(** Pairs [(winner, dead)] where [winner] precedes [dead] and covers its
+    entire scope with the same decision, making [dead] unreachable under
+    first-match evaluation and redundant under the override strategies. *)
+
+val overlap : Ir.rule -> Ir.rule -> bool
+(** Scope overlap test (ignores decisions). *)
+
+val covers : Ir.rule -> Ir.rule -> bool
+(** [covers a b] is true when every request matched by [b] is matched by
+    [a]. *)
+
+val pp_conflict : Format.formatter -> conflict -> unit

@@ -1,0 +1,61 @@
+type cell = { mode : string; subject : string; asset : string; op : Ir.op }
+
+type report = {
+  total : int;
+  covered : int;
+  gaps : cell list;
+  default : Ast.decision;
+}
+
+let rule_covers (r : Ir.rule) (c : cell) =
+  r.asset = c.asset
+  && List.mem c.op r.ops
+  && (match r.subjects with
+     | Ast.Any_subject -> true
+     | Ast.Subjects l -> List.mem c.subject l)
+  && match r.modes with None -> true | Some l -> List.mem c.mode l
+
+let cell_covered (db : Ir.db) c = List.exists (fun r -> rule_covers r c) db.rules
+
+let analyse db ~modes ~subjects ~assets =
+  if modes = [] || subjects = [] || assets = [] then
+    invalid_arg "Coverage.analyse: empty universe";
+  let gaps = ref [] in
+  let covered = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun subject ->
+          List.iter
+            (fun asset ->
+              List.iter
+                (fun op ->
+                  incr total;
+                  let c = { mode; subject; asset; op } in
+                  if cell_covered db c then incr covered else gaps := c :: !gaps)
+                [ Ir.Read; Ir.Write ])
+            assets)
+        subjects)
+    modes;
+  { total = !total; covered = !covered; gaps = List.rev !gaps;
+    default = db.Ir.default }
+
+let ratio r = if r.total = 0 then 1.0 else float_of_int r.covered /. float_of_int r.total
+
+let pp ppf r =
+  Format.fprintf ppf
+    "coverage: %d/%d cells decided explicitly (%.0f%%); %d gap(s) fall to \
+     default %s"
+    r.covered r.total
+    (100.0 *. ratio r)
+    (List.length r.gaps)
+    (Ast.decision_name r.default);
+  List.iteri
+    (fun i c ->
+      if i < 5 then
+        Format.fprintf ppf "@,  gap: %s %s %s in %s" c.subject
+          (Ir.op_name c.op) c.asset c.mode)
+    r.gaps;
+  if List.length r.gaps > 5 then
+    Format.fprintf ppf "@,  ... and %d more" (List.length r.gaps - 5)

@@ -1,0 +1,37 @@
+(** Coverage analysis: which cells of the access space does a policy decide
+    explicitly, and which fall silently to the default?
+
+    With [default deny] a gap is fail-safe but may indicate a forgotten
+    legitimate flow (a Q4 false block waiting to happen); with
+    [default allow] a gap is an unreviewed permission.  The analysis
+    enumerates the [(mode, subject, asset, operation)] grid over declared
+    universes and reports the cells no rule speaks about. *)
+
+type cell = { mode : string; subject : string; asset : string; op : Ir.op }
+
+type report = {
+  total : int;  (** grid size *)
+  covered : int;  (** cells some rule explicitly decides *)
+  gaps : cell list;  (** uncovered cells, deterministic order *)
+  default : Ast.decision;  (** what the gaps resolve to at run time *)
+}
+
+val cell_covered : Ir.db -> cell -> bool
+(** True when some rule's scope includes the cell (message-ID constraints
+    are ignored: a message-scoped rule covers its cell for the IDs it
+    names). *)
+
+val analyse :
+  Ir.db ->
+  modes:string list ->
+  subjects:string list ->
+  assets:string list ->
+  report
+(** Enumerate the grid.  Universes must be non-empty.
+    @raise Invalid_argument otherwise. *)
+
+val ratio : report -> float
+(** covered / total. *)
+
+val pp : Format.formatter -> report -> unit
+(** Summary plus the first few gaps. *)

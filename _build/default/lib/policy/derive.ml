@@ -1,0 +1,125 @@
+module T = Secpol_threat.Threat
+module Model = Secpol_threat.Model
+module Entry_point = Secpol_threat.Entry_point
+module Countermeasure = Secpol_threat.Countermeasure
+
+type access = R | W | RW
+
+let access_name = function R -> "R" | W -> "W" | RW -> "RW"
+
+let row_access (t : T.t) =
+  match List.sort_uniq compare t.legitimate_operations with
+  | [] -> None
+  | [ T.Read ] -> Some R
+  | [ T.Write ] -> Some W
+  | _ -> Some RW
+
+let threat_rules (t : T.t) =
+  let ops =
+    match row_access t with
+    | None -> []
+    | Some R -> [ Ast.Read ]
+    | Some W -> [ Ast.Write ]
+    | Some RW -> [ Ast.Rw ]
+  in
+  List.map
+    (fun op ->
+      {
+        Ast.decision = Ast.Allow;
+        op;
+        subjects = Ast.Subjects t.entry_points;
+        messages = None;
+        rate = None;
+      })
+    ops
+
+let sanitise_name name =
+  let mangled =
+    String.map
+      (fun c ->
+        if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' then c
+        else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+        else '_')
+      name
+  in
+  if mangled = "" then "policy" else mangled
+
+let block_of asset rules = { Ast.asset; rules }
+
+let sections_of_threat (t : T.t) =
+  let block = block_of t.asset (threat_rules t) in
+  if t.modes = [] then [ Ast.Global block ] else [ Ast.Modes (t.modes, [ block ]) ]
+
+let threat_to_policy ?(version = 1) (t : T.t) =
+  Ast.normalise
+    {
+      Ast.name = sanitise_name t.id;
+      version;
+      sections = Ast.Default Ast.Deny :: sections_of_threat t;
+    }
+
+(* Group the model's threats by their mode scope, then merge rules per asset
+   within each group, deduplicating identical rules. *)
+let model_to_policy ?name ?(version = 1) (m : Model.t) =
+  let name = match name with Some n -> n | None -> sanitise_name m.use_case in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (t : T.t) ->
+      let key = List.sort_uniq String.compare t.modes in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+      Hashtbl.replace groups key (existing @ [ t ]))
+    m.threats;
+  let keys =
+    Hashtbl.fold (fun k _ acc -> k :: acc) groups []
+    |> List.sort compare
+  in
+  let merge_blocks threats =
+    let assets =
+      List.sort_uniq String.compare (List.map (fun (t : T.t) -> t.asset) threats)
+    in
+    List.filter_map
+      (fun asset ->
+        let rules =
+          threats
+          |> List.filter (fun (t : T.t) -> t.asset = asset)
+          |> List.concat_map threat_rules
+          |> List.sort_uniq compare
+        in
+        if rules = [] then None else Some (block_of asset rules))
+      assets
+  in
+  let sections =
+    List.concat_map
+      (fun key ->
+        let threats = Hashtbl.find groups key in
+        match merge_blocks threats with
+        | [] -> []
+        | blocks ->
+            if key = [] then List.map (fun b -> Ast.Global b) blocks
+            else [ Ast.Modes (key, blocks) ])
+      keys
+  in
+  Ast.normalise { Ast.name; version; sections = Ast.Default Ast.Deny :: sections }
+
+let enforcement_for (m : Model.t) (t : T.t) =
+  let bus_only =
+    List.for_all
+      (fun ep_id ->
+        match Model.find_entry_point m ep_id with
+        | Some ep -> ep.interface = Entry_point.Bus
+        | None -> false)
+      t.entry_points
+  in
+  if bus_only then Countermeasure.Hardware_enforced
+  else Countermeasure.Software_enforced
+
+let countermeasures (m : Model.t) =
+  List.map
+    (fun (t : T.t) ->
+      let source = Printer.to_string (threat_to_policy t) in
+      Countermeasure.policy ~threat_id:t.id
+        ~description:(Printf.sprintf "derived least-privilege policy for %s" t.id)
+        ~enforcement:(enforcement_for m t) source)
+    m.threats
+
+let residual_risks (m : Model.t) = List.filter T.residual_risk m.threats

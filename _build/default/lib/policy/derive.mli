@@ -1,0 +1,44 @@
+(** Policy derivation from a threat model — the paper's core contribution:
+    the "determine countermeasure" stage emits enforceable policies instead
+    of prose guidelines.
+
+    Derivation is least-privilege: for every threat, the asset's entry
+    points are permitted exactly the operations that legitimate parties
+    require ({!Secpol_threat.Threat.t.legitimate_operations}); everything
+    else falls to the policy's [default deny].  The attack operation is
+    therefore blocked unless it coincides with a legitimate operation — the
+    residual-risk (RW) rows of Table I, which the paper says need
+    finer-grained behavioural policies. *)
+
+type access = R | W | RW
+(** The paper's Table-I "Policy" column. *)
+
+val access_name : access -> string
+(** ["R"], ["W"], ["RW"]. *)
+
+val row_access : Secpol_threat.Threat.t -> access option
+(** The Table-I policy cell for a threat: its legitimate operations folded
+    to R/W/RW; [None] when nothing legitimate remains (full deny). *)
+
+val threat_rules : Secpol_threat.Threat.t -> Ast.rule list
+(** Allow-rules granting the threat's legitimate operations to its entry
+    points (to be combined with [default deny]). *)
+
+val threat_to_policy :
+  ?version:int -> Secpol_threat.Threat.t -> Ast.policy
+(** A standalone single-threat policy, e.g. for an emergency update
+    countering one newly discovered threat. *)
+
+val model_to_policy :
+  ?name:string -> ?version:int -> Secpol_threat.Model.t -> Ast.policy
+(** The full security model as one policy: one mode section per distinct
+    mode set, merged asset blocks, [default deny].  [name] defaults to the
+    model's use-case name mangled to an identifier. *)
+
+val countermeasures :
+  Secpol_threat.Model.t -> Secpol_threat.Countermeasure.t list
+(** One policy countermeasure per threat in the model (hardware-enforced
+    for bus entry points, software-enforced otherwise). *)
+
+val residual_risks : Secpol_threat.Model.t -> Secpol_threat.Threat.t list
+(** Threats whose attack operation survives derivation (the RW rows). *)

@@ -1,0 +1,204 @@
+type strategy = Deny_overrides | Allow_overrides | First_match
+
+type outcome = {
+  decision : Ast.decision;
+  matched : Ir.rule option;
+  from_cache : bool;
+}
+
+type stats = {
+  decisions : int;
+  allows : int;
+  denies : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type t = {
+  mutable db : Ir.db;
+  strategy : strategy;
+  mutable by_asset : (string, Ir.rule list) Hashtbl.t;
+  cache : (Ir.request, Ast.decision * Ir.rule option) Hashtbl.t option;
+  (* sliding-window grant timestamps per (rate-limited rule, subject) *)
+  buckets : (int * string, float list ref) Hashtbl.t;
+  mutable rated_assets : string list;
+  mutable decisions : int;
+  mutable allows : int;
+  mutable denies : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let index_by_asset (db : Ir.db) =
+  let tbl = Hashtbl.create 32 in
+  (* keep source order within each asset bucket *)
+  List.iter
+    (fun (r : Ir.rule) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt tbl r.asset) in
+      Hashtbl.replace tbl r.asset (existing @ [ r ]))
+    db.rules;
+  tbl
+
+let rated_assets_of (db : Ir.db) =
+  db.rules
+  |> List.filter_map (fun (r : Ir.rule) ->
+         if r.rate <> None then Some r.asset else None)
+  |> List.sort_uniq String.compare
+
+let create ?(strategy = Deny_overrides) ?(cache = true) db =
+  {
+    db;
+    strategy;
+    by_asset = index_by_asset db;
+    cache = (if cache then Some (Hashtbl.create 256) else None);
+    buckets = Hashtbl.create 32;
+    rated_assets = rated_assets_of db;
+    decisions = 0;
+    allows = 0;
+    denies = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let strategy t = t.strategy
+
+let db t = t.db
+
+(* Behavioural budgets: a rate-limited allow rule is *available* while its
+   sliding window has room, and its budget is consumed only when the rule
+   actually produces the Allow decision — matching alongside a winning deny
+   costs nothing.  Deny rules never carry rates (the compiler refuses
+   them). *)
+let bucket_of t (r : Ir.rule) subject =
+  let key = (r.idx, subject) in
+  match Hashtbl.find_opt t.buckets key with
+  | Some b -> b
+  | None ->
+      let b = ref [] in
+      Hashtbl.replace t.buckets key b;
+      b
+
+let rate_available t ~now (r : Ir.rule) subject =
+  match r.rate with
+  | None -> true
+  | Some { Ast.count; window_ms } ->
+      let bucket = bucket_of t r subject in
+      let horizon = now -. (float_of_int window_ms /. 1000.0) in
+      bucket := List.filter (fun ts -> ts > horizon) !bucket;
+      List.length !bucket < count
+
+let rate_consume t ~now (r : Ir.rule) subject =
+  if r.rate <> None then begin
+    let bucket = bucket_of t r subject in
+    bucket := now :: !bucket
+  end
+
+let matching_rules t (req : Ir.request) =
+  let candidates =
+    Option.value ~default:[] (Hashtbl.find_opt t.by_asset req.Ir.asset)
+  in
+  List.filter (fun r -> Ir.rule_matches r req) candidates
+
+let resolve t ~now (req : Ir.request) =
+  let matching = matching_rules t req in
+  let subject = req.Ir.subject in
+  (* the first allow rule whose budget (if any) has room; consuming it *)
+  let take_allow rules =
+    match
+      List.find_opt
+        (fun (r : Ir.rule) ->
+          r.decision = Ast.Allow && rate_available t ~now r subject)
+        rules
+    with
+    | Some r ->
+        rate_consume t ~now r subject;
+        Some r
+    | None -> None
+  in
+  match t.strategy with
+  | First_match ->
+      (* scan in source order; an exhausted allow rule is skipped *)
+      let rec scan = function
+        | [] -> (t.db.default, None)
+        | (r : Ir.rule) :: rest -> (
+            match r.decision with
+            | Ast.Deny -> (Ast.Deny, Some r)
+            | Ast.Allow ->
+                if rate_available t ~now r subject then begin
+                  rate_consume t ~now r subject;
+                  (Ast.Allow, Some r)
+                end
+                else scan rest)
+      in
+      scan matching
+  | Deny_overrides -> (
+      match List.find_opt (fun (r : Ir.rule) -> r.decision = Ast.Deny) matching with
+      | Some r -> (Ast.Deny, Some r)
+      | None -> (
+          match take_allow matching with
+          | Some r -> (Ast.Allow, Some r)
+          | None -> (t.db.default, None)))
+  | Allow_overrides -> (
+      match take_allow matching with
+      | Some r -> (Ast.Allow, Some r)
+      | None -> (
+          match
+            List.find_opt (fun (r : Ir.rule) -> r.decision = Ast.Deny) matching
+          with
+          | Some r -> (Ast.Deny, Some r)
+          | None -> (t.db.default, None)))
+
+let record t decision =
+  t.decisions <- t.decisions + 1;
+  match decision with
+  | Ast.Allow -> t.allows <- t.allows + 1
+  | Ast.Deny -> t.denies <- t.denies + 1
+
+let decide ?(now = 0.0) t (req : Ir.request) =
+  let cacheable =
+    not (List.mem req.Ir.asset t.rated_assets)
+  in
+  match t.cache with
+  | Some cache when cacheable -> (
+      match Hashtbl.find_opt cache req with
+      | Some (decision, matched) ->
+          t.cache_hits <- t.cache_hits + 1;
+          record t decision;
+          { decision; matched; from_cache = true }
+      | None ->
+          t.cache_misses <- t.cache_misses + 1;
+          let decision, matched = resolve t ~now req in
+          Hashtbl.replace cache req (decision, matched);
+          record t decision;
+          { decision; matched; from_cache = false })
+  | Some _ | None ->
+      let decision, matched = resolve t ~now req in
+      record t decision;
+      { decision; matched; from_cache = false }
+
+let permitted ?now t req = (decide ?now t req).decision = Ast.Allow
+
+let flush_cache t = Option.iter Hashtbl.reset t.cache
+
+let swap_db t db =
+  t.db <- db;
+  t.by_asset <- index_by_asset db;
+  t.rated_assets <- rated_assets_of db;
+  Hashtbl.reset t.buckets;
+  flush_cache t
+
+let stats t =
+  {
+    decisions = t.decisions;
+    allows = t.allows;
+    denies = t.denies;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s%s"
+    (Ast.decision_name o.decision)
+    (match o.matched with
+    | None -> " (default)"
+    | Some r -> Printf.sprintf " (rule #%d of %s)" r.idx r.origin)

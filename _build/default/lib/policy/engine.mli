@@ -1,0 +1,55 @@
+(** Policy evaluation engine: the configurable "policy engine" of the paper,
+    shared by the software (SELinux-style) and hardware (HPE) enforcement
+    paths, which compile their own tables from the same {!Ir.db}. *)
+
+type strategy =
+  | Deny_overrides
+      (** any matching deny wins over any matching allow (default; this is
+          the fail-safe composition used for Table I) *)
+  | Allow_overrides  (** any matching allow wins over any matching deny *)
+  | First_match  (** the earliest matching rule in source order decides *)
+
+type outcome = {
+  decision : Ast.decision;
+  matched : Ir.rule option;  (** rule that determined the decision, if any *)
+  from_cache : bool;
+}
+
+type t
+
+val create : ?strategy:strategy -> ?cache:bool -> Ir.db -> t
+(** [cache] (default [true]) memoises decisions per distinct request. *)
+
+val strategy : t -> strategy
+
+val db : t -> Ir.db
+
+val decide : ?now:float -> t -> Ir.request -> outcome
+(** [now] (seconds, default [0.]) drives behavioural rate limits: an allow
+    rule with [rate n per w] can ground at most [n] Allow decisions per
+    subject within any sliding [w]-millisecond window; once exhausted it is
+    skipped and evaluation falls through (usually to [default deny]).  The
+    budget is consumed only when the rule actually produces the decision —
+    matching alongside a winning deny costs nothing.  Requests touching
+    rate-limited assets bypass the decision cache (their outcome is
+    time-dependent). *)
+
+val permitted : ?now:float -> t -> Ir.request -> bool
+(** [decide] projected to a boolean. *)
+
+val swap_db : t -> Ir.db -> unit
+(** Hot-swap the policy database (a policy update); flushes the cache. *)
+
+val flush_cache : t -> unit
+
+type stats = {
+  decisions : int;
+  allows : int;
+  denies : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val stats : t -> stats
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,60 @@
+(** Compiled policy representation and access-request matching.
+
+    The compiler ({!Compile}) lowers a policy AST into a flat list of rules,
+    each scoped by asset, operating modes, subjects and message IDs.  The
+    engine ({!Engine}) evaluates access requests against this form. *)
+
+type op = Read | Write
+
+type request = {
+  mode : string;  (** current operating mode *)
+  subject : string;  (** requesting entity, e.g. a CAN node id *)
+  asset : string;  (** target asset id *)
+  op : op;
+  msg_id : int option;  (** CAN message ID when relevant *)
+}
+
+type rule = {
+  idx : int;  (** source order; used by first-match resolution *)
+  decision : Ast.decision;
+  ops : op list;  (** [Rw] in the source expands to both *)
+  subjects : Ast.subjects;
+  asset : string;
+  modes : string list option;  (** [None] = applies in every mode *)
+  messages : Ast.msg_range list option;  (** [None] = any message ID *)
+  rate : Ast.rate option;
+      (** behavioural budget; enforced by {!Engine} per (rule, subject) *)
+  origin : string;  (** provenance, e.g. ["car_policy v2"] *)
+}
+
+type db = {
+  name : string;
+  version : int;
+  default : Ast.decision;  (** decision when no rule matches *)
+  rules : rule list;  (** in source order *)
+}
+
+val op_of_ast : Ast.op -> op list
+(** [Read]->[\[Read\]], [Write]->[\[Write\]], [Rw]->[\[Read; Write\]]. *)
+
+val op_name : op -> string
+
+val rule_matches : rule -> request -> bool
+(** True when every dimension of the rule covers the request.  A
+    message-constrained rule only matches requests that carry a message ID
+    inside one of its ranges. *)
+
+val rules_for_asset : db -> string -> rule list
+(** Rules scoped to the given asset, in source order. *)
+
+val assets : db -> string list
+(** Distinct assets mentioned by the rules, sorted. *)
+
+val subjects : db -> string list
+(** Distinct named subjects mentioned by the rules, sorted. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+
+val pp_request : Format.formatter -> request -> unit
+
+val pp_db : Format.formatter -> db -> unit

@@ -1,0 +1,230 @@
+type token =
+  | POLICY
+  | VERSION
+  | MODE
+  | ASSET
+  | DEFAULT
+  | ALLOW
+  | DENY
+  | READ
+  | WRITE
+  | RW
+  | FROM
+  | MESSAGES
+  | RATE
+  | PER
+  | ANY
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOTDOT
+  | EOF
+
+type position = { line : int; column : int }
+
+exception Lex_error of string * position
+
+let token_name = function
+  | POLICY -> "'policy'"
+  | VERSION -> "'version'"
+  | MODE -> "'mode'"
+  | ASSET -> "'asset'"
+  | DEFAULT -> "'default'"
+  | ALLOW -> "'allow'"
+  | DENY -> "'deny'"
+  | READ -> "'read'"
+  | WRITE -> "'write'"
+  | RW -> "'rw'"
+  | FROM -> "'from'"
+  | MESSAGES -> "'messages'"
+  | RATE -> "'rate'"
+  | PER -> "'per'"
+  | ANY -> "'any'"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | EOF -> "end of input"
+
+let keyword_of_string = function
+  | "policy" -> Some POLICY
+  | "version" -> Some VERSION
+  | "mode" -> Some MODE
+  | "asset" -> Some ASSET
+  | "default" -> Some DEFAULT
+  | "allow" -> Some ALLOW
+  | "deny" -> Some DENY
+  | "read" -> Some READ
+  | "write" -> Some WRITE
+  | "rw" -> Some RW
+  | "from" -> Some FROM
+  | "messages" -> Some MESSAGES
+  | "rate" -> Some RATE
+  | "per" -> Some PER
+  | "any" -> Some ANY
+  | _ -> None
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let position st = { line = st.line; column = st.col }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '#' ->
+      skip_line st;
+      skip_trivia st
+  | Some '/'
+    when st.pos + 1 < String.length st.input && st.input.[st.pos + 1] = '/' ->
+      skip_line st;
+      skip_trivia st
+  | _ -> ()
+
+and skip_line st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+      advance st;
+      skip_line st
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let lex_string st =
+  let pos0 = position st in
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> raise (Lex_error ("unterminated string", pos0))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            loop ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            loop ()
+        | Some c -> raise (Lex_error (Printf.sprintf "bad escape '\\%c'" c, position st))
+        | None -> raise (Lex_error ("unterminated string", pos0)))
+    | Some '\n' -> raise (Lex_error ("newline in string", position st))
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_number st =
+  let pos0 = position st in
+  let start = st.pos in
+  let hex =
+    st.pos + 1 < String.length st.input
+    && st.input.[st.pos] = '0'
+    && (st.input.[st.pos + 1] = 'x' || st.input.[st.pos + 1] = 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    let digits_start = st.pos in
+    while (match peek st with Some c -> is_hex_digit c | None -> false) do
+      advance st
+    done;
+    if st.pos = digits_start then
+      raise (Lex_error ("hex literal with no digits", pos0))
+  end
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+  let text = String.sub st.input start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some v -> v
+  | None -> raise (Lex_error (Printf.sprintf "bad number %S" text, pos0))
+
+let tokenize input =
+  let st = { input; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_trivia st;
+    let pos = position st in
+    match peek st with
+    | None -> List.rev ((EOF, pos) :: acc)
+    | Some c ->
+        let tok =
+          match c with
+          | '{' ->
+              advance st;
+              LBRACE
+          | '}' ->
+              advance st;
+              RBRACE
+          | ';' ->
+              advance st;
+              SEMI
+          | ',' ->
+              advance st;
+              COMMA
+          | '.' ->
+              advance st;
+              if peek st = Some '.' then begin
+                advance st;
+                DOTDOT
+              end
+              else raise (Lex_error ("expected '..'", pos))
+          | '"' -> STRING (lex_string st)
+          | c when is_digit c -> INT (lex_number st)
+          | c when is_ident_start c -> (
+              let word = lex_ident st in
+              match keyword_of_string word with
+              | Some kw -> kw
+              | None -> IDENT word)
+          | c -> raise (Lex_error (Printf.sprintf "illegal character %C" c, pos))
+        in
+        loop ((tok, pos) :: acc)
+  in
+  loop []

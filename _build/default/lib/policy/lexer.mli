@@ -1,0 +1,43 @@
+(** Hand-written lexer for the policy DSL.
+
+    Comments run from [#] or [//] to end of line.  Integers are decimal or
+    [0x]-prefixed hexadecimal.  Strings are double-quoted; backslash escapes
+    the quote and backslash characters. *)
+
+type token =
+  | POLICY
+  | VERSION
+  | MODE
+  | ASSET
+  | DEFAULT
+  | ALLOW
+  | DENY
+  | READ
+  | WRITE
+  | RW
+  | FROM
+  | MESSAGES
+  | RATE
+  | PER
+  | ANY
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | DOTDOT
+  | EOF
+
+type position = { line : int; column : int }
+
+exception Lex_error of string * position
+
+val token_name : token -> string
+(** For diagnostics, e.g. [IDENT "x"] -> ["identifier \"x\""]. *)
+
+val tokenize : string -> (token * position) list
+(** The whole input, ending with [EOF].
+    @raise Lex_error on an illegal character, unterminated string or
+    malformed number. *)

@@ -1,0 +1,254 @@
+open Ast
+
+exception Parse_error of string * Lexer.position
+
+type state = { mutable tokens : (Lexer.token * Lexer.position) list }
+
+let peek st =
+  match st.tokens with
+  | [] -> (Lexer.EOF, { Lexer.line = 0; column = 0 })
+  | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let error st msg =
+  let _, pos = peek st in
+  raise (Parse_error (msg, pos))
+
+let expect st tok =
+  let got, pos = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         ( Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+             (Lexer.token_name got),
+           pos ))
+
+let parse_ident st =
+  match peek st with
+  | Lexer.IDENT name, _ ->
+      advance st;
+      name
+  | got, pos ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected identifier but found %s" (Lexer.token_name got),
+             pos ))
+
+let parse_int st =
+  match peek st with
+  | Lexer.INT v, _ ->
+      advance st;
+      v
+  | got, pos ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected integer but found %s" (Lexer.token_name got),
+             pos ))
+
+let parse_ident_list st =
+  let first = parse_ident st in
+  let rec more acc =
+    match peek st with
+    | Lexer.COMMA, _ ->
+        advance st;
+        more (parse_ident st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+let parse_decision st =
+  match peek st with
+  | Lexer.ALLOW, _ ->
+      advance st;
+      Allow
+  | Lexer.DENY, _ ->
+      advance st;
+      Deny
+  | got, pos ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected 'allow' or 'deny' but found %s"
+               (Lexer.token_name got),
+             pos ))
+
+let parse_op st =
+  match peek st with
+  | Lexer.READ, _ ->
+      advance st;
+      Read
+  | Lexer.WRITE, _ ->
+      advance st;
+      Write
+  | Lexer.RW, _ ->
+      advance st;
+      Rw
+  | got, pos ->
+      raise
+        (Parse_error
+           ( Printf.sprintf "expected 'read', 'write' or 'rw' but found %s"
+               (Lexer.token_name got),
+             pos ))
+
+let parse_subjects st =
+  match peek st with
+  | Lexer.ANY, _ ->
+      advance st;
+      Any_subject
+  | _ -> Subjects (parse_ident_list st)
+
+let parse_range st =
+  let lo = parse_int st in
+  match peek st with
+  | Lexer.DOTDOT, pos ->
+      advance st;
+      let hi = parse_int st in
+      if hi < lo then raise (Parse_error ("empty message range (hi < lo)", pos));
+      range lo hi
+  | _ -> single lo
+
+let parse_ranges st =
+  let first = parse_range st in
+  let rec more acc =
+    match peek st with
+    | Lexer.COMMA, _ ->
+        advance st;
+        more (parse_range st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+(* rule := decision op 'from' subjects ['messages' ranges]
+           ['rate' INT 'per' INT] ';' *)
+let parse_rule st =
+  let decision = parse_decision st in
+  let op = parse_op st in
+  expect st Lexer.FROM;
+  let subjects = parse_subjects st in
+  let messages =
+    match peek st with
+    | Lexer.MESSAGES, _ ->
+        advance st;
+        Some (parse_ranges st)
+    | _ -> None
+  in
+  let rate =
+    match peek st with
+    | Lexer.RATE, pos ->
+        advance st;
+        let count = parse_int st in
+        expect st Lexer.PER;
+        let window_ms = parse_int st in
+        if count <= 0 || window_ms <= 0 then
+          raise (Parse_error ("rate count and window must be positive", pos));
+        Some { count; window_ms }
+    | _ -> None
+  in
+  expect st Lexer.SEMI;
+  { decision; op; subjects; messages; rate }
+
+(* asset-block := 'asset' ident '{' rule* '}' *)
+let parse_asset_block st =
+  expect st Lexer.ASSET;
+  let asset = parse_ident st in
+  expect st Lexer.LBRACE;
+  let rec rules acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> rules (parse_rule st :: acc)
+  in
+  let rules = rules [] in
+  { asset; rules }
+
+let parse_section st =
+  match peek st with
+  | Lexer.DEFAULT, _ ->
+      advance st;
+      let d = parse_decision st in
+      expect st Lexer.SEMI;
+      Default d
+  | Lexer.MODE, _ ->
+      advance st;
+      let modes = parse_ident_list st in
+      expect st Lexer.LBRACE;
+      let rec blocks acc =
+        match peek st with
+        | Lexer.RBRACE, _ ->
+            advance st;
+            List.rev acc
+        | _ -> blocks (parse_asset_block st :: acc)
+      in
+      Modes (modes, blocks [])
+  | Lexer.ASSET, _ -> Global (parse_asset_block st)
+  | got, pos ->
+      raise
+        (Parse_error
+           ( Printf.sprintf
+               "expected 'default', 'mode' or 'asset' but found %s"
+               (Lexer.token_name got),
+             pos ))
+
+(* policy := 'policy' string 'version' int '{' section* '}' *)
+let parse_policy st =
+  expect st Lexer.POLICY;
+  let name =
+    match peek st with
+    | Lexer.STRING s, _ ->
+        advance st;
+        s
+    | got, pos ->
+        raise
+          (Parse_error
+             ( Printf.sprintf "expected policy name string but found %s"
+                 (Lexer.token_name got),
+               pos ))
+  in
+  expect st Lexer.VERSION;
+  let version = parse_int st in
+  if version < 0 then error st "negative policy version";
+  expect st Lexer.LBRACE;
+  let rec sections acc =
+    match peek st with
+    | Lexer.RBRACE, _ ->
+        advance st;
+        List.rev acc
+    | _ -> sections (parse_section st :: acc)
+  in
+  { name; version; sections = sections [] }
+
+let render_error msg (pos : Lexer.position) =
+  Printf.sprintf "line %d, column %d: %s" pos.line pos.column msg
+
+let run f input =
+  match f { tokens = Lexer.tokenize input } with
+  | v -> Ok v
+  | exception Parse_error (msg, pos) -> Error (render_error msg pos)
+  | exception Lexer.Lex_error (msg, pos) -> Error (render_error msg pos)
+
+let parse input =
+  let one st =
+    let p = parse_policy st in
+    expect st Lexer.EOF;
+    p
+  in
+  run one input
+
+let parse_exn input =
+  let st = { tokens = Lexer.tokenize input } in
+  let p = parse_policy st in
+  expect st Lexer.EOF;
+  p
+
+let parse_many input =
+  let many st =
+    let rec loop acc =
+      match peek st with
+      | Lexer.EOF, _ -> List.rev acc
+      | _ -> loop (parse_policy st :: acc)
+    in
+    loop []
+  in
+  run many input

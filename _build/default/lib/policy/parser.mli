@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the policy DSL (grammar in {!Ast}). *)
+
+exception Parse_error of string * Lexer.position
+
+val parse : string -> (Ast.policy, string) result
+(** Parse one complete policy.  Errors render as
+    ["line L, column C: message"]. *)
+
+val parse_exn : string -> Ast.policy
+(** @raise Parse_error *)
+
+val parse_many : string -> (Ast.policy list, string) result
+(** Parse a file containing zero or more policies. *)

@@ -1,0 +1,59 @@
+open Ast
+
+let pp_range ppf (r : msg_range) =
+  if r.lo = r.hi then Format.fprintf ppf "0x%x" r.lo
+  else Format.fprintf ppf "0x%x..0x%x" r.lo r.hi
+
+let pp_list pp_item ppf items =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    pp_item ppf items
+
+let pp_subjects ppf = function
+  | Any_subject -> Format.pp_print_string ppf "any"
+  | Subjects l -> pp_list Format.pp_print_string ppf l
+
+let pp_rule ppf (r : rule) =
+  Format.fprintf ppf "%s %s from %a" (decision_name r.decision) (op_name r.op)
+    pp_subjects r.subjects;
+  (match r.messages with
+  | None -> ()
+  | Some ranges -> Format.fprintf ppf " messages %a" (pp_list pp_range) ranges);
+  (match r.rate with
+  | None -> ()
+  | Some rate -> Format.fprintf ppf " rate %d per %d" rate.count rate.window_ms);
+  Format.fprintf ppf ";"
+
+let pp_asset_block ppf (b : asset_block) =
+  Format.fprintf ppf "@[<v 2>asset %s {" b.asset;
+  List.iter (fun r -> Format.fprintf ppf "@,%a" pp_rule r) b.rules;
+  Format.fprintf ppf "@]@,}"
+
+let pp_section ppf = function
+  | Default d -> Format.fprintf ppf "default %s;" (decision_name d)
+  | Global b -> pp_asset_block ppf b
+  | Modes (modes, blocks) ->
+      Format.fprintf ppf "@[<v 2>mode %a {" (pp_list Format.pp_print_string) modes;
+      List.iter (fun b -> Format.fprintf ppf "@,%a" pp_asset_block b) blocks;
+      Format.fprintf ppf "@]@,}"
+
+let escape_name name =
+  let buf = Buffer.create (String.length name + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+let pp_policy ppf (p : policy) =
+  let p = normalise p in
+  Format.fprintf ppf "@[<v 2>policy \"%s\" version %d {" (escape_name p.name)
+    p.version;
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_section s) p.sections;
+  Format.fprintf ppf "@]@,}@."
+
+let to_string p = Format.asprintf "%a" pp_policy p

@@ -1,0 +1,10 @@
+(** Pretty-printer for the policy DSL.
+
+    Round-trip guarantee: for any policy [p],
+    [Parser.parse_exn (to_string p)] equals [Ast.normalise p]. *)
+
+val pp_rule : Format.formatter -> Ast.rule -> unit
+
+val pp_policy : Format.formatter -> Ast.policy -> unit
+
+val to_string : Ast.policy -> string

@@ -1,0 +1,1 @@
+lib/selinux/access_vector.ml: Format List Printf String

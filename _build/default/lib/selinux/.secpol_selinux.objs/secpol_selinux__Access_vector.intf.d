@@ -1,0 +1,1 @@
+lib/selinux/access_vector.mli: Format

@@ -1,0 +1,1 @@
+lib/selinux/avc.ml: Hashtbl Policy_db

@@ -1,0 +1,1 @@
+lib/selinux/avc.mli: Policy_db

@@ -1,0 +1,1 @@
+lib/selinux/context.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/selinux/policy_db.ml: Access_vector List Printf String Te_rule

@@ -1,0 +1,1 @@
+lib/selinux/policy_db.mli: Access_vector Te_rule

@@ -1,0 +1,1 @@
+lib/selinux/policy_module.ml: Hashtbl List Option Policy_db Printf String Te_rule

@@ -1,0 +1,1 @@
+lib/selinux/policy_module.mli: Policy_db Te_rule

@@ -1,0 +1,1 @@
+lib/selinux/server.ml: Avc Context Format Fun List Option Policy_db Printf

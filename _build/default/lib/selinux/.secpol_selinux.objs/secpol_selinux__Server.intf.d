@@ -1,0 +1,1 @@
+lib/selinux/server.mli: Context Format Policy_db

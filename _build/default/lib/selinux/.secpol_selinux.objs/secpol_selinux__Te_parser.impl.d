@@ -1,0 +1,1 @@
+lib/selinux/te_parser.ml: Buffer List Option Policy_module Printf String Te_rule

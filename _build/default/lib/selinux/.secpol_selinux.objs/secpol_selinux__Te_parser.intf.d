@@ -1,0 +1,1 @@
+lib/selinux/te_parser.mli: Policy_module

@@ -1,0 +1,1 @@
+lib/selinux/te_rule.mli: Format

@@ -1,0 +1,49 @@
+type cls = { name : string; permissions : string list }
+
+let cls ~name ~permissions =
+  if name = "" then invalid_arg "Access_vector.cls: empty name";
+  if permissions = [] then invalid_arg "Access_vector.cls: no permissions";
+  let sorted = List.sort_uniq String.compare permissions in
+  if List.length sorted <> List.length permissions then
+    invalid_arg "Access_vector.cls: duplicate permissions";
+  { name; permissions = sorted }
+
+let has_permission c p = List.mem p c.permissions
+
+let file =
+  cls ~name:"file" ~permissions:[ "read"; "write"; "execute"; "append"; "unlink" ]
+
+let process =
+  cls ~name:"process" ~permissions:[ "fork"; "transition"; "signal"; "setexec" ]
+
+let can_socket =
+  cls ~name:"can_socket"
+    ~permissions:[ "create"; "read"; "write"; "setfilter"; "clearfilter" ]
+
+let service = cls ~name:"service" ~permissions:[ "start"; "stop"; "reload"; "status" ]
+
+let firmware = cls ~name:"firmware" ~permissions:[ "read"; "flash"; "verify" ]
+
+let standard_classes = [ file; process; can_socket; service; firmware ]
+
+type t = { cls : string; perms : string list }
+
+let make c perms =
+  List.iter
+    (fun p ->
+      if not (has_permission c p) then
+        invalid_arg
+          (Printf.sprintf "Access_vector.make: class %s has no permission %S" c.name p))
+    perms;
+  { cls = c.name; perms = List.sort_uniq String.compare perms }
+
+let empty c = { cls = c.name; perms = [] }
+
+let mem t p = List.mem p t.perms
+
+let union a b =
+  if a.cls <> b.cls then invalid_arg "Access_vector.union: class mismatch";
+  { cls = a.cls; perms = List.sort_uniq String.compare (a.perms @ b.perms) }
+
+let pp ppf t =
+  Format.fprintf ppf "{ %s { %s } }" t.cls (String.concat " " t.perms)

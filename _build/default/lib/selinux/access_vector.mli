@@ -1,0 +1,49 @@
+(** Object classes and permission vectors.
+
+    An object class (e.g. [file], [process], [can_socket]) declares the
+    permissions that exist on objects of that class; an access vector is a
+    subset of one class's permissions. *)
+
+type cls = private { name : string; permissions : string list }
+
+val cls : name:string -> permissions:string list -> cls
+(** @raise Invalid_argument on an empty name, empty permission list or
+    duplicate permissions. *)
+
+val has_permission : cls -> string -> bool
+
+(** Standard classes used by the embedded scenarios. *)
+
+val file : cls
+(** read write execute append unlink *)
+
+val process : cls
+(** fork transition signal setexec *)
+
+val can_socket : cls
+(** can read/write plus filter configuration *)
+
+val service : cls
+(** start stop reload status *)
+
+val firmware : cls
+(** read flash verify *)
+
+val standard_classes : cls list
+
+type t = { cls : string; perms : string list }
+(** An access vector: permissions of one class (sorted, deduplicated). *)
+
+val make : cls -> string list -> t
+(** @raise Invalid_argument when a permission is not declared by the
+    class. *)
+
+val empty : cls -> t
+
+val mem : t -> string -> bool
+
+val union : t -> t -> t
+(** @raise Invalid_argument on different classes. *)
+
+val pp : Format.formatter -> t -> unit
+(** [{ class { p1 p2 } }]. *)

@@ -1,0 +1,54 @@
+type key = { source : string; target : string; cls : string }
+
+type t = {
+  capacity : int;
+  table : (key, string list) Hashtbl.t;
+  mutable generation : int;
+  mutable table_generation : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable flushes : int;
+}
+
+let create ?(capacity = 512) () =
+  if capacity <= 0 then invalid_arg "Avc.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create 64;
+    generation = 0;
+    table_generation = 0;
+    hits = 0;
+    misses = 0;
+    flushes = 0;
+  }
+
+let flush t =
+  Hashtbl.reset t.table;
+  t.flushes <- t.flushes + 1
+
+let lookup t db ~source ~target ~cls =
+  if t.table_generation <> t.generation then begin
+    flush t;
+    t.table_generation <- t.generation
+  end;
+  let key = { source; target; cls } in
+  match Hashtbl.find_opt t.table key with
+  | Some av ->
+      t.hits <- t.hits + 1;
+      av
+  | None ->
+      t.misses <- t.misses + 1;
+      let av = Policy_db.compute_av db ~source ~target ~cls in
+      if Hashtbl.length t.table >= t.capacity then flush t;
+      Hashtbl.replace t.table key av;
+      av
+
+let invalidate t = t.generation <- t.generation + 1
+
+type stats = { hits : int; misses : int; flushes : int }
+
+let stats (t : t) = { hits = t.hits; misses = t.misses; flushes = t.flushes }
+
+let hit_rate (t : t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total

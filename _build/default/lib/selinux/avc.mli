@@ -1,0 +1,26 @@
+(** Access vector cache.
+
+    The security server's rule walk is slow; the AVC memoises the computed
+    permission vector per (source type, target type, class).  A policy
+    reload bumps the generation counter, logically invalidating every
+    cached entry at once. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 512) bounds retained entries; on overflow the cache
+    is reset (a simple, predictable policy). *)
+
+val lookup :
+  t -> Policy_db.t -> source:string -> target:string -> cls:string -> string list
+(** Cached {!Policy_db.compute_av}. *)
+
+val invalidate : t -> unit
+(** Call on policy reload. *)
+
+type stats = { hits : int; misses : int; flushes : int }
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** hits / (hits + misses); 0. before any lookup. *)

@@ -1,0 +1,24 @@
+type t = { user : string; role : string; type_ : string }
+
+let valid c = c <> "" && not (String.contains c ':')
+
+let make ~user ~role ~type_ =
+  if not (valid user && valid role && valid type_) then
+    invalid_arg "Context.make: components must be non-empty and colon-free";
+  { user; role; type_ }
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ user; role; type_ ] when valid user && valid role && valid type_ ->
+      Ok { user; role; type_ }
+  | _ -> Error (Printf.sprintf "malformed security context %S" s)
+
+let to_string t = Printf.sprintf "%s:%s:%s" t.user t.role t.type_
+
+let type_of t = t.type_
+
+let with_type t type_ = make ~user:t.user ~role:t.role ~type_
+
+let equal a b = a = b
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

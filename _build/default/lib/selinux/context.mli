@@ -1,0 +1,24 @@
+(** Security contexts, SELinux-style: [user:role:type].
+
+    Type enforcement only consults the type component; user and role are
+    carried for realism and auditability. *)
+
+type t = private { user : string; role : string; type_ : string }
+
+val make : user:string -> role:string -> type_:string -> t
+(** @raise Invalid_argument on empty components or components containing
+    [':']. *)
+
+val of_string : string -> (t, string) result
+(** Parse ["user:role:type"]. *)
+
+val to_string : t -> string
+
+val type_of : t -> string
+
+val with_type : t -> string -> t
+(** Domain transition: same user and role, new type. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

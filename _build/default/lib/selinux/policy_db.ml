@@ -1,0 +1,111 @@
+type t = {
+  classes : Access_vector.cls list;
+  types : string list;
+  attributes : (string * string list) list;
+  rules : Te_rule.t list;
+}
+
+let expand t name =
+  match List.assoc_opt name t.attributes with
+  | Some members -> members
+  | None -> [ name ]
+
+(* Does rule source/target name cover the concrete type? *)
+let covers t name concrete =
+  name = concrete || List.mem concrete (expand t name)
+
+let matching_allows t ~source ~target ~cls =
+  List.filter
+    (fun (r : Te_rule.t) ->
+      r.kind = Te_rule.Allow && r.cls = cls
+      && covers t r.source source
+      && (covers t r.target target || (r.target = "self" && source = target)))
+    t.rules
+
+let compute_av t ~source ~target ~cls =
+  matching_allows t ~source ~target ~cls
+  |> List.concat_map (fun (r : Te_rule.t) -> r.perms)
+  |> List.sort_uniq String.compare
+
+let allows t ~source ~target ~cls perm = List.mem perm (compute_av t ~source ~target ~cls)
+
+let check_neverallow t (r : Te_rule.t) =
+  let sources = expand t r.source in
+  let targets = if r.target = "self" then [] else expand t r.target in
+  let violations = ref [] in
+  List.iter
+    (fun source ->
+      let targets = if r.target = "self" then [ source ] else targets in
+      List.iter
+        (fun target ->
+          let granted = compute_av t ~source ~target ~cls:r.cls in
+          let bad = List.filter (fun p -> List.mem p granted) r.perms in
+          if bad <> [] then
+            violations :=
+              Printf.sprintf
+                "neverallow violated: %s -> %s : %s { %s } is granted" source
+                target r.cls (String.concat " " bad)
+              :: !violations)
+        targets)
+    sources;
+  List.rev !violations
+
+let build ?(classes = Access_vector.standard_classes) ~types
+    ?(attributes = []) ~rules () =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let sorted_types = List.sort_uniq String.compare types in
+  if List.length sorted_types <> List.length types then err "duplicate type declaration";
+  let attr_names = List.map fst attributes in
+  let sorted_attrs = List.sort_uniq String.compare attr_names in
+  if List.length sorted_attrs <> List.length attr_names then
+    err "duplicate attribute declaration";
+  List.iter
+    (fun (attr, members) ->
+      if List.mem attr types then err "attribute %S collides with a type" attr;
+      List.iter
+        (fun m ->
+          if not (List.mem m types) then
+            err "attribute %S lists unknown type %S" attr m)
+        members)
+    attributes;
+  let known name = List.mem name types || List.mem name attr_names in
+  let find_class name =
+    List.find_opt (fun (c : Access_vector.cls) -> c.name = name) classes
+  in
+  List.iter
+    (fun (r : Te_rule.t) ->
+      (match find_class r.cls with
+      | None -> err "rule references unknown class %S" r.cls
+      | Some c ->
+          List.iter
+            (fun p ->
+              if not (Access_vector.has_permission c p) then
+                err "class %S has no permission %S" r.cls p)
+            r.perms);
+      if not (known r.source) then err "rule references unknown source %S" r.source;
+      if r.target <> "self" && not (known r.target) then
+        err "rule references unknown target %S" r.target)
+    rules;
+  let db = { classes; types; attributes; rules } in
+  if !errors = [] then
+    List.iter
+      (fun (r : Te_rule.t) ->
+        if r.kind = Te_rule.Neverallow then
+          List.iter (fun v -> errors := v :: !errors) (check_neverallow db r))
+      rules;
+  match List.rev !errors with [] -> Ok db | es -> Error es
+
+let build_exn ?classes ~types ?attributes ~rules () =
+  match build ?classes ~types ?attributes ~rules () with
+  | Ok db -> db
+  | Error es -> invalid_arg ("Policy_db.build_exn: " ^ String.concat "; " es)
+
+let types t = t.types
+
+let attributes t = t.attributes
+
+let rule_count t = List.length t.rules
+
+let allow_rules t =
+  List.filter (fun (r : Te_rule.t) -> r.kind = Te_rule.Allow) t.rules

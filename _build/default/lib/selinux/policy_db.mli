@@ -1,0 +1,45 @@
+(** Compiled type-enforcement policy database.
+
+    Holds the declared types, attribute memberships, object classes and
+    rules.  [build] validates everything and checks the [neverallow]
+    assertions — a policy that violates one is refused outright, exactly as
+    the SELinux toolchain refuses to assemble such a policy. *)
+
+type t
+
+val build :
+  ?classes:Access_vector.cls list ->
+  types:string list ->
+  ?attributes:(string * string list) list ->
+  rules:Te_rule.t list ->
+  unit ->
+  (t, string list) result
+(** [classes] defaults to {!Access_vector.standard_classes}.
+    [attributes] maps attribute name -> member types.  Errors include:
+    duplicate/unknown types, unknown classes or permissions in rules,
+    unknown source/target names, and neverallow violations. *)
+
+val build_exn :
+  ?classes:Access_vector.cls list ->
+  types:string list ->
+  ?attributes:(string * string list) list ->
+  rules:Te_rule.t list ->
+  unit ->
+  t
+
+val types : t -> string list
+
+val attributes : t -> (string * string list) list
+
+val expand : t -> string -> string list
+(** An attribute expands to its member types; a type expands to itself. *)
+
+val compute_av : t -> source:string -> target:string -> cls:string -> string list
+(** Permissions granted by the union of matching allow rules, with
+    attribute expansion and [self] resolution. *)
+
+val allows : t -> source:string -> target:string -> cls:string -> string -> bool
+
+val rule_count : t -> int
+
+val allow_rules : t -> Te_rule.t list

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  version : int;
+  types : string list;
+  attributes : (string * string list) list;
+  rules : Te_rule.t list;
+}
+
+let make ~name ?(version = 1) ?(types = []) ?(attributes = []) ~rules () =
+  if name = "" then invalid_arg "Policy_module.make: empty name";
+  { name; version; types; attributes; rules }
+
+type store = { base : string; mutable loaded : t list; mutable db : Policy_db.t }
+
+(* Merge attribute declarations: same attribute declared by several modules
+   unions its members. *)
+let merge_attributes mods =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (attr, members) ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt tbl attr) in
+          Hashtbl.replace tbl attr (List.sort_uniq String.compare (existing @ members)))
+        m.attributes)
+    mods;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let link mods =
+  let types =
+    List.sort_uniq String.compare (List.concat_map (fun m -> m.types) mods)
+  in
+  let rules = List.concat_map (fun m -> m.rules) mods in
+  Policy_db.build ~types ~attributes:(merge_attributes mods) ~rules ()
+
+let store ~base =
+  match link [ base ] with
+  | Error _ as e -> e
+  | Ok db -> Ok { base = base.name; loaded = [ base ]; db }
+
+let load st m =
+  let replaced = List.find_opt (fun x -> x.name = m.name) st.loaded in
+  (match replaced with
+  | Some old when m.version <= old.version ->
+      Error
+        [
+          Printf.sprintf "module %s v%d is not newer than loaded v%d" m.name
+            m.version old.version;
+        ]
+  | Some _ | None ->
+      let candidate =
+        List.map (fun x -> if x.name = m.name then m else x) st.loaded
+        @ if replaced = None then [ m ] else []
+      in
+      match link candidate with
+      | Error _ as e -> e
+      | Ok db ->
+          st.loaded <- candidate;
+          st.db <- db;
+          Ok db)
+
+let unload st name =
+  if name = st.base then Error [ "cannot unload the base module" ]
+  else if not (List.exists (fun m -> m.name = name) st.loaded) then
+    Error [ Printf.sprintf "module %s is not loaded" name ]
+  else
+    let candidate = List.filter (fun m -> m.name <> name) st.loaded in
+    match link candidate with
+    | Error _ as e -> e
+    | Ok db ->
+        st.loaded <- candidate;
+        st.db <- db;
+        Ok db
+
+let modules st = st.loaded
+
+let db st = st.db

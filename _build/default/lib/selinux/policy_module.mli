@@ -1,0 +1,42 @@
+(** Loadable policy modules, mirroring SELinux's modular policy store.
+
+    A device ships with a base module; countermeasure updates arrive as
+    additional modules that are loaded into the store and linked into a
+    fresh {!Policy_db.t}.  Linking re-runs full validation, including
+    [neverallow] assertions across module boundaries — a malicious or
+    broken update is rejected as a unit. *)
+
+type t = {
+  name : string;
+  version : int;
+  types : string list;
+  attributes : (string * string list) list;
+  rules : Te_rule.t list;
+}
+
+val make :
+  name:string ->
+  ?version:int ->
+  ?types:string list ->
+  ?attributes:(string * string list) list ->
+  rules:Te_rule.t list ->
+  unit ->
+  t
+
+type store
+
+val store : base:t -> (store, string list) result
+(** A store always contains a base module. *)
+
+val load : store -> t -> (Policy_db.t, string list) result
+(** Insert or upgrade a module (same name, higher version) and relink.  On
+    failure the store is unchanged. *)
+
+val unload : store -> string -> (Policy_db.t, string list) result
+(** Remove a non-base module and relink. *)
+
+val modules : store -> t list
+(** Currently loaded, base first. *)
+
+val db : store -> Policy_db.t
+(** The currently linked database. *)

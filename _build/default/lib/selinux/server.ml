@@ -1,0 +1,84 @@
+type denial = {
+  seq : int;
+  source : Context.t;
+  target : Context.t;
+  cls : string;
+  perm : string;
+  granted : bool;
+}
+
+type t = {
+  mutable db : Policy_db.t;
+  mutable enforcing : bool;
+  avc : Avc.t option;
+  mutable log : denial list; (* newest first *)
+  mutable seq : int;
+}
+
+let create ?(enforcing = true) ?(avc = true) db =
+  {
+    db;
+    enforcing;
+    avc = (if avc then Some (Avc.create ()) else None);
+    log = [];
+    seq = 0;
+  }
+
+let enforcing t = t.enforcing
+
+let set_enforcing t v = t.enforcing <- v
+
+let db t = t.db
+
+let reload t db =
+  t.db <- db;
+  Option.iter Avc.invalidate t.avc
+
+let compute_av t ~source ~target ~cls =
+  match t.avc with
+  | Some avc -> Avc.lookup avc t.db ~source ~target ~cls
+  | None -> Policy_db.compute_av t.db ~source ~target ~cls
+
+let record t ~source ~target ~cls ~perm ~granted =
+  let entry = { seq = t.seq; source; target; cls; perm; granted } in
+  t.seq <- t.seq + 1;
+  t.log <- entry :: t.log
+
+let check t ~source ~target ~cls perm =
+  let av =
+    compute_av t ~source:(Context.type_of source) ~target:(Context.type_of target)
+      ~cls
+  in
+  let allowed = List.mem perm av in
+  if not allowed then record t ~source ~target ~cls ~perm ~granted:false;
+  allowed || not t.enforcing
+
+let check_all t ~source ~target ~cls perms =
+  (* evaluate every permission so each denial is audited *)
+  let results = List.map (fun p -> check t ~source ~target ~cls p) perms in
+  List.for_all Fun.id results
+
+let transition t ~source ~target ~new_type =
+  let can_transition =
+    check t ~source
+      ~target:(Context.with_type target new_type)
+      ~cls:"process" "transition"
+  in
+  let can_execute = check t ~source ~target ~cls:"file" "execute" in
+  if can_transition && can_execute then Ok (Context.with_type source new_type)
+  else
+    Error
+      (Printf.sprintf "domain transition %s -> %s denied"
+         (Context.type_of source) new_type)
+
+let audit_log t = List.rev t.log
+
+let denial_count t =
+  List.length (List.filter (fun d -> not d.granted) t.log)
+
+let avc_hit_rate t = match t.avc with Some avc -> Avc.hit_rate avc | None -> 0.0
+
+let pp_denial ppf d =
+  Format.fprintf ppf "avc: %s { %s } scontext=%s tcontext=%s tclass=%s"
+    (if d.granted then "granted" else "denied")
+    d.perm (Context.to_string d.source) (Context.to_string d.target) d.cls

@@ -1,0 +1,56 @@
+(** The security server: SELinux-style policy decision point.
+
+    Subjects and objects carry {!Context.t}s; the server checks the subject
+    type's access vector onto the object type and audits denials (and
+    [auditallow]ed grants).  In permissive mode everything is allowed but
+    denials are still audited — the standard way to trial a policy. *)
+
+type denial = {
+  seq : int;
+  source : Context.t;
+  target : Context.t;
+  cls : string;
+  perm : string;
+  granted : bool;  (** true for auditallow records *)
+}
+
+type t
+
+val create : ?enforcing:bool -> ?avc:bool -> Policy_db.t -> t
+(** [enforcing] defaults to [true]; [avc] (default [true]) toggles the
+    cache — the off position exists for the AVC ablation bench. *)
+
+val enforcing : t -> bool
+
+val set_enforcing : t -> bool -> unit
+
+val db : t -> Policy_db.t
+
+val reload : t -> Policy_db.t -> unit
+(** Swap the policy database (e.g. after a module load) and invalidate the
+    AVC. *)
+
+val check : t -> source:Context.t -> target:Context.t -> cls:string -> string -> bool
+(** One permission.  In permissive mode, always [true] (denials are still
+    recorded). *)
+
+val check_all :
+  t -> source:Context.t -> target:Context.t -> cls:string -> string list -> bool
+(** All the listed permissions. *)
+
+val transition :
+  t -> source:Context.t -> target:Context.t -> new_type:string -> (Context.t, string) result
+(** Domain transition: requires [process transition] from the source's type
+    to [new_type].  [target] is the entrypoint object, which must allow
+    [file execute]. *)
+
+val audit_log : t -> denial list
+(** Chronological. *)
+
+val denial_count : t -> int
+
+val avc_hit_rate : t -> float
+
+val pp_denial : Format.formatter -> denial -> unit
+(** AVC-log style:
+    [avc: denied { write } scontext=u:r:t tcontext=u:r:t tclass=file]. *)

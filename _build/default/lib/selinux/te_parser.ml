@@ -1,0 +1,236 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | COLON
+  | SEMI
+  | EOF
+
+exception Error of string * int (* message, line *)
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | EOF -> "end of input"
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let rec loop i acc =
+    if i >= n then List.rev ((EOF, !line) :: acc)
+    else
+      match input.[i] with
+      | '\n' ->
+          incr line;
+          loop (i + 1) acc
+      | ' ' | '\t' | '\r' -> loop (i + 1) acc
+      | '#' ->
+          let rec eol j = if j < n && input.[j] <> '\n' then eol (j + 1) else j in
+          loop (eol i) acc
+      | '{' -> loop (i + 1) ((LBRACE, !line) :: acc)
+      | '}' -> loop (i + 1) ((RBRACE, !line) :: acc)
+      | ':' -> loop (i + 1) ((COLON, !line) :: acc)
+      | ';' -> loop (i + 1) ((SEMI, !line) :: acc)
+      | '0' .. '9' ->
+          let rec num j = if j < n && input.[j] >= '0' && input.[j] <= '9' then num (j + 1) else j in
+          let stop = num i in
+          loop stop ((INT (int_of_string (String.sub input i (stop - i))), !line) :: acc)
+      | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+          let is_ident c =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '_'
+          in
+          let rec word j = if j < n && is_ident input.[j] then word (j + 1) else j in
+          let stop = word i in
+          loop stop ((IDENT (String.sub input i (stop - i)), !line) :: acc)
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, !line))
+  in
+  loop 0 []
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st = match st.tokens with [] -> (EOF, 0) | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail st msg =
+  let _, line = peek st in
+  raise (Error (msg, line))
+
+let expect st tok =
+  let got, line = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Error
+         ( Printf.sprintf "expected %s but found %s" (token_name tok)
+             (token_name got),
+           line ))
+
+let ident st =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      s
+  | got, line ->
+      raise
+        (Error
+           (Printf.sprintf "expected identifier, found %s" (token_name got), line))
+
+let perms st =
+  match peek st with
+  | LBRACE, _ ->
+      advance st;
+      let rec loop acc =
+        match peek st with
+        | RBRACE, _ ->
+            advance st;
+            List.rev acc
+        | IDENT _, _ -> loop (ident st :: acc)
+        | got, line ->
+            raise
+              (Error
+                 ( Printf.sprintf "expected permission or '}', found %s"
+                     (token_name got),
+                   line ))
+      in
+      let ps = loop [] in
+      if ps = [] then fail st "empty permission set";
+      ps
+  | IDENT _, _ -> [ ident st ]
+  | got, line ->
+      raise
+        (Error
+           ( Printf.sprintf "expected permission(s), found %s" (token_name got),
+             line ))
+
+let rule_kind = function
+  | "allow" -> Some Te_rule.allow
+  | "neverallow" -> Some Te_rule.neverallow
+  | "auditallow" -> Some Te_rule.auditallow
+  | "dontaudit" -> Some Te_rule.dontaudit
+  | _ -> None
+
+let parse_module st =
+  (match ident st with
+  | "module" -> ()
+  | other -> fail st (Printf.sprintf "expected 'module', found %S" other));
+  let name = ident st in
+  let version =
+    match peek st with
+    | INT v, _ ->
+        advance st;
+        v
+    | got, line ->
+        raise
+          (Error
+             ( Printf.sprintf "expected module version, found %s" (token_name got),
+               line ))
+  in
+  expect st SEMI;
+  let types = ref [] in
+  let attributes = ref [] in
+  let memberships = ref [] in
+  let rules = ref [] in
+  let rec decls () =
+    match peek st with
+    | EOF, _ -> ()
+    | IDENT "type", _ ->
+        advance st;
+        types := ident st :: !types;
+        expect st SEMI;
+        decls ()
+    | IDENT "attribute", _ ->
+        advance st;
+        attributes := ident st :: !attributes;
+        expect st SEMI;
+        decls ()
+    | IDENT "typeattribute", _ ->
+        advance st;
+        let type_ = ident st in
+        let attr = ident st in
+        memberships := (attr, type_) :: !memberships;
+        expect st SEMI;
+        decls ()
+    | IDENT word, _ when rule_kind word <> None ->
+        advance st;
+        let make = Option.get (rule_kind word) in
+        let source = ident st in
+        let target = ident st in
+        expect st COLON;
+        let cls = ident st in
+        let ps = perms st in
+        expect st SEMI;
+        rules := make ~source ~target ~cls ps :: !rules;
+        decls ()
+    | got, line ->
+        raise
+          (Error
+             ( Printf.sprintf
+                 "expected a declaration (type/attribute/typeattribute/allow/...), \
+                  found %s"
+                 (token_name got),
+               line ))
+  in
+  decls ();
+  let attributes =
+    List.map
+      (fun attr ->
+        ( attr,
+          !memberships
+          |> List.filter_map (fun (a, t) -> if a = attr then Some t else None)
+          |> List.sort_uniq String.compare ))
+      (List.sort_uniq String.compare !attributes)
+  in
+  (* memberships naming undeclared attributes are an error *)
+  List.iter
+    (fun (attr, _) ->
+      if not (List.mem_assoc attr attributes) then
+        raise (Error (Printf.sprintf "typeattribute names undeclared attribute %S" attr, 0)))
+    !memberships;
+  Policy_module.make ~name ~version
+    ~types:(List.rev !types)
+    ~attributes
+    ~rules:(List.rev !rules)
+    ()
+
+let parse input =
+  match
+    let st = { tokens = tokenize input } in
+    let m = parse_module st in
+    expect st EOF;
+    m
+  with
+  | m -> Ok m
+  | exception Error (msg, line) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn input =
+  match parse input with Ok m -> m | Error e -> failwith e
+
+let print (m : Policy_module.t) =
+  let b = Buffer.create 512 in
+  Printf.bprintf b "module %s %d;\n\n" m.Policy_module.name m.Policy_module.version;
+  List.iter (Printf.bprintf b "type %s;\n") m.Policy_module.types;
+  List.iter
+    (fun (attr, _) -> Printf.bprintf b "attribute %s;\n" attr)
+    m.Policy_module.attributes;
+  List.iter
+    (fun (attr, members) ->
+      List.iter
+        (fun member -> Printf.bprintf b "typeattribute %s %s;\n" member attr)
+        members)
+    m.Policy_module.attributes;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (r : Te_rule.t) ->
+      Printf.bprintf b "%s %s %s : %s { %s };\n"
+        (Te_rule.kind_name r.kind)
+        r.source r.target r.cls
+        (String.concat " " r.perms))
+    m.Policy_module.rules;
+  Buffer.contents b

@@ -1,0 +1,27 @@
+(** Parser for a textual policy-module language modelled on SELinux's
+    kernel policy syntax — the form a software-side policy update is
+    shipped in.
+
+    {v
+    module base 2;
+
+    type media_t;
+    type installer_exec_t;
+    attribute app_domain;
+    typeattribute media_t app_domain;
+
+    allow media_t installer_exec_t : file { read execute };
+    neverallow app_domain can0_t : can_socket write;
+    v}
+
+    Comments run from [#] to end of line.  A single permission may be
+    written without braces. *)
+
+val parse : string -> (Policy_module.t, string) result
+(** Parse one module.  Errors render as ["line L: message"]. *)
+
+val parse_exn : string -> Policy_module.t
+
+val print : Policy_module.t -> string
+(** Render a module back to source; [parse (print m)] reproduces [m] up to
+    rule order normalisation (exercised by tests). *)

@@ -1,0 +1,34 @@
+type kind = Allow | Neverallow | Auditallow | Dontaudit
+
+type t = {
+  kind : kind;
+  source : string;
+  target : string;
+  cls : string;
+  perms : string list;
+}
+
+let rule kind ~source ~target ~cls perms =
+  if source = "" || target = "" || cls = "" then
+    invalid_arg "Te_rule: empty component";
+  if perms = [] then invalid_arg "Te_rule: empty permission set";
+  { kind; source; target; cls; perms = List.sort_uniq String.compare perms }
+
+let allow = rule Allow
+
+let neverallow = rule Neverallow
+
+let auditallow = rule Auditallow
+
+let dontaudit = rule Dontaudit
+
+let kind_name = function
+  | Allow -> "allow"
+  | Neverallow -> "neverallow"
+  | Auditallow -> "auditallow"
+  | Dontaudit -> "dontaudit"
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s %s : %s { %s };" (kind_name t.kind) t.source t.target
+    t.cls
+    (String.concat " " t.perms)

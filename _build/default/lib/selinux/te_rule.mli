@@ -1,0 +1,29 @@
+(** Type-enforcement rules.
+
+    [allow source target : class { perms }] grants; [neverallow] is a
+    build-time assertion that no allow rule (after attribute expansion)
+    grants the listed permissions.  Sources and targets name either a type
+    or an attribute (a named set of types). *)
+
+type kind = Allow | Neverallow | Auditallow | Dontaudit
+
+type t = {
+  kind : kind;
+  source : string;  (** type or attribute *)
+  target : string;  (** type, attribute, or ["self"] *)
+  cls : string;
+  perms : string list;
+}
+
+val allow : source:string -> target:string -> cls:string -> string list -> t
+
+val neverallow : source:string -> target:string -> cls:string -> string list -> t
+
+val auditallow : source:string -> target:string -> cls:string -> string list -> t
+
+val dontaudit : source:string -> target:string -> cls:string -> string list -> t
+
+val kind_name : kind -> string
+
+val pp : Format.formatter -> t -> unit
+(** SELinux surface syntax: [allow s t : c { p1 p2 };]. *)

@@ -1,0 +1,54 @@
+type t = {
+  mutable now : float;
+  queue : (t -> unit) Event_queue.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42L) () =
+  { now = 0.0; queue = Event_queue.create (); root_rng = Rng.create seed }
+
+let now t = t.now
+
+let rng t = t.root_rng
+
+let schedule t ~at f =
+  if at < t.now then invalid_arg "Engine.schedule: time in the past";
+  Event_queue.add t.queue ~time:at f
+
+let schedule_in t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_in: negative delay";
+  schedule t ~at:(t.now +. delay) f
+
+let every t ~period ?until f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let within at = match until with None -> true | Some u -> at < u in
+  let rec tick at sim =
+    f sim;
+    let next = at +. period in
+    if within next then schedule sim ~at:next (tick next)
+  in
+  let first = t.now +. period in
+  if within first then schedule t ~at:first (tick first)
+
+let pending t = Event_queue.length t.queue
+
+let run_next t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.now <- time;
+      f t;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon ->
+        ignore (run_next t);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if horizon > t.now then t.now <- horizon
+
+let stop t = Event_queue.clear t.queue

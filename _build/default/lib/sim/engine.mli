@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    A simulation is a clock plus an event queue of callbacks.  Components
+    schedule work at absolute or relative times; [run_until] fires events in
+    timestamp order, advancing the clock.  Within one timestamp events fire
+    in scheduling order, so runs are deterministic. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh simulation at time 0.  [seed] (default [42L]) feeds the root RNG
+    from which component streams are split. *)
+
+val now : t -> float
+(** Current simulation time (seconds, by convention). *)
+
+val rng : t -> Rng.t
+(** The root random stream.  Components should [Rng.split] their own. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** [schedule sim ~at f] runs [f sim] at absolute time [at].
+    @raise Invalid_argument if [at] is earlier than [now sim]. *)
+
+val schedule_in : t -> delay:float -> (t -> unit) -> unit
+(** [schedule_in sim ~delay f] runs [f] at [now sim +. delay].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val every : t -> period:float -> ?until:float -> (t -> unit) -> unit
+(** [every sim ~period f] runs [f] now + period, then every [period], until
+    the optional [until] bound (exclusive) or the end of the run.
+    @raise Invalid_argument if [period <= 0.]. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run_until : t -> float -> unit
+(** Fire every event scheduled strictly before or at the given horizon,
+    leaving the clock at the horizon. *)
+
+val run_next : t -> bool
+(** Fire the single earliest event; [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Discard all pending events; periodic tasks cease. *)

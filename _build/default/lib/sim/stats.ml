@@ -1,0 +1,96 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable total : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable samples : float list;
+  mutable sorted : float array option; (* cache invalidated by add *)
+}
+
+let create () =
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    total = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    samples = [];
+    sorted = None;
+  }
+
+let add t x =
+  t.count <- t.count + 1;
+  t.total <- t.total +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x;
+  t.samples <- x :: t.samples;
+  t.sorted <- None
+
+let count t = t.count
+
+let total t = t.total
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let variance t = if t.count < 2 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+let stddev t = sqrt (variance t)
+
+let min t =
+  if t.count = 0 then invalid_arg "Stats.min: empty sample";
+  t.min_v
+
+let max t =
+  if t.count = 0 then invalid_arg "Stats.max: empty sample";
+  t.max_v
+
+let sorted t =
+  match t.sorted with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted <- Some a;
+      a
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Stats.percentile: empty sample";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let a = sorted t in
+  let n = Array.length a in
+  (* nearest-rank: smallest index whose rank covers p percent *)
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)) in
+  a.(idx)
+
+let median t = percentile t 50.0
+
+let pp_summary ppf t =
+  if t.count = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p99=%.3f max=%.3f"
+      t.count (mean t) (stddev t) t.min_v (median t) (percentile t 99.0) t.max_v
+
+module Counter = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add t name n =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t name) in
+    Hashtbl.replace t name (cur + n)
+
+  let incr t name = add t name 1
+
+  let get t name = Option.value ~default:0 (Hashtbl.find_opt t name)
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end

@@ -1,0 +1,49 @@
+(** Online statistics for simulation measurements. *)
+
+type t
+(** A running univariate sample: count, mean, variance (Welford), extrema,
+    and the raw observations for exact quantiles. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+
+val total : t -> float
+
+val mean : t -> float
+(** 0. on an empty sample. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0. for fewer than two observations. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument on an empty sample. *)
+
+val max : t -> float
+(** @raise Invalid_argument on an empty sample. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in \[0,100\], nearest-rank method.
+    @raise Invalid_argument on an empty sample or out-of-range [p]. *)
+
+val median : t -> float
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line [n/mean/sd/min/p50/p99/max] summary. *)
+
+(** Named counters, e.g. per-event-kind tallies. *)
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> string -> unit
+  val add : t -> string -> int -> unit
+  val get : t -> string -> int
+  val to_list : t -> (string * int) list
+  (** Sorted by name. *)
+end

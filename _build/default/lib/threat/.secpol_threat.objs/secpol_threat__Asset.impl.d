@@ -1,0 +1,1 @@
+lib/threat/asset.ml: Format Printf String

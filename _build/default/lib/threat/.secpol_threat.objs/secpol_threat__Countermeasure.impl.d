@@ -1,0 +1,1 @@
+lib/threat/countermeasure.ml: Format List

@@ -1,0 +1,1 @@
+lib/threat/countermeasure.mli: Format

@@ -1,0 +1,1 @@
+lib/threat/dread.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/threat/dread.mli: Format

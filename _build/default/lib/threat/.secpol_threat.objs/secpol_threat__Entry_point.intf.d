@@ -1,0 +1,1 @@
+lib/threat/entry_point.mli: Format

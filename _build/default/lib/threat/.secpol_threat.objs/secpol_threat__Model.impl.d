@@ -1,0 +1,1 @@
+lib/threat/model.ml: Asset Countermeasure Entry_point Format Hashtbl List Printf Risk String Threat

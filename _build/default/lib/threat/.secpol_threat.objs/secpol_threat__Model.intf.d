@@ -1,0 +1,1 @@
+lib/threat/model.mli: Asset Countermeasure Entry_point Format Threat

@@ -1,0 +1,1 @@
+lib/threat/model_format.ml: Asset Buffer Dread Entry_point List Model Printf Stride String Threat

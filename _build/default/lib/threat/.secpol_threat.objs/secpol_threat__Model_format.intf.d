@@ -1,0 +1,1 @@
+lib/threat/model_format.mli: Model

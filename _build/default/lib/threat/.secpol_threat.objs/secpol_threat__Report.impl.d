@@ -1,0 +1,1 @@
+lib/threat/report.ml: Asset Buffer Countermeasure Dread Entry_point Format List Model Printf Risk Stride String Threat

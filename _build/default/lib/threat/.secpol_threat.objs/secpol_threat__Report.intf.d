@@ -1,0 +1,1 @@
+lib/threat/report.mli: Model

@@ -1,0 +1,1 @@
+lib/threat/risk.ml: Dread Format List Threat

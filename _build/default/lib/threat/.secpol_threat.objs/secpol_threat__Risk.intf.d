@@ -1,0 +1,1 @@
+lib/threat/risk.mli: Dread Format Threat

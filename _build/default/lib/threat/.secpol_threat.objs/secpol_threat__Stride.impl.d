@@ -1,0 +1,1 @@
+lib/threat/stride.ml: Format List Printf String

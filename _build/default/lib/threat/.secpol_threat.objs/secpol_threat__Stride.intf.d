@@ -1,0 +1,1 @@
+lib/threat/stride.mli: Format

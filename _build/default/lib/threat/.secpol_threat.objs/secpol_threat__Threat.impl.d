@@ -1,0 +1,1 @@
+lib/threat/threat.ml: Dread Format List Stride String

@@ -1,0 +1,1 @@
+lib/threat/threat.mli: Dread Format Stride

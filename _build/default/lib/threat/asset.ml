@@ -1,0 +1,40 @@
+type criticality = Safety_critical | Operational | Privacy | Convenience
+
+type t = {
+  id : string;
+  name : string;
+  description : string;
+  criticality : criticality;
+}
+
+let valid_id id =
+  id <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       id
+
+let make ~id ~name ?(description = "") criticality =
+  if not (valid_id id) then
+    invalid_arg (Printf.sprintf "Asset.make: invalid id %S" id);
+  { id; name; description; criticality }
+
+let criticality_name = function
+  | Safety_critical -> "safety-critical"
+  | Operational -> "operational"
+  | Privacy -> "privacy"
+  | Convenience -> "convenience"
+
+let criticality_rank = function
+  | Safety_critical -> 3
+  | Operational -> 2
+  | Privacy -> 1
+  | Convenience -> 0
+
+let compare_by_criticality a b =
+  match compare (criticality_rank b.criticality) (criticality_rank a.criticality) with
+  | 0 -> String.compare a.id b.id
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%s] (%s)" t.name t.id (criticality_name t.criticality)

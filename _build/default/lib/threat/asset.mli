@@ -1,0 +1,28 @@
+(** Assets: items of value that the threat model protects. *)
+
+type criticality =
+  | Safety_critical  (** failure endangers life (EV-ECU, EPS, airbags) *)
+  | Operational  (** failure degrades core function (engine, telematics) *)
+  | Privacy  (** compromise leaks user data (GPS traces, call logs) *)
+  | Convenience  (** comfort features (infotainment UI) *)
+
+type t = {
+  id : string;  (** unique machine name, e.g. ["ev_ecu"] *)
+  name : string;  (** display name, e.g. ["EV-ECU"] *)
+  description : string;
+  criticality : criticality;
+}
+
+val make :
+  id:string -> name:string -> ?description:string -> criticality -> t
+(** @raise Invalid_argument if [id] is empty or contains whitespace. *)
+
+val criticality_name : criticality -> string
+
+val criticality_rank : criticality -> int
+(** Higher is more critical: Convenience 0 .. Safety_critical 3. *)
+
+val compare_by_criticality : t -> t -> int
+(** Most critical first; ties broken by id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type kind = Guideline of string list | Policy of string
+
+type enforcement = Software_enforced | Hardware_enforced | Procedural
+
+type t = {
+  threat_id : string;
+  kind : kind;
+  enforcement : enforcement;
+  description : string;
+}
+
+let guideline ~threat_id ?(description = "") recommendations =
+  if recommendations = [] then
+    invalid_arg "Countermeasure.guideline: empty recommendation list";
+  { threat_id; kind = Guideline recommendations; enforcement = Procedural; description }
+
+let policy ~threat_id ?(description = "") ~enforcement source =
+  { threat_id; kind = Policy source; enforcement; description }
+
+let is_policy t = match t.kind with Policy _ -> true | Guideline _ -> false
+
+let updatable_post_deployment = is_policy
+
+let enforcement_name = function
+  | Software_enforced -> "software"
+  | Hardware_enforced -> "hardware"
+  | Procedural -> "procedural"
+
+let pp ppf t =
+  match t.kind with
+  | Guideline gs ->
+      Format.fprintf ppf "guideline for %s (%d recommendations)" t.threat_id
+        (List.length gs)
+  | Policy _ ->
+      Format.fprintf ppf "policy for %s (%s-enforced)" t.threat_id
+        (enforcement_name t.enforcement)

@@ -1,0 +1,41 @@
+(** Countermeasures: the output of the "determine countermeasure" stage.
+
+    The paper contrasts two kinds: traditional design-time *guidelines*
+    (prose that developers must implement, possibly requiring redesign) and
+    machine-enforceable *policies* (deployable as an update). *)
+
+type kind =
+  | Guideline of string list
+      (** design-time guidance, one recommendation per entry *)
+  | Policy of string
+      (** source text of an enforceable policy, in the DSL of
+          [Secpol_policy] *)
+
+type enforcement = Software_enforced | Hardware_enforced | Procedural
+
+type t = {
+  threat_id : string;  (** the {!Threat.t} this counters *)
+  kind : kind;
+  enforcement : enforcement;
+  description : string;
+}
+
+val guideline :
+  threat_id:string -> ?description:string -> string list -> t
+(** A procedural guideline countermeasure.
+    @raise Invalid_argument on an empty recommendation list. *)
+
+val policy :
+  threat_id:string ->
+  ?description:string ->
+  enforcement:enforcement ->
+  string ->
+  t
+(** A policy countermeasure carrying DSL source text. *)
+
+val is_policy : t -> bool
+
+val updatable_post_deployment : t -> bool
+(** Policies can be shipped as updates; guidelines require redesign. *)
+
+val pp : Format.formatter -> t -> unit

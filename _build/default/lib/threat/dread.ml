@@ -1,0 +1,89 @@
+type t = {
+  damage : int;
+  reproducibility : int;
+  exploitability : int;
+  affected_users : int;
+  discoverability : int;
+}
+
+let component_names =
+  [ "damage"; "reproducibility"; "exploitability"; "affected_users"; "discoverability" ]
+
+let make ~damage ~reproducibility ~exploitability ~affected_users ~discoverability =
+  let components =
+    [ damage; reproducibility; exploitability; affected_users; discoverability ]
+  in
+  let bad =
+    List.find_opt (fun (_, v) -> v < 0 || v > 10)
+      (List.combine component_names components)
+  in
+  match bad with
+  | Some (name, v) ->
+      Error (Printf.sprintf "DREAD %s out of range: %d (expected 0..10)" name v)
+  | None ->
+      Ok { damage; reproducibility; exploitability; affected_users; discoverability }
+
+let make_exn ~damage ~reproducibility ~exploitability ~affected_users ~discoverability =
+  match make ~damage ~reproducibility ~exploitability ~affected_users ~discoverability with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Dread.make_exn: " ^ msg)
+
+let of_list = function
+  | [ d; r; e; a; di ] ->
+      make ~damage:d ~reproducibility:r ~exploitability:e ~affected_users:a
+        ~discoverability:di
+  | l -> Error (Printf.sprintf "DREAD needs 5 components, got %d" (List.length l))
+
+let to_list t =
+  [ t.damage; t.reproducibility; t.exploitability; t.affected_users; t.discoverability ]
+
+let average t = float_of_int (List.fold_left ( + ) 0 (to_list t)) /. 5.0
+
+type rating = Low | Medium | High | Critical
+
+let rating t =
+  let avg = average t in
+  if avg < 3.0 then Low
+  else if avg < 5.0 then Medium
+  else if avg < 7.0 then High
+  else Critical
+
+let rating_name = function
+  | Low -> "Low"
+  | Medium -> "Medium"
+  | High -> "High"
+  | Critical -> "Critical"
+
+let compare_by_risk a b =
+  match compare (average b) (average a) with
+  | 0 -> compare b.damage a.damage
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%d,%d,%d,%d,%d (%.1f)" t.damage t.reproducibility
+    t.exploitability t.affected_users t.discoverability (average t)
+
+let of_string s =
+  (* accept "8,5,4,6,4" or "8,5,4,6,4 (5.4)" *)
+  let s =
+    match String.index_opt s '(' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let parse_int p =
+    match int_of_string_opt p with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "bad DREAD component %S" p)
+  in
+  let rec parse_all = function
+    | [] -> Ok []
+    | p :: rest -> (
+        match parse_int p with
+        | Error _ as e -> e
+        | Ok v -> ( match parse_all rest with Error _ as e -> e | Ok vs -> Ok (v :: vs)))
+  in
+  match parse_all parts with Error _ as e -> e | Ok vs -> of_list vs

@@ -1,0 +1,58 @@
+(** DREAD risk scoring (used by the paper's Table I).
+
+    Five components — Damage, Reproducibility, Exploitability, Affected
+    users, Discoverability — each scored 0..10; the threat's risk is their
+    arithmetic mean.  Table I prints rows such as [8,5,4,6,4 (5.4)]. *)
+
+type t = private {
+  damage : int;
+  reproducibility : int;
+  exploitability : int;
+  affected_users : int;
+  discoverability : int;
+}
+
+val make :
+  damage:int ->
+  reproducibility:int ->
+  exploitability:int ->
+  affected_users:int ->
+  discoverability:int ->
+  (t, string) result
+(** Validates every component to 0..10. *)
+
+val make_exn :
+  damage:int ->
+  reproducibility:int ->
+  exploitability:int ->
+  affected_users:int ->
+  discoverability:int ->
+  t
+(** @raise Invalid_argument on an out-of-range component. *)
+
+val of_list : int list -> (t, string) result
+(** From the five components in D,R,E,A,D order. *)
+
+val to_list : t -> int list
+
+val average : t -> float
+(** Arithmetic mean of the five components. *)
+
+type rating = Low | Medium | High | Critical
+
+val rating : t -> rating
+(** Bands over the average: Low < 3.0 <= Medium < 5.0 <= High < 7.0 <=
+    Critical.  Table I's rows land in Medium (4.4) through High (6.8). *)
+
+val rating_name : rating -> string
+
+val compare_by_risk : t -> t -> int
+(** Descending by average, then by damage — the prioritisation order used
+    when ranking threats. *)
+
+val pp : Format.formatter -> t -> unit
+(** Table-I style: [8,5,4,6,4 (5.4)]. *)
+
+val of_string : string -> (t, string) result
+(** Parse the Table-I style rendering, with or without the parenthesised
+    average (the average is recomputed, never trusted). *)

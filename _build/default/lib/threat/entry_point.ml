@@ -1,0 +1,30 @@
+type interface = Bus | Wireless | Physical | Network | Ui
+
+type t = {
+  id : string;
+  name : string;
+  interface : interface;
+  description : string;
+}
+
+let valid_id id =
+  id <> ""
+  && String.for_all
+       (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       id
+
+let make ~id ~name ?(description = "") interface =
+  if not (valid_id id) then
+    invalid_arg (Printf.sprintf "Entry_point.make: invalid id %S" id);
+  { id; name; interface; description }
+
+let interface_name = function
+  | Bus -> "bus"
+  | Wireless -> "wireless"
+  | Physical -> "physical"
+  | Network -> "network"
+  | Ui -> "ui"
+
+let remote t = match t.interface with Wireless | Network -> true | Bus | Physical | Ui -> false
+
+let pp ppf t = Format.fprintf ppf "%s [%s/%s]" t.name t.id (interface_name t.interface)

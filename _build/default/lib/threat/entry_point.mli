@@ -1,0 +1,25 @@
+(** Entry points: interfaces through which an attacker can reach an asset. *)
+
+type interface =
+  | Bus  (** internal interconnect, e.g. CAN *)
+  | Wireless  (** 3G/4G/WiFi/BT radio links *)
+  | Physical  (** connectors, debug ports, manual controls *)
+  | Network  (** IP-reachable services *)
+  | Ui  (** on-device user interfaces, e.g. media display *)
+
+type t = {
+  id : string;
+  name : string;
+  interface : interface;
+  description : string;
+}
+
+val make : id:string -> name:string -> ?description:string -> interface -> t
+(** @raise Invalid_argument on an invalid id (same rules as {!Asset.make}). *)
+
+val interface_name : interface -> string
+
+val remote : t -> bool
+(** [true] when exploitable without physical access (Wireless/Network). *)
+
+val pp : Format.formatter -> t -> unit

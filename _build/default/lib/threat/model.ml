@@ -1,0 +1,147 @@
+type t = {
+  use_case : string;
+  description : string;
+  assets : Asset.t list;
+  entry_points : Entry_point.t list;
+  modes : string list;
+  threats : Threat.t list;
+  countermeasures : Countermeasure.t list;
+}
+
+let duplicates ids =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun id ->
+      if Hashtbl.mem seen id then Some id
+      else begin
+        Hashtbl.add seen id ();
+        None
+      end)
+    ids
+
+let validate m =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if m.use_case = "" then err "empty use-case name";
+  List.iter (err "duplicate asset id %S")
+    (duplicates (List.map (fun (a : Asset.t) -> a.id) m.assets));
+  List.iter (err "duplicate entry-point id %S")
+    (duplicates (List.map (fun (e : Entry_point.t) -> e.id) m.entry_points));
+  List.iter (err "duplicate threat id %S")
+    (duplicates (List.map (fun (t : Threat.t) -> t.id) m.threats));
+  List.iter (err "duplicate mode %S") (duplicates m.modes);
+  let asset_ids = List.map (fun (a : Asset.t) -> a.id) m.assets in
+  let ep_ids = List.map (fun (e : Entry_point.t) -> e.id) m.entry_points in
+  let threat_ids = List.map (fun (t : Threat.t) -> t.id) m.threats in
+  List.iter
+    (fun (t : Threat.t) ->
+      if not (List.mem t.asset asset_ids) then
+        err "threat %S references unknown asset %S" t.id t.asset;
+      List.iter
+        (fun ep ->
+          if not (List.mem ep ep_ids) then
+            err "threat %S references unknown entry point %S" t.id ep)
+        t.entry_points;
+      List.iter
+        (fun mode ->
+          if not (List.mem mode m.modes) then
+            err "threat %S references unknown mode %S" t.id mode)
+        t.modes)
+    m.threats;
+  List.iter
+    (fun (c : Countermeasure.t) ->
+      if not (List.mem c.threat_id threat_ids) then
+        err "countermeasure references unknown threat %S" c.threat_id)
+    m.countermeasures;
+  List.rev !errors
+
+let make ~use_case ?(description = "") ~assets ~entry_points ?(modes = [])
+    ~threats ?(countermeasures = []) () =
+  let m =
+    { use_case; description; assets; entry_points; modes; threats; countermeasures }
+  in
+  match validate m with [] -> Ok m | errors -> Error errors
+
+let make_exn ~use_case ?description ~assets ~entry_points ?modes ~threats
+    ?countermeasures () =
+  match
+    make ~use_case ?description ~assets ~entry_points ?modes ~threats
+      ?countermeasures ()
+  with
+  | Ok m -> m
+  | Error errors ->
+      invalid_arg ("Model.make_exn: " ^ String.concat "; " errors)
+
+let find_asset m id = List.find_opt (fun (a : Asset.t) -> a.id = id) m.assets
+
+let find_entry_point m id =
+  List.find_opt (fun (e : Entry_point.t) -> e.id = id) m.entry_points
+
+let find_threat m id = List.find_opt (fun (t : Threat.t) -> t.id = id) m.threats
+
+let threats_to_asset m asset_id =
+  List.filter (fun (t : Threat.t) -> t.asset = asset_id) m.threats
+
+let threats_via_entry_point m ep_id =
+  List.filter (fun (t : Threat.t) -> List.mem ep_id t.entry_points) m.threats
+
+let threats_in_mode m mode =
+  List.filter
+    (fun (t : Threat.t) -> t.modes = [] || List.mem mode t.modes)
+    m.threats
+
+let covered_ids m =
+  List.map (fun (c : Countermeasure.t) -> c.threat_id) m.countermeasures
+
+let uncovered_threats m =
+  let covered = covered_ids m in
+  List.filter (fun (t : Threat.t) -> not (List.mem t.id covered)) m.threats
+
+let coverage m =
+  match m.threats with
+  | [] -> 1.0
+  | threats ->
+      let covered = covered_ids m in
+      let n =
+        List.length
+          (List.filter (fun (t : Threat.t) -> List.mem t.id covered) threats)
+      in
+      float_of_int n /. float_of_int (List.length threats)
+
+let add_threat m threat =
+  let m' = { m with threats = m.threats @ [ threat ] } in
+  match validate m' with [] -> Ok m' | errors -> Error errors
+
+let add_countermeasure m cm =
+  let m' = { m with countermeasures = m.countermeasures @ [ cm ] } in
+  match validate m' with [] -> Ok m' | errors -> Error errors
+
+let pp_report ppf m =
+  Format.fprintf ppf "Security model: %s@." m.use_case;
+  if m.description <> "" then Format.fprintf ppf "%s@." m.description;
+  Format.fprintf ppf "@.Operating modes: %s@."
+    (if m.modes = [] then "(single mode)" else String.concat ", " m.modes);
+  Format.fprintf ppf "@.Assets (%d):@." (List.length m.assets);
+  List.iter
+    (fun a -> Format.fprintf ppf "  %a@." Asset.pp a)
+    (List.sort Asset.compare_by_criticality m.assets);
+  Format.fprintf ppf "@.Entry points (%d):@." (List.length m.entry_points);
+  List.iter (fun e -> Format.fprintf ppf "  %a@." Entry_point.pp e) m.entry_points;
+  Format.fprintf ppf "@.Threats (%d, highest risk first):@."
+    (List.length m.threats);
+  List.iter
+    (fun t -> Format.fprintf ppf "  %a@." Threat.pp t)
+    (Risk.rank m.threats);
+  Format.fprintf ppf "@.Risk matrix:@.";
+  Risk.pp_matrix ppf m.threats;
+  Format.fprintf ppf "@.Countermeasures (%d, coverage %.0f%%):@."
+    (List.length m.countermeasures)
+    (100.0 *. coverage m);
+  List.iter
+    (fun c -> Format.fprintf ppf "  %a@." Countermeasure.pp c)
+    m.countermeasures;
+  match uncovered_threats m with
+  | [] -> ()
+  | un ->
+      Format.fprintf ppf "@.Uncovered threats:@.";
+      List.iter (fun (t : Threat.t) -> Format.fprintf ppf "  %s@." t.id) un

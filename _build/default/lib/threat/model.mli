@@ -1,0 +1,69 @@
+(** The threat-model document: the end product of application threat
+    modelling (paper Fig. 1), tying together use case, assets, entry points,
+    operating modes, threats and countermeasures. *)
+
+type t = private {
+  use_case : string;
+  description : string;
+  assets : Asset.t list;
+  entry_points : Entry_point.t list;
+  modes : string list;  (** declared operating modes, e.g. car modes *)
+  threats : Threat.t list;
+  countermeasures : Countermeasure.t list;
+}
+
+val make :
+  use_case:string ->
+  ?description:string ->
+  assets:Asset.t list ->
+  entry_points:Entry_point.t list ->
+  ?modes:string list ->
+  threats:Threat.t list ->
+  ?countermeasures:Countermeasure.t list ->
+  unit ->
+  (t, string list) result
+(** Validates referential integrity and returns every violation found:
+    duplicate asset / entry-point / threat ids, threats referencing unknown
+    assets, entry points or modes, and countermeasures referencing unknown
+    threats. *)
+
+val make_exn :
+  use_case:string ->
+  ?description:string ->
+  assets:Asset.t list ->
+  entry_points:Entry_point.t list ->
+  ?modes:string list ->
+  threats:Threat.t list ->
+  ?countermeasures:Countermeasure.t list ->
+  unit ->
+  t
+(** @raise Invalid_argument listing all validation errors. *)
+
+val find_asset : t -> string -> Asset.t option
+
+val find_entry_point : t -> string -> Entry_point.t option
+
+val find_threat : t -> string -> Threat.t option
+
+val threats_to_asset : t -> string -> Threat.t list
+
+val threats_via_entry_point : t -> string -> Threat.t list
+
+val threats_in_mode : t -> string -> Threat.t list
+(** Threats applicable in the given mode; a threat with an empty mode list
+    applies in every mode. *)
+
+val uncovered_threats : t -> Threat.t list
+(** Threats with no countermeasure. *)
+
+val coverage : t -> float
+(** Fraction of threats with at least one countermeasure; 1. when there are
+    no threats. *)
+
+val add_threat : t -> Threat.t -> (t, string list) result
+(** Extend the model with a newly discovered threat (re-validates). *)
+
+val add_countermeasure : t -> Countermeasure.t -> (t, string list) result
+
+val pp_report : Format.formatter -> t -> unit
+(** Full human-readable security-model document. *)

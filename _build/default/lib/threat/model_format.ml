@@ -1,0 +1,380 @@
+(* Line-oriented tokenizer: identifiers, quoted strings, integers and
+   braces; '#' comments. *)
+
+type token =
+  | IDENT of string
+  | STRING of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | EOF
+
+exception Error of string * int
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | STRING s -> Printf.sprintf "string %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | EOF -> "end of input"
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 in
+  let rec loop i acc =
+    if i >= n then List.rev ((EOF, !line) :: acc)
+    else
+      match input.[i] with
+      | '\n' ->
+          incr line;
+          loop (i + 1) acc
+      | ' ' | '\t' | '\r' -> loop (i + 1) acc
+      | '#' ->
+          let rec eol j = if j < n && input.[j] <> '\n' then eol (j + 1) else j in
+          loop (eol i) acc
+      | '{' -> loop (i + 1) ((LBRACE, !line) :: acc)
+      | '}' -> loop (i + 1) ((RBRACE, !line) :: acc)
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Error ("unterminated string", !line))
+            else
+              match input.[j] with
+              | '"' -> j + 1
+              | '\\' when j + 1 < n ->
+                  Buffer.add_char buf input.[j + 1];
+                  str (j + 2)
+              | '\n' -> raise (Error ("newline in string", !line))
+              | c ->
+                  Buffer.add_char buf c;
+                  str (j + 1)
+          in
+          let stop = str (i + 1) in
+          loop stop ((STRING (Buffer.contents buf), !line) :: acc)
+      | '0' .. '9' ->
+          let rec num j =
+            if j < n && input.[j] >= '0' && input.[j] <= '9' then num (j + 1) else j
+          in
+          let stop = num i in
+          loop stop
+            ((INT (int_of_string (String.sub input i (stop - i))), !line) :: acc)
+      | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+          let is_ident c =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9') || c = '_'
+          in
+          let rec word j = if j < n && is_ident input.[j] then word (j + 1) else j in
+          let stop = word i in
+          loop stop ((IDENT (String.sub input i (stop - i)), !line) :: acc)
+      | c -> raise (Error (Printf.sprintf "illegal character %C" c, !line))
+  in
+  loop 0 []
+
+type state = { mutable tokens : (token * int) list }
+
+let peek st = match st.tokens with [] -> (EOF, 0) | t :: _ -> t
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let line_of st = snd (peek st)
+
+let fail st msg = raise (Error (msg, line_of st))
+
+let ident st =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      s
+  | got, line ->
+      raise (Error (Printf.sprintf "expected identifier, found %s" (token_name got), line))
+
+let string_ st =
+  match peek st with
+  | STRING s, _ ->
+      advance st;
+      s
+  | got, line ->
+      raise (Error (Printf.sprintf "expected string, found %s" (token_name got), line))
+
+let int_ st =
+  match peek st with
+  | INT v, _ ->
+      advance st;
+      v
+  | got, line ->
+      raise (Error (Printf.sprintf "expected integer, found %s" (token_name got), line))
+
+let top_keywords = [ "use_case"; "description"; "modes"; "asset"; "entry"; "threat" ]
+
+let threat_keywords =
+  [ "title"; "description"; "asset"; "entry"; "modes"; "stride"; "dread";
+    "attack"; "legit" ]
+
+(* idents until a keyword of the surrounding scope, a brace or eof; at
+   least one.  Consequence: user-chosen names must not collide with the
+   scope's keywords. *)
+let ident_list ~stop st =
+  let rec loop acc =
+    match peek st with
+    | IDENT s, _ when not (List.mem s stop) -> loop (ident st :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [] with [] -> fail st "expected at least one identifier" | l -> l
+
+let criticality_of_string st = function
+  | "safety_critical" -> Asset.Safety_critical
+  | "operational" -> Asset.Operational
+  | "privacy" -> Asset.Privacy
+  | "convenience" -> Asset.Convenience
+  | s -> fail st (Printf.sprintf "unknown criticality %S" s)
+
+let criticality_name = function
+  | Asset.Safety_critical -> "safety_critical"
+  | Asset.Operational -> "operational"
+  | Asset.Privacy -> "privacy"
+  | Asset.Convenience -> "convenience"
+
+let interface_of_string st = function
+  | "bus" -> Entry_point.Bus
+  | "wireless" -> Entry_point.Wireless
+  | "physical" -> Entry_point.Physical
+  | "network" -> Entry_point.Network
+  | "ui" -> Entry_point.Ui
+  | s -> fail st (Printf.sprintf "unknown interface %S" s)
+
+let operation_of_string st = function
+  | "read" -> Threat.Read
+  | "write" -> Threat.Write
+  | s -> fail st (Printf.sprintf "unknown operation %S (read|write)" s)
+
+let operation_name = function Threat.Read -> "read" | Threat.Write -> "write"
+
+type threat_fields = {
+  mutable title : string option;
+  mutable description : string;
+  mutable asset : string option;
+  mutable entry : string list;
+  mutable modes : string list;
+  mutable stride : Stride.t option;
+  mutable dread : Dread.t option;
+  mutable attack : Threat.operation option;
+  mutable legit : Threat.operation list;
+}
+
+let parse_threat st id =
+  let f =
+    {
+      title = None;
+      description = "";
+      asset = None;
+      entry = [];
+      modes = [];
+      stride = None;
+      dread = None;
+      attack = None;
+      legit = [];
+    }
+  in
+  (match peek st with
+  | LBRACE, _ -> advance st
+  | got, line ->
+      raise (Error (Printf.sprintf "expected '{', found %s" (token_name got), line)));
+  let rec fields () =
+    match peek st with
+    | RBRACE, _ -> advance st
+    | IDENT "title", _ ->
+        advance st;
+        f.title <- Some (string_ st);
+        fields ()
+    | IDENT "description", _ ->
+        advance st;
+        f.description <- string_ st;
+        fields ()
+    | IDENT "asset", _ ->
+        advance st;
+        f.asset <- Some (ident st);
+        fields ()
+    | IDENT "entry", _ ->
+        advance st;
+        f.entry <- ident_list ~stop:threat_keywords st;
+        fields ()
+    | IDENT "modes", _ ->
+        advance st;
+        f.modes <- ident_list ~stop:threat_keywords st;
+        fields ()
+    | IDENT "stride", _ -> (
+        advance st;
+        match Stride.of_string (ident st) with
+        | Ok s ->
+            f.stride <- Some s;
+            fields ()
+        | Error e -> fail st e)
+    | IDENT "dread", _ -> (
+        advance st;
+        (* bind one by one: list literals evaluate right-to-left *)
+        let d = int_ st in
+        let r = int_ st in
+        let e = int_ st in
+        let a = int_ st in
+        let di = int_ st in
+        match Dread.of_list [ d; r; e; a; di ] with
+        | Ok d ->
+            f.dread <- Some d;
+            fields ()
+        | Error e -> fail st e)
+    | IDENT "attack", _ ->
+        advance st;
+        f.attack <- Some (operation_of_string st (ident st));
+        fields ()
+    | IDENT "legit", _ ->
+        advance st;
+        f.legit <- List.map (operation_of_string st) (ident_list ~stop:threat_keywords st);
+        fields ()
+    | got, line ->
+        raise
+          (Error
+             (Printf.sprintf "unknown threat field %s" (token_name got), line))
+  in
+  fields ();
+  let require what = function
+    | Some v -> v
+    | None -> fail st (Printf.sprintf "threat %S is missing %s" id what)
+  in
+  Threat.make ~id
+    ~title:(require "title" f.title)
+    ~description:f.description
+    ~asset:(require "asset" f.asset)
+    ~entry_points:f.entry ~modes:f.modes
+    ~stride:(require "stride" f.stride)
+    ~dread:(require "dread" f.dread)
+    ~attack_operation:(require "attack" f.attack)
+    ~legitimate_operations:f.legit ()
+
+let parse_document st =
+  let use_case = ref None in
+  let description = ref "" in
+  let modes = ref [] in
+  let assets = ref [] in
+  let entries = ref [] in
+  let threats = ref [] in
+  let rec decls () =
+    match peek st with
+    | EOF, _ -> ()
+    | IDENT "use_case", _ ->
+        advance st;
+        use_case := Some (string_ st);
+        decls ()
+    | IDENT "description", _ ->
+        advance st;
+        description := string_ st;
+        decls ()
+    | IDENT "modes", _ ->
+        advance st;
+        modes := ident_list ~stop:top_keywords st;
+        decls ()
+    | IDENT "asset", _ ->
+        advance st;
+        let id = ident st in
+        let name = string_ st in
+        let criticality = criticality_of_string st (ident st) in
+        let description =
+          match peek st with STRING _, _ -> string_ st | _ -> ""
+        in
+        assets := Asset.make ~id ~name ~description criticality :: !assets;
+        decls ()
+    | IDENT "entry", _ ->
+        advance st;
+        let id = ident st in
+        let name = string_ st in
+        let interface = interface_of_string st (ident st) in
+        let description =
+          match peek st with STRING _, _ -> string_ st | _ -> ""
+        in
+        entries := Entry_point.make ~id ~name ~description interface :: !entries;
+        decls ()
+    | IDENT "threat", _ ->
+        advance st;
+        let id = ident st in
+        threats := parse_threat st id :: !threats;
+        decls ()
+    | got, line ->
+        raise
+          (Error (Printf.sprintf "unknown declaration %s" (token_name got), line))
+  in
+  decls ();
+  let use_case =
+    match !use_case with
+    | Some u -> u
+    | None -> fail st "missing use_case declaration"
+  in
+  Model.make ~use_case ~description:!description ~assets:(List.rev !assets)
+    ~entry_points:(List.rev !entries)
+    ~modes:!modes
+    ~threats:(List.rev !threats)
+    ()
+
+let parse input =
+  match
+    let st = { tokens = tokenize input } in
+    parse_document st
+  with
+  | Ok m -> Ok m
+  | Error validation -> Error (String.concat "; " validation)
+  | exception Error (msg, line) -> Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn input =
+  match parse input with Ok m -> m | Error e -> failwith e
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let print (m : Model.t) =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "use_case %s\n" (quote m.use_case);
+  if m.description <> "" then
+    Printf.bprintf b "description %s\n" (quote m.description);
+  if m.modes <> [] then
+    Printf.bprintf b "modes %s\n" (String.concat " " m.modes);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (a : Asset.t) ->
+      Printf.bprintf b "asset %s %s %s%s\n" a.id (quote a.name)
+        (criticality_name a.criticality)
+        (if a.description = "" then "" else " " ^ quote a.description))
+    m.assets;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (e : Entry_point.t) ->
+      Printf.bprintf b "entry %s %s %s%s\n" e.id (quote e.name)
+        (Entry_point.interface_name e.interface)
+        (if e.description = "" then "" else " " ^ quote e.description))
+    m.entry_points;
+  List.iter
+    (fun (t : Threat.t) ->
+      Printf.bprintf b "\nthreat %s {\n" t.id;
+      Printf.bprintf b "  title %s\n" (quote t.title);
+      if t.description <> "" then
+        Printf.bprintf b "  description %s\n" (quote t.description);
+      Printf.bprintf b "  asset %s\n" t.asset;
+      Printf.bprintf b "  entry %s\n" (String.concat " " t.entry_points);
+      if t.modes <> [] then
+        Printf.bprintf b "  modes %s\n" (String.concat " " t.modes);
+      Printf.bprintf b "  stride %s\n" (Stride.to_string t.stride);
+      Printf.bprintf b "  dread %s\n"
+        (String.concat " " (List.map string_of_int (Dread.to_list t.dread)));
+      Printf.bprintf b "  attack %s\n" (operation_name t.attack_operation);
+      if t.legitimate_operations <> [] then
+        Printf.bprintf b "  legit %s\n"
+          (String.concat " " (List.map operation_name t.legitimate_operations));
+      Buffer.add_string b "}\n")
+    m.threats;
+  Buffer.contents b

@@ -1,0 +1,37 @@
+(** Textual interchange format for threat-model documents.
+
+    A threat model is authored (or exported) as plain text, so the
+    modelling stage of the paper's Fig. 1 pipeline can live in version
+    control next to the code it protects:
+
+    {v
+    use_case "Smart door lock"
+    description "..."
+    modes normal maintenance
+
+    asset lock_motor "Lock motor" safety_critical "actuator bolting the door"
+    entry ble "Bluetooth LE" wireless "proximity radio link"
+
+    threat replay_unlock {
+      title "Replayed BLE unlock command"
+      asset lock_motor
+      entry ble
+      modes normal
+      stride ST
+      dread 8 6 5 7 6
+      attack write
+      legit read
+    }
+    v}
+
+    Comments run from [#] to end of line.  [parse (print m)] reproduces [m]
+    (countermeasures are not serialised — they are derived artefacts). *)
+
+val parse : string -> (Model.t, string) result
+(** Parse and validate a complete model.  Errors carry a line number for
+    syntax problems, or the model validator's messages. *)
+
+val parse_exn : string -> Model.t
+
+val print : Model.t -> string
+(** Serialise (without countermeasures). *)

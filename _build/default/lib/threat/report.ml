@@ -1,0 +1,94 @@
+let buffer_add_line b fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt
+
+let threat_row b (m : Model.t) (t : Threat.t) =
+  let entry_names =
+    t.entry_points
+    |> List.map (fun id ->
+           match Model.find_entry_point m id with
+           | Some ep -> ep.Entry_point.name
+           | None -> id)
+    |> String.concat ", "
+  in
+  let modes = if t.modes = [] then "all" else String.concat ", " t.modes in
+  buffer_add_line b "| %s | %s | %s | %s | %s | %s | %s | %s |" t.id t.asset
+    entry_names modes
+    (Stride.to_string t.stride)
+    (Format.asprintf "%a" Dread.pp t.dread)
+    (Dread.rating_name (Threat.rating t))
+    (if Threat.residual_risk t then "yes" else "no")
+
+let threat_table (m : Model.t) =
+  let b = Buffer.create 1024 in
+  buffer_add_line b
+    "| Threat | Asset | Entry points | Modes | STRIDE | DREAD (avg) | Rating | Residual |";
+  buffer_add_line b "|---|---|---|---|---|---|---|---|";
+  List.iter (threat_row b m) (Risk.rank m.threats);
+  Buffer.contents b
+
+let markdown (m : Model.t) =
+  let b = Buffer.create 4096 in
+  buffer_add_line b "# Security model: %s" m.use_case;
+  if m.description <> "" then begin
+    buffer_add_line b "";
+    buffer_add_line b "%s" m.description
+  end;
+  buffer_add_line b "";
+  buffer_add_line b "## Operating modes";
+  buffer_add_line b "";
+  (if m.modes = [] then buffer_add_line b "Single operating mode."
+   else List.iter (fun mode -> buffer_add_line b "- `%s`" mode) m.modes);
+  buffer_add_line b "";
+  buffer_add_line b "## Assets";
+  buffer_add_line b "";
+  buffer_add_line b "| Asset | Criticality | Description |";
+  buffer_add_line b "|---|---|---|";
+  List.iter
+    (fun (a : Asset.t) ->
+      buffer_add_line b "| %s (`%s`) | %s | %s |" a.name a.id
+        (Asset.criticality_name a.criticality)
+        a.description)
+    (List.sort Asset.compare_by_criticality m.assets);
+  buffer_add_line b "";
+  buffer_add_line b "## Entry points";
+  buffer_add_line b "";
+  buffer_add_line b "| Entry point | Interface | Remote | Description |";
+  buffer_add_line b "|---|---|---|---|";
+  List.iter
+    (fun (e : Entry_point.t) ->
+      buffer_add_line b "| %s (`%s`) | %s | %s | %s |" e.name e.id
+        (Entry_point.interface_name e.interface)
+        (if Entry_point.remote e then "yes" else "no")
+        e.description)
+    m.entry_points;
+  buffer_add_line b "";
+  buffer_add_line b "## Threats (highest risk first)";
+  buffer_add_line b "";
+  Buffer.add_string b (threat_table m);
+  buffer_add_line b "";
+  buffer_add_line b "Mean risk: %.2f. Residual rows cannot be fully excluded"
+    (Risk.mean_risk m.threats);
+  buffer_add_line b
+    "by read/write permissions alone and need behavioural or situational policies.";
+  buffer_add_line b "";
+  buffer_add_line b "## Risk matrix";
+  buffer_add_line b "";
+  buffer_add_line b "```";
+  Buffer.add_string b (Format.asprintf "%a" Risk.pp_matrix m.threats);
+  buffer_add_line b "```";
+  buffer_add_line b "";
+  buffer_add_line b "## Countermeasures (coverage %.0f%%)" (100.0 *. Model.coverage m);
+  buffer_add_line b "";
+  List.iter
+    (fun (c : Countermeasure.t) ->
+      buffer_add_line b "- %s" (Format.asprintf "%a" Countermeasure.pp c))
+    m.countermeasures;
+  (match Model.uncovered_threats m with
+  | [] -> ()
+  | uncovered ->
+      buffer_add_line b "";
+      buffer_add_line b "### Uncovered threats";
+      buffer_add_line b "";
+      List.iter
+        (fun (t : Threat.t) -> buffer_add_line b "- `%s`" t.id)
+        uncovered);
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Markdown rendering of a threat-model document.
+
+    The paper's "technical document that provides security guidelines
+    specific to that use case", generated from the machine model so it can
+    never drift from what is actually enforced. *)
+
+val markdown : Model.t -> string
+(** The full security-model document: use case, operating modes, asset and
+    entry-point inventories, the Table-I-style threat table (STRIDE, DREAD
+    components and average, rating, residual-risk marker), the
+    likelihood/impact matrix, and the countermeasure list with coverage. *)
+
+val threat_table : Model.t -> string
+(** Just the threat table (one Markdown table). *)

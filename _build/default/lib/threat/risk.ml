@@ -1,0 +1,54 @@
+let likelihood (d : Dread.t) =
+  float_of_int (d.reproducibility + d.exploitability + d.discoverability) /. 3.0
+
+let impact (d : Dread.t) = float_of_int (d.damage + d.affected_users) /. 2.0
+
+type priority = P1 | P2 | P3 | P4
+
+let priority d =
+  let high_l = likelihood d >= 5.0 and high_i = impact d >= 5.0 in
+  match (high_l, high_i) with
+  | true, true -> P1
+  | false, true -> P2
+  | true, false -> P3
+  | false, false -> P4
+
+let priority_name = function P1 -> "P1" | P2 -> "P2" | P3 -> "P3" | P4 -> "P4"
+
+let rank threats = List.stable_sort Threat.compare_by_risk threats
+
+let top n threats =
+  let ranked = rank threats in
+  List.filteri (fun i _ -> i < n) ranked
+
+let all_priorities = [ P1; P2; P3; P4 ]
+
+let by_priority threats =
+  List.map
+    (fun p ->
+      (p, List.filter (fun (t : Threat.t) -> priority t.dread = p) threats))
+    all_priorities
+
+let mean_risk threats =
+  match threats with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc t -> acc +. Threat.risk t) 0.0 threats
+      /. float_of_int (List.length threats)
+
+let pp_matrix ppf threats =
+  let buckets = by_priority threats in
+  let label = function
+    | P1 -> "P1 high-likelihood / high-impact"
+    | P2 -> "P2 low-likelihood / high-impact"
+    | P3 -> "P3 high-likelihood / low-impact"
+    | P4 -> "P4 low-likelihood / low-impact"
+  in
+  List.iter
+    (fun (p, ts) ->
+      Format.fprintf ppf "%s:@." (label p);
+      List.iter
+        (fun (t : Threat.t) ->
+          Format.fprintf ppf "  %s (risk %.1f)@." t.id (Threat.risk t))
+        (rank ts))
+    buckets

@@ -1,0 +1,35 @@
+(** Risk assessment over a set of threats: ranking and the
+    likelihood/impact matrix used to prioritise design effort. *)
+
+val likelihood : Dread.t -> float
+(** Mean of the attacker-facing components: reproducibility,
+    exploitability, discoverability. *)
+
+val impact : Dread.t -> float
+(** Mean of the victim-facing components: damage, affected users. *)
+
+type priority = P1 | P2 | P3 | P4
+(** P1 is most urgent. *)
+
+val priority : Dread.t -> priority
+(** Quadrant of the likelihood/impact matrix, split at 5.0:
+    high/high -> P1, low-likelihood/high-impact -> P2,
+    high-likelihood/low-impact -> P3, low/low -> P4. *)
+
+val priority_name : priority -> string
+
+val rank : Threat.t list -> Threat.t list
+(** Descending DREAD average (stable for equal risk). *)
+
+val top : int -> Threat.t list -> Threat.t list
+(** The [n] highest-risk threats. *)
+
+val by_priority : Threat.t list -> (priority * Threat.t list) list
+(** Partition into the four priority buckets, P1 first; empty buckets are
+    included so callers can render a complete matrix. *)
+
+val mean_risk : Threat.t list -> float
+(** Mean DREAD average over the set; 0. on an empty list. *)
+
+val pp_matrix : Format.formatter -> Threat.t list -> unit
+(** Render the 2x2 likelihood/impact matrix with threat ids per quadrant. *)

@@ -1,0 +1,88 @@
+type category =
+  | Spoofing
+  | Tampering
+  | Repudiation
+  | Information_disclosure
+  | Denial_of_service
+  | Elevation_of_privilege
+
+type t = category list
+
+let all =
+  [
+    Spoofing;
+    Tampering;
+    Repudiation;
+    Information_disclosure;
+    Denial_of_service;
+    Elevation_of_privilege;
+  ]
+
+let code = function
+  | Spoofing -> 'S'
+  | Tampering -> 'T'
+  | Repudiation -> 'R'
+  | Information_disclosure -> 'I'
+  | Denial_of_service -> 'D'
+  | Elevation_of_privilege -> 'E'
+
+let of_code = function
+  | 'S' -> Some Spoofing
+  | 'T' -> Some Tampering
+  | 'R' -> Some Repudiation
+  | 'I' -> Some Information_disclosure
+  | 'D' -> Some Denial_of_service
+  | 'E' -> Some Elevation_of_privilege
+  | _ -> None
+
+let name = function
+  | Spoofing -> "Spoofing"
+  | Tampering -> "Tampering"
+  | Repudiation -> "Repudiation"
+  | Information_disclosure -> "Information disclosure"
+  | Denial_of_service -> "Denial of service"
+  | Elevation_of_privilege -> "Elevation of privilege"
+
+let property_violated = function
+  | Spoofing -> "authentication"
+  | Tampering -> "integrity"
+  | Repudiation -> "non-repudiation"
+  | Information_disclosure -> "confidentiality"
+  | Denial_of_service -> "availability"
+  | Elevation_of_privilege -> "authorisation"
+
+let rank = function
+  | Spoofing -> 0
+  | Tampering -> 1
+  | Repudiation -> 2
+  | Information_disclosure -> 3
+  | Denial_of_service -> 4
+  | Elevation_of_privilege -> 5
+
+let mem c t = List.mem c t
+
+let normalise t =
+  List.sort_uniq (fun a b -> compare (rank a) (rank b)) t
+
+let of_string s =
+  let rec loop i acc =
+    if i >= String.length s then Ok (List.rev acc)
+    else
+      match of_code s.[i] with
+      | None -> Error (Printf.sprintf "unknown STRIDE code %C" s.[i])
+      | Some c ->
+          if List.mem c acc then
+            Error (Printf.sprintf "duplicate STRIDE code %C" s.[i])
+          else loop (i + 1) (c :: acc)
+  in
+  match loop 0 [] with
+  | Error _ as e -> e
+  | Ok cs -> Ok (normalise cs)
+
+let to_string t =
+  let t = normalise t in
+  String.init (List.length t) (fun i -> code (List.nth t i))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let pp_category ppf c = Format.pp_print_string ppf (name c)

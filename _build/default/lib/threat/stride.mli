@@ -1,0 +1,49 @@
+(** STRIDE threat categorisation (Microsoft; used by the paper's Table I).
+
+    Each category names the security property it violates:
+    Spoofing/authentication, Tampering/integrity, Repudiation/non-repudiation,
+    Information disclosure/confidentiality, Denial of service/availability,
+    Elevation of privilege/authorisation. *)
+
+type category =
+  | Spoofing
+  | Tampering
+  | Repudiation
+  | Information_disclosure
+  | Denial_of_service
+  | Elevation_of_privilege
+
+type t = category list
+(** A classification, e.g. Table I's ["STD"] = spoofing, tampering, DoS.
+    Order follows the S-T-R-I-D-E mnemonic and duplicates are not allowed. *)
+
+val all : category list
+(** The six categories in mnemonic order. *)
+
+val code : category -> char
+(** One-letter code: ['S'], ['T'], ['R'], ['I'], ['D'], ['E']. *)
+
+val of_code : char -> category option
+
+val name : category -> string
+(** Full name, e.g. ["Information disclosure"]. *)
+
+val property_violated : category -> string
+(** The security property the category attacks, e.g. Tampering -> integrity. *)
+
+val of_string : string -> (t, string) result
+(** Parse a compact code string such as ["STD"] or ["STIDE"].  Rejects
+    unknown letters and duplicates; normalises to mnemonic order. *)
+
+val to_string : t -> string
+(** Inverse of [of_string]; categories render in mnemonic order. *)
+
+val mem : category -> t -> bool
+
+val normalise : t -> t
+(** Deduplicate and sort into mnemonic order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the compact code, e.g. [STD]. *)
+
+val pp_category : Format.formatter -> category -> unit

@@ -1,0 +1,53 @@
+type operation = Read | Write
+
+type t = {
+  id : string;
+  title : string;
+  description : string;
+  asset : string;
+  entry_points : string list;
+  modes : string list;
+  stride : Stride.t;
+  dread : Dread.t;
+  attack_operation : operation;
+  legitimate_operations : operation list;
+}
+
+let dedup l = List.sort_uniq compare l
+
+let make ~id ~title ?(description = "") ~asset ~entry_points ?(modes = [])
+    ~stride ~dread ~attack_operation ~legitimate_operations () =
+  if id = "" then invalid_arg "Threat.make: empty id";
+  if asset = "" then invalid_arg "Threat.make: empty asset";
+  if entry_points = [] then invalid_arg "Threat.make: no entry points";
+  {
+    id;
+    title;
+    description;
+    asset;
+    entry_points = dedup entry_points;
+    modes = dedup modes;
+    stride = Stride.normalise stride;
+    dread;
+    attack_operation;
+    legitimate_operations = dedup legitimate_operations;
+  }
+
+let operation_name = function Read -> "read" | Write -> "write"
+
+let risk t = Dread.average t.dread
+
+let rating t = Dread.rating t.dread
+
+let residual_risk t = List.mem t.attack_operation t.legitimate_operations
+
+let remote_modes t = t.modes
+
+let compare_by_risk a b =
+  match compare (risk b) (risk a) with
+  | 0 -> String.compare a.id b.id
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%a %a %s]" t.id Stride.pp t.stride Dread.pp t.dread
+    (Dread.rating_name (rating t))

@@ -1,0 +1,63 @@
+(** A single identified threat, as one row of the paper's Table I.
+
+    Beyond the descriptive fields, a threat records its *access semantics* at
+    the targeted entry points: which operation the attacker performs
+    ([attack_operation]) and which operations legitimate parties still need
+    ([legitimate_operations]).  Policy derivation (see
+    [Secpol_policy.Derive]) is least-privilege: the derived policy permits
+    exactly the legitimate operations, so the attack operation is blocked
+    unless it coincides with a legitimate need — the paper's RW rows, where a
+    coarse read/write policy leaves residual risk and finer-grained
+    behavioural policies are called for. *)
+
+type operation = Read | Write
+
+type t = {
+  id : string;  (** unique machine name, e.g. ["ev_ecu_spoof_disable"] *)
+  title : string;
+  description : string;
+  asset : string;  (** id of the targeted {!Asset.t} *)
+  entry_points : string list;  (** ids of the {!Entry_point.t}s used *)
+  modes : string list;  (** operating modes in which the threat applies *)
+  stride : Stride.t;
+  dread : Dread.t;
+  attack_operation : operation;
+  legitimate_operations : operation list;
+}
+
+val make :
+  id:string ->
+  title:string ->
+  ?description:string ->
+  asset:string ->
+  entry_points:string list ->
+  ?modes:string list ->
+  stride:Stride.t ->
+  dread:Dread.t ->
+  attack_operation:operation ->
+  legitimate_operations:operation list ->
+  unit ->
+  t
+(** Normalises the STRIDE set and deduplicates entry points / modes /
+    legitimate operations.
+    @raise Invalid_argument on an empty id, asset or entry-point list. *)
+
+val operation_name : operation -> string
+
+val risk : t -> float
+(** DREAD average. *)
+
+val rating : t -> Dread.rating
+
+val residual_risk : t -> bool
+(** [true] when the attack operation is also a legitimate operation, so a
+    read/write policy alone cannot block the attack. *)
+
+val remote_modes : t -> string list
+(** Alias for [t.modes]; named accessor for readability at call sites. *)
+
+val compare_by_risk : t -> t -> int
+(** Highest DREAD average first; ties by id. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: id, STRIDE, DREAD, rating. *)

@@ -1,0 +1,1 @@
+lib/vehicle/assets.ml: List Names Secpol_threat

@@ -1,0 +1,1 @@
+lib/vehicle/assets.mli: Secpol_threat

@@ -1,0 +1,1 @@
+lib/vehicle/car.ml: Door_locks Engine_ecu Eps Ev_ecu Infotainment List Messages Modes Names Policy_map Printf Safety Secpol_can Secpol_hpe Secpol_policy Secpol_sim Sensors State Telematics

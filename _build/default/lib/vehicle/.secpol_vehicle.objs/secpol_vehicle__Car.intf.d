@@ -1,0 +1,1 @@
+lib/vehicle/car.mli: Modes Secpol_can Secpol_hpe Secpol_policy Secpol_sim State

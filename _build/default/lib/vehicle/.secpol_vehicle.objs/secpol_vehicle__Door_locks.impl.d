@@ -1,0 +1,1 @@
+lib/vehicle/door_locks.ml: Ecu Messages Names Secpol_can Secpol_sim State String

@@ -1,0 +1,1 @@
+lib/vehicle/door_locks.mli: Secpol_can Secpol_sim State

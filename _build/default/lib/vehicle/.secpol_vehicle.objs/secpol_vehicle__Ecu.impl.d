@@ -1,0 +1,1 @@
+lib/vehicle/ecu.ml: Char List Messages Modes Names Secpol_can Secpol_sim State String

@@ -1,0 +1,1 @@
+lib/vehicle/ecu.mli: Messages Secpol_can Secpol_sim State

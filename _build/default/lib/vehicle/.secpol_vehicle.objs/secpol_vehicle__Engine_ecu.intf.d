@@ -1,0 +1,1 @@
+lib/vehicle/engine_ecu.mli: Secpol_can Secpol_sim State

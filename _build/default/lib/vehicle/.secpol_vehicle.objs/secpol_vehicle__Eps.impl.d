@@ -1,0 +1,1 @@
+lib/vehicle/eps.ml: Ecu Messages Names Secpol_can Secpol_sim State String

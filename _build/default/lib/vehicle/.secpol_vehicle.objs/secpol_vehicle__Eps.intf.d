@@ -1,0 +1,1 @@
+lib/vehicle/eps.mli: Secpol_can Secpol_sim State

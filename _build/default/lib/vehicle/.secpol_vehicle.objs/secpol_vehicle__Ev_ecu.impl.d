@@ -1,0 +1,1 @@
+lib/vehicle/ev_ecu.ml: Ecu Messages Names Secpol_can Secpol_sim State String

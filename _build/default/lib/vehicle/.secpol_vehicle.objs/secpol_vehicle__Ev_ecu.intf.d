@@ -1,0 +1,1 @@
+lib/vehicle/ev_ecu.mli: Secpol_can Secpol_sim State

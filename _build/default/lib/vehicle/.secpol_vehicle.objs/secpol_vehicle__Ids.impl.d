@@ -1,0 +1,1 @@
+lib/vehicle/ids.ml: Car Format Hashtbl List Messages Option Secpol_can Secpol_hpe Secpol_sim

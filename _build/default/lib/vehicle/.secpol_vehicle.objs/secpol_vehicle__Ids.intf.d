@@ -1,0 +1,1 @@
+lib/vehicle/ids.mli: Car Format

@@ -1,0 +1,1 @@
+lib/vehicle/infotainment.ml: Char Ecu Hashtbl Messages Names Printf Secpol_can Secpol_sim State

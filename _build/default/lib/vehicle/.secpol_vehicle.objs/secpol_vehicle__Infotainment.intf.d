@@ -1,0 +1,1 @@
+lib/vehicle/infotainment.mli: Secpol_can Secpol_sim State

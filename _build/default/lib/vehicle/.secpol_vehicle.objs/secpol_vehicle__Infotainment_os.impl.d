@@ -1,0 +1,1 @@
+lib/vehicle/infotainment_os.ml: Secpol_can Secpol_selinux State String

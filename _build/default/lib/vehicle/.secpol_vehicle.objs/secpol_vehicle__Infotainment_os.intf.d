@@ -1,0 +1,1 @@
+lib/vehicle/infotainment_os.mli: Secpol_can Secpol_selinux State

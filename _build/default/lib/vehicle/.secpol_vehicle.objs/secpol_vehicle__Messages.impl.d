@@ -1,0 +1,1 @@
+lib/vehicle/messages.ml: List Modes Names Printf Secpol_hpe

@@ -1,0 +1,1 @@
+lib/vehicle/messages.mli: Modes Secpol_hpe

@@ -1,0 +1,1 @@
+lib/vehicle/names.ml: List Printf

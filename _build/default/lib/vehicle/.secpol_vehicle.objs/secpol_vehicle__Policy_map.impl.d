@@ -1,0 +1,1 @@
+lib/vehicle/policy_map.ml: Hashtbl List Messages Modes Names Option Secpol_hpe Secpol_policy String

@@ -1,0 +1,1 @@
+lib/vehicle/policy_map.mli: Modes Secpol_hpe Secpol_policy

@@ -1,0 +1,1 @@
+lib/vehicle/safety.ml: Char Ecu Messages Modes Names Printf Secpol_can Secpol_sim Sensors State

@@ -1,0 +1,1 @@
+lib/vehicle/safety.mli: Secpol_can Secpol_sim State

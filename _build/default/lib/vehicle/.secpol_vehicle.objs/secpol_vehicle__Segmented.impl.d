@@ -1,0 +1,1 @@
+lib/vehicle/segmented.ml: Door_locks Engine_ecu Eps Ev_ecu Infotainment List Messages Names Printf Safety Secpol_can Secpol_sim Sensors State Telematics

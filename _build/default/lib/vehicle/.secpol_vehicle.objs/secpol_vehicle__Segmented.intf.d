@@ -1,0 +1,1 @@
+lib/vehicle/segmented.mli: Secpol_can Secpol_sim State

@@ -1,0 +1,1 @@
+lib/vehicle/sensors.ml: Char Ecu Messages Names Secpol_sim State String

@@ -1,0 +1,1 @@
+lib/vehicle/sensors.mli: Secpol_can Secpol_sim State

@@ -1,0 +1,1 @@
+lib/vehicle/state.ml: Format List Modes

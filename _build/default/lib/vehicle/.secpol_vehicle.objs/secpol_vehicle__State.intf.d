@@ -1,0 +1,1 @@
+lib/vehicle/state.mli: Format Modes

@@ -1,0 +1,1 @@
+lib/vehicle/telematics.ml: Ecu Messages Names Printf Secpol_can Secpol_sim State

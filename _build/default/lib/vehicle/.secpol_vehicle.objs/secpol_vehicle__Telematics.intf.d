@@ -1,0 +1,1 @@
+lib/vehicle/telematics.mli: Secpol_can Secpol_sim State

@@ -1,0 +1,1 @@
+lib/vehicle/threat_catalog.ml: Assets List Modes Names Secpol_policy Secpol_threat String

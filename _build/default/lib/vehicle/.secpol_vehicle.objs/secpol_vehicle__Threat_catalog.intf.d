@@ -1,0 +1,1 @@
+lib/vehicle/threat_catalog.mli: Secpol_policy Secpol_threat

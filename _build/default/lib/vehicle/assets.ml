@@ -1,0 +1,53 @@
+module Asset = Secpol_threat.Asset
+module Entry_point = Secpol_threat.Entry_point
+
+let all =
+  [
+    Asset.make ~id:Names.ev_ecu ~name:"EV-ECU"
+      ~description:"Electronic vehicle ECU: acceleration, braking, transmission control"
+      Asset.Safety_critical;
+    Asset.make ~id:Names.eps ~name:"EPS"
+      ~description:"Electronic power steering" Asset.Safety_critical;
+    Asset.make ~id:Names.engine ~name:"Engine"
+      ~description:"Engine / propulsion unit" Asset.Operational;
+    Asset.make ~id:Names.asset_connectivity ~name:"3G/4G/WiFi"
+      ~description:"Cellular and WiFi connectivity (telematics unit)"
+      Asset.Operational;
+    Asset.make ~id:Names.infotainment ~name:"Infotainment system"
+      ~description:"Media player, browser and display unit" Asset.Convenience;
+    Asset.make ~id:Names.door_locks ~name:"Door locks"
+      ~description:"Central locking actuators" Asset.Safety_critical;
+    Asset.make ~id:Names.asset_safety_critical ~name:"Safety critical"
+      ~description:"Airbags, alarm, fail-safe controller" Asset.Safety_critical;
+    Asset.make ~id:Names.sensors ~name:"Sensors"
+      ~description:"Acceleration, brake and transmission sensor cluster"
+      Asset.Safety_critical;
+  ]
+
+let entry_points =
+  [
+    Entry_point.make ~id:Names.ep_door_locks ~name:"Door locks"
+      ~description:"lock/unlock signalling path" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_safety_critical ~name:"Safety critical"
+      ~description:"fail-safe and alarm signalling path" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_sensors ~name:"Sensors"
+      ~description:"sensor telemetry feed" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_connectivity ~name:"3G/4G/WiFi"
+      ~description:"cellular / WiFi radio link" Entry_point.Wireless;
+    Entry_point.make ~id:Names.ep_any_node ~name:"Any CAN node"
+      ~description:"any station on the shared CAN bus" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_ev_ecu ~name:"EV-ECU"
+      ~description:"propulsion controller as a pivot" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_infotainment ~name:"Infotainment system"
+      ~description:"infotainment unit as a pivot" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_emergency ~name:"Emergency signalling"
+      ~description:"eCall / emergency trigger path" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_air_bags ~name:"Air bags"
+      ~description:"airbag deployment signalling" Entry_point.Bus;
+    Entry_point.make ~id:Names.ep_media_browser ~name:"Media player browser"
+      ~description:"user-facing browser on the media display" Entry_point.Ui;
+    Entry_point.make ~id:Names.ep_manual_open ~name:"Manual open"
+      ~description:"physical door handle / key" Entry_point.Physical;
+  ]
+
+let find id = List.find_opt (fun (a : Asset.t) -> a.id = id) all

@@ -1,0 +1,10 @@
+(** The car's critical assets and entry points as threat-model objects
+    (paper §V: "the car's chosen critical assets are EV-ECU, electronic
+    power steering, Engine, 3G/4G/WiFi, infotainment system, door locks
+    and safety critical devices"). *)
+
+val all : Secpol_threat.Asset.t list
+
+val entry_points : Secpol_threat.Entry_point.t list
+
+val find : string -> Secpol_threat.Asset.t option

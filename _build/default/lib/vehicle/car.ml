@@ -1,0 +1,118 @@
+module Engine = Secpol_sim.Engine
+module Bus = Secpol_can.Bus
+module Node = Secpol_can.Node
+module Controller = Secpol_can.Controller
+
+type enforcement =
+  | No_enforcement
+  | Software_filters
+  | Hpe of Secpol_policy.Ast.policy
+
+type t = {
+  sim : Engine.t;
+  bus : Bus.t;
+  state : State.t;
+  enforcement : enforcement;
+  nodes : (string * Node.t) list;
+  hpes : (string * Secpol_hpe.Engine.t) list;
+  policy_engine : Secpol_policy.Engine.t option;
+}
+
+let builders =
+  [
+    (Names.sensors, Sensors.create);
+    (Names.ev_ecu, Ev_ecu.create);
+    (Names.eps, Eps.create);
+    (Names.engine, Engine_ecu.create);
+    (Names.telematics, Telematics.create);
+    (Names.infotainment, Infotainment.create);
+    (Names.door_locks, Door_locks.create);
+    (Names.safety, Safety.create);
+  ]
+
+let provision_hpes hpes policy_engine mode =
+  List.iter
+    (fun (name, hpe) ->
+      let config = Policy_map.hpe_config_for policy_engine ~mode ~node:name in
+      Secpol_hpe.Registers.hard_reset (Secpol_hpe.Engine.registers hpe);
+      match Secpol_hpe.Engine.provision hpe config with
+      | Ok () -> ()
+      | Error e -> invalid_arg (Printf.sprintf "Car: HPE provisioning %s: %s" name e))
+    hpes
+
+let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(corrupt_prob = 0.0)
+    ?(enforcement = Software_filters) ?(driving = true) () =
+  let sim = Engine.create ~seed () in
+  let bus = Bus.create ~corrupt_prob ~bitrate sim in
+  let state = if driving then State.driving () else State.create () in
+  let nodes = List.map (fun (name, build) -> (name, build sim bus state)) builders in
+  (match enforcement with
+  | No_enforcement ->
+      List.iter
+        (fun (_, node) -> Controller.set_filters (Node.controller node) [])
+        nodes
+  | Software_filters | Hpe _ -> ());
+  let hpes, policy_engine =
+    match enforcement with
+    | Hpe policy ->
+        let engine = Policy_map.engine policy in
+        let hpes =
+          List.map (fun (name, node) -> (name, Secpol_hpe.Engine.install node)) nodes
+        in
+        provision_hpes hpes engine state.State.mode;
+        (hpes, Some engine)
+    | No_enforcement | Software_filters -> ([], None)
+  in
+  { sim; bus; state; enforcement; nodes; hpes; policy_engine }
+
+let node t name =
+  match List.assoc_opt name t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Car.node: unknown node %S" name)
+
+let hpe t name = List.assoc_opt name t.hpes
+
+let run t ~seconds = Engine.run_until t.sim (Engine.now t.sim +. seconds)
+
+let mode t = t.state.State.mode
+
+let set_mode t mode =
+  t.state.State.mode <- mode;
+  State.log t.state ~time:(Engine.now t.sim)
+    (Printf.sprintf "car: mode -> %s" (Modes.name mode));
+  match t.policy_engine with
+  | Some engine -> provision_hpes t.hpes engine mode
+  | None -> ()
+
+let total_hpe_blocks t =
+  List.fold_left
+    (fun acc (_, h) ->
+      acc + Secpol_hpe.Engine.read_blocks h + Secpol_hpe.Engine.write_blocks h)
+    0 t.hpes
+
+let false_hpe_blocks t =
+  let write_blocks =
+    List.fold_left
+      (fun acc (_, h) -> acc + Secpol_hpe.Engine.write_blocks h)
+      0 t.hpes
+  in
+  let bad_read_blocks =
+    Secpol_can.Trace.count (Bus.trace t.bus) (fun e ->
+        match e.Secpol_can.Trace.event with
+        | Secpol_can.Trace.Rx_blocked (receiver, _) -> (
+            match e.Secpol_can.Trace.frame.Secpol_can.Frame.id with
+            | Secpol_can.Identifier.Standard id -> (
+                match Messages.find id with
+                | Some m -> List.mem receiver m.consumers
+                | None -> false)
+            | Secpol_can.Identifier.Extended _ -> false)
+        | _ -> false)
+  in
+  write_blocks + bad_read_blocks
+
+let total_deliveries t =
+  List.fold_left
+    (fun acc (_, n) -> acc + Node.received_count n)
+    0 t.nodes
+
+let trace t = Bus.trace t.bus

@@ -1,0 +1,69 @@
+(** The assembled connected car (paper Fig. 2): eight ECUs on one CAN bus,
+    with selectable enforcement.
+
+    Enforcement levels, matching the experiments:
+    - [No_enforcement]: acceptance filters cleared, no HPE — a device
+      shipped with no security mechanism (and the state firmware compromise
+      reduces the next level to).
+    - [Software_filters]: controller acceptance filters per the message
+      map's consumer sets — the conventional, firmware-configured defence.
+    - [Hpe policy]: software filters *plus* a locked hardware policy engine
+      on every node, provisioned from the given policy. *)
+
+type enforcement =
+  | No_enforcement
+  | Software_filters
+  | Hpe of Secpol_policy.Ast.policy
+
+type t = {
+  sim : Secpol_sim.Engine.t;
+  bus : Secpol_can.Bus.t;
+  state : State.t;
+  enforcement : enforcement;
+  nodes : (string * Secpol_can.Node.t) list;
+  hpes : (string * Secpol_hpe.Engine.t) list;  (** empty unless [Hpe _] *)
+  policy_engine : Secpol_policy.Engine.t option;
+}
+
+val create :
+  ?seed:int64 ->
+  ?bitrate:float ->
+  ?corrupt_prob:float ->
+  ?enforcement:enforcement ->
+  ?driving:bool ->
+  unit ->
+  t
+(** Build the car at simulation time 0.  [enforcement] defaults to
+    [Software_filters]; [driving] (default [true]) starts in normal mode at
+    speed, engine running.  With [Hpe p] every node's HPE is provisioned
+    for the initial mode and locked. *)
+
+val node : t -> string -> Secpol_can.Node.t
+(** @raise Invalid_argument on unknown node names; use {!Names}. *)
+
+val hpe : t -> string -> Secpol_hpe.Engine.t option
+
+val run : t -> seconds:float -> unit
+(** Advance the simulation. *)
+
+val mode : t -> Modes.t
+
+val set_mode : t -> Modes.t -> unit
+(** Change operating mode.  The mode line enters each HPE as a hardware
+    input: the engines are hard-reset and re-provisioned for the new mode
+    (firmware is not involved and the lock is re-applied). *)
+
+val total_hpe_blocks : t -> int
+(** All HPE blocks, read and write.  On a broadcast bus this includes the
+    engine correctly dropping frames the node never consumes, so it is not
+    a false-block count — see {!false_hpe_blocks}. *)
+
+val false_hpe_blocks : t -> int
+(** Blocks that would hurt legitimate function on *clean* traffic: write
+    blocks (designed nodes only transmit designed messages) plus read
+    blocks of frames whose receiver is a designed consumer.  The
+    reproduction expects 0 on benign runs. *)
+
+val total_deliveries : t -> int
+
+val trace : t -> Secpol_can.Trace.t

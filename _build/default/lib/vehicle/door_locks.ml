@@ -1,0 +1,46 @@
+module Engine = Secpol_sim.Engine
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.door_locks in
+  let log msg = State.log state ~time:(Engine.now sim) msg in
+  let handlers =
+    [
+      ( Messages.lock_command,
+        fun ~sender:_ frame ->
+          match Ecu.command frame with
+          | Some c when c = Messages.cmd_lock ->
+              if not state.State.doors_locked then begin
+                state.State.doors_locked <- true;
+                log "doors: locked"
+              end
+          | Some c when c = Messages.cmd_unlock ->
+              if state.State.doors_locked then begin
+                state.State.doors_locked <- false;
+                log
+                  (if state.State.speed_kmh > 0.0 then
+                     "doors: UNLOCKED WHILE IN MOTION"
+                   else "doors: unlocked");
+                (* Unlock while armed looks like a break-in: immobilise. *)
+                if state.State.alarm_armed then
+                  ignore
+                    (Ecu.send_command node
+                       (Messages.find_exn Messages.ecu_command)
+                       Messages.cmd_disable)
+              end
+          | Some _ | None -> () );
+      ( Messages.airbag_deploy,
+        fun ~sender:_ _frame ->
+          if state.State.doors_locked then begin
+            state.State.doors_locked <- false;
+            log "doors: crash unlock (airbag deployment)"
+          end );
+    ]
+    @ [ Ecu.diag_responder node state ]
+  in
+  Secpol_can.Node.set_on_receive node (Ecu.dispatch handlers);
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.door_status)
+    ~payload:(fun () ->
+      String.make 1 (if state.State.doors_locked then '\001' else '\000'))
+    ~enabled:(fun () -> true);
+  node

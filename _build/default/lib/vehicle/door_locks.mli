@@ -1,0 +1,9 @@
+(** Central locking ECU.
+
+    Locks/unlocks on [lock_command], auto-unlocks on airbag deployment
+    (rescue access), and — as the alarm's actuator arm — immobilises the
+    drivetrain when an unlock happens while armed.  Table I threats 13/14
+    target it. *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t

@@ -1,0 +1,39 @@
+module Engine = Secpol_sim.Engine
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.engine in
+  let log msg = State.log state ~time:(Engine.now sim) msg in
+  let handlers =
+    [
+      ( Messages.engine_command,
+        fun ~sender:_ frame ->
+          match Ecu.command frame with
+          | Some c when c = Messages.cmd_disable ->
+              if state.State.engine_running then begin
+                state.State.engine_running <- false;
+                state.State.speed_kmh <- 0.0;
+                log "engine: stopped"
+              end
+          | Some c when c = Messages.cmd_enable ->
+              if (not state.State.engine_running) && state.State.ev_ecu_enabled
+              then begin
+                state.State.engine_running <- true;
+                log "engine: started"
+              end
+          | Some _ | None -> () );
+      ( Messages.failsafe_enter,
+        fun ~sender:_ _frame ->
+          if state.State.engine_running then begin
+            state.State.engine_running <- false;
+            log "engine: shut down (fail-safe)"
+          end );
+    ]
+    @ [ Ecu.diag_responder node state ]
+  in
+  Secpol_can.Node.set_on_receive node (Ecu.dispatch handlers);
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.engine_status)
+    ~payload:(fun () ->
+      String.make 1 (if state.State.engine_running then '\001' else '\000'))
+    ~enabled:(fun () -> state.State.engine_running);
+  node

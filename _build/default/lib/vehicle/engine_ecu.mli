@@ -1,0 +1,5 @@
+(** Engine control unit: start/stop per [engine_command] (Table I threat 6
+    deactivates it through a compromised sensor). *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t

@@ -1,0 +1,38 @@
+module Engine = Secpol_sim.Engine
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.eps in
+  let log msg = State.log state ~time:(Engine.now sim) msg in
+  let handlers =
+    [
+      ( Messages.eps_command,
+        fun ~sender:_ frame ->
+          match Ecu.command frame with
+          | Some c when c = Messages.cmd_disable ->
+              if state.State.eps_active then begin
+                state.State.eps_active <- false;
+                log "eps: assistance deactivated"
+              end
+          | Some c when c = Messages.cmd_enable ->
+              if not state.State.eps_active then begin
+                state.State.eps_active <- true;
+                log "eps: assistance activated"
+              end
+          | Some _ | None -> () );
+      ( Messages.failsafe_enter,
+        fun ~sender:_ _frame ->
+          (* steering assistance stays available in fail-safe *)
+          if not state.State.eps_active then begin
+            state.State.eps_active <- true;
+            log "eps: forced active (fail-safe)"
+          end );
+    ]
+    @ [ Ecu.diag_responder node state ]
+  in
+  Secpol_can.Node.set_on_receive node (Ecu.dispatch handlers);
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.eps_status)
+    ~payload:(fun () ->
+      String.make 1 (if state.State.eps_active then '\001' else '\000') ^ "\000")
+    ~enabled:(fun () -> true);
+  node

@@ -1,0 +1,5 @@
+(** Electronic power steering ECU: assistance on/off per [eps_command]
+    (Table I threat 5 deactivates it from a compromised node). *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t

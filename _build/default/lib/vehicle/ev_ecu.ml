@@ -1,0 +1,53 @@
+module Engine = Secpol_sim.Engine
+
+let now sim = Engine.now sim
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.ev_ecu in
+  let log msg = State.log state ~time:(now sim) msg in
+  let handlers =
+    [
+      ( Messages.ecu_command,
+        fun ~sender:_ frame ->
+          match Ecu.command frame with
+          | Some c when c = Messages.cmd_disable ->
+              if state.State.ev_ecu_enabled then begin
+                state.State.ev_ecu_enabled <- false;
+                state.State.speed_kmh <- 0.0;
+                log "ev-ecu: propulsion disabled"
+              end
+          | Some c when c = Messages.cmd_enable ->
+              if not state.State.ev_ecu_enabled then begin
+                state.State.ev_ecu_enabled <- true;
+                log "ev-ecu: propulsion enabled"
+              end
+          | Some _ | None -> () );
+      ( Messages.obstacle_warning,
+        fun ~sender:_ _frame ->
+          if state.State.speed_kmh > 0.0 then begin
+            state.State.speed_kmh <- 0.0;
+            log "ev-ecu: emergency stop (obstacle)"
+          end );
+      ( Messages.airbag_deploy,
+        fun ~sender:_ _frame ->
+          if state.State.ev_ecu_enabled then begin
+            state.State.ev_ecu_enabled <- false;
+            state.State.speed_kmh <- 0.0;
+            log "ev-ecu: propulsion cut (airbag deployment)"
+          end );
+      ( Messages.failsafe_enter,
+        fun ~sender:_ _frame ->
+          if state.State.speed_kmh > 0.0 then begin
+            state.State.speed_kmh <- 0.0;
+            log "ev-ecu: controlled stop (fail-safe)"
+          end );
+    ]
+    @ [ Ecu.diag_responder node state ]
+  in
+  Secpol_can.Node.set_on_receive node (Ecu.dispatch handlers);
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.ecu_status)
+    ~payload:(fun () ->
+      String.make 1 (if state.State.ev_ecu_enabled then '\001' else '\000'))
+    ~enabled:(fun () -> true);
+  node

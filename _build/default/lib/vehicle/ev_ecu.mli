@@ -1,0 +1,9 @@
+(** EV-ECU behaviour model: the propulsion controller.
+
+    Acts on [ecu_command] (enable/disable propulsion), reacts to obstacle
+    warnings with an emergency stop, and shuts down on airbag deployment.
+    Its disablement during normal driving is the headline attack of the
+    paper's §V.A. *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t

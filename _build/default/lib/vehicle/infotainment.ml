@@ -1,0 +1,38 @@
+module Engine = Secpol_sim.Engine
+module Node = Secpol_can.Node
+
+(* last displayed speed per node name; keyed because nodes are created per
+   car instance *)
+let display_cache : (string, float) Hashtbl.t = Hashtbl.create 4
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.infotainment in
+  let log msg = State.log state ~time:(Engine.now sim) msg in
+  let handlers =
+    [
+      ( Messages.sw_install,
+        fun ~sender frame ->
+          match Ecu.command frame with
+          | Some _ ->
+              state.State.software_installs <- state.State.software_installs + 1;
+              log
+                (Printf.sprintf "infotainment: software installed (from %s)"
+                   sender)
+          | None -> () );
+      ( Messages.accel_status,
+        fun ~sender:_ frame ->
+          match Ecu.command frame with
+          | Some b ->
+              Hashtbl.replace display_cache (Node.name node)
+                (float_of_int (Char.code b))
+          | None -> () );
+    ]
+  in
+  Node.set_on_receive node (Ecu.dispatch handlers);
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.media_status)
+    ~payload:(fun () -> "\001")
+    ~enabled:(fun () -> true);
+  node
+
+let displayed_speed node = Hashtbl.find_opt display_cache (Node.name node)

@@ -1,0 +1,13 @@
+(** Infotainment unit: media display, browser, status mirror.
+
+    On the CAN side it consumes status telemetry and the [sw_install]
+    trigger (designed for remote-diagnostic updates from telematics;
+    Table I threat 11 abuses it).  Its application side — browser and
+    package installs under the software policy engine — is modelled by
+    [Secpol.Infotainment_os] on top of this node. *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t
+
+val displayed_speed : Secpol_can.Node.t -> float option
+(** Last speed shown on the driver display, from accel telemetry. *)

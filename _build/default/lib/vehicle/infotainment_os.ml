@@ -1,0 +1,142 @@
+module Sel = Secpol_selinux
+module Context = Sel.Context
+module Te = Sel.Te_rule
+module Pm = Sel.Policy_module
+
+type t = {
+  server : Sel.Server.t;
+  store : Pm.store;
+  node : Secpol_can.Node.t;
+  state : State.t;
+  browser : Context.t;
+}
+
+let types =
+  [
+    "media_t";
+    "installer_t";
+    "vehicle_ctl_t";
+    "system_t";
+    "media_content_t";
+    "installer_exec_t";
+    "system_storage_t";
+    "can0_t";
+  ]
+
+(* Factory policy: note the sloppy grants that enable the Table I threat-11
+   chain — browser can execute + transition into the installer, and the
+   installer can write the CAN socket. *)
+let base_v1 =
+  Pm.make ~name:"base" ~version:1 ~types
+    ~attributes:[ ("app_domain", [ "media_t"; "installer_t" ]) ]
+    ~rules:
+      [
+        Te.allow ~source:"media_t" ~target:"media_content_t" ~cls:"file"
+          [ "read"; "write" ];
+        Te.allow ~source:"media_t" ~target:"installer_exec_t" ~cls:"file"
+          [ "read"; "execute" ];
+        Te.allow ~source:"media_t" ~target:"installer_t" ~cls:"process"
+          [ "transition" ];
+        Te.allow ~source:"installer_t" ~target:"system_storage_t" ~cls:"file"
+          [ "read"; "write" ];
+        Te.allow ~source:"installer_t" ~target:"can0_t" ~cls:"can_socket"
+          [ "read"; "write" ];
+        Te.allow ~source:"vehicle_ctl_t" ~target:"can0_t" ~cls:"can_socket"
+          [ "create"; "read"; "write"; "setfilter" ];
+        Te.allow ~source:"media_t" ~target:"can0_t" ~cls:"can_socket" [ "read" ];
+        Te.allow ~source:"system_t" ~target:"system_storage_t" ~cls:"file"
+          [ "read"; "write"; "unlink" ];
+      ]
+    ()
+
+(* The policy update: same module name, version 2; the escalation chain is
+   gone and a neverallow pins it. *)
+let base_v2 =
+  Pm.make ~name:"base" ~version:2 ~types
+    ~attributes:[ ("app_domain", [ "media_t"; "installer_t" ]) ]
+    ~rules:
+      [
+        Te.allow ~source:"media_t" ~target:"media_content_t" ~cls:"file"
+          [ "read"; "write" ];
+        Te.allow ~source:"installer_t" ~target:"system_storage_t" ~cls:"file"
+          [ "read"; "write" ];
+        Te.allow ~source:"vehicle_ctl_t" ~target:"can0_t" ~cls:"can_socket"
+          [ "create"; "read"; "write"; "setfilter" ];
+        Te.allow ~source:"media_t" ~target:"can0_t" ~cls:"can_socket" [ "read" ];
+        Te.allow ~source:"system_t" ~target:"system_storage_t" ~cls:"file"
+          [ "read"; "write"; "unlink" ];
+        Te.neverallow ~source:"media_t" ~target:"installer_t" ~cls:"process"
+          [ "transition" ];
+        Te.neverallow ~source:"app_domain" ~target:"can0_t" ~cls:"can_socket"
+          [ "write" ];
+      ]
+    ()
+
+let ctx type_ = Context.make ~user:"user_u" ~role:"user_r" ~type_
+
+let obj type_ = Context.make ~user:"system_u" ~role:"object_r" ~type_
+
+let create ?(hardened = false) state node =
+  match Pm.store ~base:base_v1 with
+  | Error _ as e -> e
+  | Ok store -> (
+      let t =
+        {
+          server = Sel.Server.create (Pm.db store);
+          store;
+          node;
+          state;
+          browser = ctx "media_t";
+        }
+      in
+      if not hardened then Ok t
+      else
+        match Pm.load store base_v2 with
+        | Error _ as e -> e
+        | Ok db ->
+            Sel.Server.reload t.server db;
+            Ok t)
+
+let create_exn ?hardened state node =
+  match create ?hardened state node with
+  | Ok t -> t
+  | Error es -> invalid_arg ("Infotainment_os.create_exn: " ^ String.concat "; " es)
+
+let server t = t.server
+
+let browser_context t = t.browser
+
+let browse t =
+  Sel.Server.check t.server ~source:t.browser ~target:(obj "media_content_t")
+    ~cls:"file" "read"
+
+let exploit_browser t =
+  Sel.Server.transition t.server ~source:t.browser
+    ~target:(obj "installer_exec_t") ~new_type:"installer_t"
+
+let install_package t ~as_ =
+  let allowed =
+    Sel.Server.check t.server ~source:as_ ~target:(obj "system_storage_t")
+      ~cls:"file" "write"
+  in
+  if allowed then begin
+    t.state.State.software_installs <- t.state.State.software_installs + 1;
+    true
+  end
+  else false
+
+let send_can t ~as_ frame =
+  let allowed =
+    Sel.Server.check t.server ~source:as_ ~target:(obj "can0_t")
+      ~cls:"can_socket" "write"
+  in
+  allowed && Secpol_can.Node.send t.node frame
+
+let apply_hardening t =
+  match Pm.load t.store base_v2 with
+  | Error _ as e -> e
+  | Ok db ->
+      Sel.Server.reload t.server db;
+      Ok ()
+
+let denial_count t = Sel.Server.denial_count t.server

@@ -1,0 +1,51 @@
+(** The infotainment unit's application environment under the software
+    policy engine (the paper's "SELinux-based policy enforcement").
+
+    Domains: [media_t] (browser / media player), [installer_t] (package
+    installer), [vehicle_ctl_t] (the daemon allowed to touch the CAN
+    socket), [system_t].  The factory base policy is sloppy: the browser
+    may execute the installer and transition into it, and the installer may
+    write the CAN socket — the escalation chain of Table I threat 11
+    ("exploit to gain access to higher control level").
+
+    The {!hardening} module is the paper's policy-update countermeasure: a
+    new base-policy version that removes the browser's transition right and
+    the installer's CAN access. *)
+
+type t
+
+val create :
+  ?hardened:bool -> State.t -> Secpol_can.Node.t -> (t, string list) result
+(** [hardened] (default [false]) applies {!hardening} at build time. *)
+
+val create_exn : ?hardened:bool -> State.t -> Secpol_can.Node.t -> t
+
+val server : t -> Secpol_selinux.Server.t
+
+val browser_context : t -> Secpol_selinux.Context.t
+(** [user_u:user_r:media_t]. *)
+
+val browse : t -> bool
+(** Benign browsing: [media_t] reads media content.  Allowed in both
+    policy versions. *)
+
+val exploit_browser : t -> (Secpol_selinux.Context.t, string) result
+(** The browser exploit: execute the installer binary and transition
+    [media_t] -> [installer_t].  Succeeds only if the policy grants the
+    chain. *)
+
+val install_package : t -> as_:Secpol_selinux.Context.t -> bool
+(** Write a package into system storage (increments the car state's
+    install counter when permitted). *)
+
+val send_can :
+  t -> as_:Secpol_selinux.Context.t -> Secpol_can.Frame.t -> bool
+(** CAN transmission from an application domain: checked against
+    [can_socket write], then handed to the node (whose HPE write gate, if
+    any, still applies). *)
+
+val apply_hardening : t -> (unit, string list) result
+(** Load the hardened base policy (version 2) at run time — the
+    post-deployment policy update. *)
+
+val denial_count : t -> int

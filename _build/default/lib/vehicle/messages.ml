@@ -1,0 +1,215 @@
+type t = {
+  id : int;
+  name : string;
+  asset : string;
+  producers : string list;
+  consumers : string list;
+  period : float option;
+  dlc : int;
+  modes : Modes.t list;
+}
+
+let airbag_deploy = 0x010
+
+let failsafe_enter = 0x020
+
+let brake_status = 0x050
+
+let accel_status = 0x060
+
+let transmission_status = 0x070
+
+let obstacle_warning = 0x080
+
+let ecu_command = 0x100
+
+let ecu_status = 0x110
+
+let eps_command = 0x120
+
+let eps_status = 0x130
+
+let engine_command = 0x140
+
+let engine_status = 0x150
+
+let lock_command = 0x200
+
+let door_status = 0x210
+
+let modem_command = 0x300
+
+let gps_position = 0x310
+
+let tracking_report = 0x320
+
+let media_status = 0x400
+
+let sw_install = 0x410
+
+let diag_request = 0x500
+
+let diag_response = 0x510
+
+let cmd_disable = '\000'
+
+let cmd_enable = '\001'
+
+let cmd_lock = '\000'
+
+let cmd_unlock = '\001'
+
+open Names
+
+let msg ?period ?(dlc = 1) ?(modes = []) ~id ~name ~asset ~producers ~consumers () =
+  { id; name; asset; producers; consumers; period; dlc; modes }
+
+let all =
+  [
+    (* Safety-critical signalling: dominant (lowest) identifiers. *)
+    msg ~id:airbag_deploy ~name:"airbag_deploy" ~asset:asset_safety_critical
+      ~producers:[ safety ]
+      ~consumers:[ ev_ecu; door_locks; telematics ]
+      ();
+    msg ~id:failsafe_enter ~name:"failsafe_enter" ~asset:asset_safety_critical
+      ~producers:[ safety ]
+      ~consumers:[ ev_ecu; eps; engine; door_locks; telematics; infotainment ]
+      ();
+    (* Sensor telemetry: periodic broadcast. *)
+    msg ~id:brake_status ~name:"brake_status" ~asset:sensors ~period:0.02 ~dlc:2
+      ~producers:[ sensors ]
+      ~consumers:[ ev_ecu; engine; eps; safety ]
+      ();
+    msg ~id:accel_status ~name:"accel_status" ~asset:sensors ~period:0.02 ~dlc:2
+      ~producers:[ sensors ]
+      ~consumers:[ ev_ecu; engine; infotainment ]
+      ();
+    msg ~id:transmission_status ~name:"transmission_status" ~asset:sensors
+      ~period:0.1 ~dlc:2
+      ~producers:[ sensors ]
+      ~consumers:[ ev_ecu; engine; infotainment ]
+      ();
+    msg ~id:obstacle_warning ~name:"obstacle_warning" ~asset:sensors
+      ~producers:[ sensors ]
+      ~consumers:[ ev_ecu; safety ]
+      ();
+    (* Propulsion control. *)
+    msg ~id:ecu_command ~name:"ecu_command" ~asset:ev_ecu
+      ~producers:[ safety; door_locks ]
+      ~consumers:[ ev_ecu ]
+      ();
+    msg ~id:ecu_status ~name:"ecu_status" ~asset:ev_ecu ~period:0.1 ~dlc:4
+      ~producers:[ ev_ecu ]
+      ~consumers:[ infotainment; telematics; safety ]
+      ();
+    (* Steering. *)
+    msg ~id:eps_command ~name:"eps_command" ~asset:eps
+      ~producers:[ ev_ecu ]
+      ~consumers:[ eps ]
+      ();
+    msg ~id:eps_status ~name:"eps_status" ~asset:eps ~period:0.1 ~dlc:2
+      ~producers:[ eps ]
+      ~consumers:[ ev_ecu; infotainment ]
+      ();
+    (* Engine. *)
+    msg ~id:engine_command ~name:"engine_command" ~asset:engine
+      ~producers:[ ev_ecu; safety ]
+      ~consumers:[ engine ]
+      ();
+    msg ~id:engine_status ~name:"engine_status" ~asset:engine ~period:0.1 ~dlc:4
+      ~producers:[ engine ]
+      ~consumers:[ ev_ecu; infotainment; telematics ]
+      ();
+    (* Door locks. *)
+    msg ~id:lock_command ~name:"lock_command" ~asset:door_locks
+      ~producers:[ telematics; safety ]
+      ~consumers:[ door_locks ]
+      ();
+    msg ~id:door_status ~name:"door_status" ~asset:door_locks ~period:0.5
+      ~producers:[ door_locks ]
+      ~consumers:[ safety; infotainment; telematics ]
+      ();
+    (* Connectivity. *)
+    msg ~id:modem_command ~name:"modem_command" ~asset:asset_connectivity
+      ~producers:[ safety ]
+      ~consumers:[ telematics ]
+      ();
+    msg ~id:gps_position ~name:"gps_position" ~asset:asset_connectivity
+      ~period:1.0 ~dlc:8
+      ~producers:[ telematics ]
+      ~consumers:[ infotainment; safety ]
+      ();
+    msg ~id:tracking_report ~name:"tracking_report" ~asset:asset_connectivity
+      ~period:5.0 ~dlc:8
+      ~producers:[ telematics ]
+      ~consumers:[]
+      ();
+    (* Infotainment. *)
+    msg ~id:media_status ~name:"media_status" ~asset:infotainment ~period:1.0
+      ~producers:[ infotainment ]
+      ~consumers:[ telematics ]
+      ();
+    msg ~id:sw_install ~name:"sw_install" ~asset:infotainment
+      ~producers:[ telematics ]
+      ~consumers:[ infotainment ]
+      ~modes:[ Modes.Remote_diagnostic ]
+      ();
+    (* Remote diagnostics. *)
+    msg ~id:diag_request ~name:"diag_request" ~asset:asset_safety_critical
+      ~dlc:8
+      ~producers:[ telematics ]
+      ~consumers:[ ev_ecu; eps; engine; door_locks; safety ]
+      ~modes:[ Modes.Remote_diagnostic ]
+      ();
+    msg ~id:diag_response ~name:"diag_response" ~asset:asset_safety_critical
+      ~dlc:8
+      ~producers:[ ev_ecu; eps; engine; door_locks; safety ]
+      ~consumers:[ telematics ]
+      ~modes:[ Modes.Remote_diagnostic ]
+      ();
+  ]
+
+let find id = List.find_opt (fun m -> m.id = id) all
+
+let find_exn id =
+  match find id with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Messages.find_exn: unknown id 0x%x" id)
+
+let by_name name = List.find_opt (fun m -> m.name = name) all
+
+let produced_by node = List.filter (fun m -> List.mem node m.producers) all
+
+let consumed_by node = List.filter (fun m -> List.mem node m.consumers) all
+
+let bindings =
+  List.map (fun m -> { Secpol_hpe.Config.msg_id = m.id; asset = m.asset }) all
+
+let validate () =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let ids = List.map (fun m -> m.id) all in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    err "duplicate message ids";
+  let names_ = List.map (fun m -> m.name) all in
+  if List.length (List.sort_uniq compare names_) <> List.length names_ then
+    err "duplicate message names";
+  List.iter
+    (fun m ->
+      if m.id < 0 || m.id > 0x7FF then err "message %s id out of range" m.name;
+      if m.dlc < 0 || m.dlc > 8 then err "message %s dlc out of range" m.name;
+      if not (List.mem m.asset Names.assets) then
+        err "message %s references unknown asset %s" m.name m.asset;
+      if m.producers = [] then err "message %s has no producers" m.name;
+      List.iter
+        (fun n ->
+          if not (List.mem n Names.nodes) then
+            err "message %s producer %s unknown" m.name n)
+        m.producers;
+      List.iter
+        (fun n ->
+          if not (List.mem n Names.nodes) then
+            err "message %s consumer %s unknown" m.name n)
+        m.consumers)
+    all;
+  List.rev !errors

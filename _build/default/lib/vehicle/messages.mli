@@ -1,0 +1,98 @@
+(** The car's CAN message map.
+
+    Every message ID is bound to the asset whose state or actuation it
+    carries, the nodes designed to produce it, and the nodes that consume
+    it.  The HPE approved lists, the ECU behaviour models and the traffic
+    generator are all driven from this single map, so the three can never
+    disagree. *)
+
+type t = {
+  id : int;  (** standard 11-bit CAN ID; lower = higher priority *)
+  name : string;
+  asset : string;  (** asset this message reads or actuates *)
+  producers : string list;  (** nodes designed to send it *)
+  consumers : string list;  (** nodes that act on it *)
+  period : float option;  (** seconds, for periodic telemetry; [None] = event-driven *)
+  dlc : int;
+  modes : Modes.t list;  (** modes in which the message is designed to flow;
+                             [[]] = every mode *)
+}
+
+(** {2 Message IDs} *)
+
+val airbag_deploy : int
+
+val failsafe_enter : int
+
+val brake_status : int
+
+val accel_status : int
+
+val transmission_status : int
+
+val obstacle_warning : int
+
+val ecu_command : int
+(** Enable/disable propulsion (the spoofing target of §V.A). *)
+
+val ecu_status : int
+
+val eps_command : int
+
+val eps_status : int
+
+val engine_command : int
+
+val engine_status : int
+
+val lock_command : int
+
+val door_status : int
+
+val modem_command : int
+
+val gps_position : int
+
+val tracking_report : int
+
+val media_status : int
+
+val sw_install : int
+(** Infotainment software installation trigger. *)
+
+val diag_request : int
+
+val diag_response : int
+
+(** {2 Command payload bytes} *)
+
+val cmd_disable : char
+
+val cmd_enable : char
+
+val cmd_lock : char
+
+val cmd_unlock : char
+
+(** {2 The map} *)
+
+val all : t list
+
+val find : int -> t option
+
+val find_exn : int -> t
+
+val by_name : string -> t option
+
+val produced_by : string -> t list
+(** Messages a node is designed to send. *)
+
+val consumed_by : string -> t list
+(** Messages a node is designed to act on. *)
+
+val bindings : Secpol_hpe.Config.binding list
+(** The full map as HPE policy bindings. *)
+
+val validate : unit -> string list
+(** Internal consistency: unique ids and names, known producer/consumer
+    nodes, known assets.  Empty list = healthy (asserted by tests). *)

@@ -1,0 +1,21 @@
+type t = Normal | Remote_diagnostic | Fail_safe
+
+let all = [ Normal; Remote_diagnostic; Fail_safe ]
+
+let name = function
+  | Normal -> "normal"
+  | Remote_diagnostic -> "remote_diagnostic"
+  | Fail_safe -> "fail_safe"
+
+let of_name = function
+  | "normal" -> Some Normal
+  | "remote_diagnostic" -> Some Remote_diagnostic
+  | "fail_safe" -> Some Fail_safe
+  | _ -> None
+
+let display = function
+  | Normal -> "Normal"
+  | Remote_diagnostic -> "Remote Diagnostic"
+  | Fail_safe -> "Fail-safe"
+
+let pp ppf t = Format.pp_print_string ppf (display t)

@@ -1,0 +1,20 @@
+(** The connected car's operating modes (paper Table I).
+
+    Core functionality adjusts per mode: Normal covers driving and parking;
+    Remote-diagnostic is reserved for the manufacturer or an authorised
+    engineer; Fail-safe is reserved for emergencies. *)
+
+type t = Normal | Remote_diagnostic | Fail_safe
+
+val all : t list
+
+val name : t -> string
+(** The policy-DSL mode identifier: ["normal"], ["remote_diagnostic"],
+    ["fail_safe"]. *)
+
+val of_name : string -> t option
+
+val display : t -> string
+(** Human-readable, e.g. ["Remote Diagnostic"]. *)
+
+val pp : Format.formatter -> t -> unit

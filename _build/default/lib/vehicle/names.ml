@@ -1,0 +1,97 @@
+let ev_ecu = "ev_ecu"
+
+let eps = "eps"
+
+let engine = "engine"
+
+let telematics = "telematics"
+
+let infotainment = "infotainment"
+
+let door_locks = "door_locks"
+
+let safety = "safety"
+
+let sensors = "sensors"
+
+let nodes =
+  [ ev_ecu; eps; engine; telematics; infotainment; door_locks; safety; sensors ]
+
+let asset_connectivity = "connectivity"
+
+let asset_safety_critical = "safety_critical"
+
+let assets =
+  [
+    ev_ecu;
+    eps;
+    engine;
+    asset_connectivity;
+    infotainment;
+    door_locks;
+    asset_safety_critical;
+    sensors;
+  ]
+
+let asset_of_node node =
+  if node = telematics then asset_connectivity
+  else if node = safety then asset_safety_critical
+  else if List.mem node nodes then node
+  else invalid_arg (Printf.sprintf "Names.asset_of_node: unknown node %S" node)
+
+let node_of_asset asset =
+  if asset = asset_connectivity then telematics
+  else if asset = asset_safety_critical then safety
+  else if List.mem asset nodes then asset
+  else invalid_arg (Printf.sprintf "Names.node_of_asset: unknown asset %S" asset)
+
+let ep_door_locks = "ep_door_locks"
+
+let ep_safety_critical = "ep_safety_critical"
+
+let ep_sensors = "ep_sensors"
+
+let ep_connectivity = "ep_connectivity"
+
+let ep_any_node = "ep_any_node"
+
+let ep_ev_ecu = "ep_ev_ecu"
+
+let ep_infotainment = "ep_infotainment"
+
+let ep_emergency = "ep_emergency"
+
+let ep_air_bags = "ep_air_bags"
+
+let ep_media_browser = "ep_media_browser"
+
+let ep_manual_open = "ep_manual_open"
+
+let entry_points =
+  [
+    ep_door_locks;
+    ep_safety_critical;
+    ep_sensors;
+    ep_connectivity;
+    ep_any_node;
+    ep_ev_ecu;
+    ep_infotainment;
+    ep_emergency;
+    ep_air_bags;
+    ep_media_browser;
+    ep_manual_open;
+  ]
+
+let nodes_of_entry_point ep =
+  if ep = ep_door_locks then [ door_locks ]
+  else if ep = ep_safety_critical then [ safety ]
+  else if ep = ep_sensors then [ sensors ]
+  else if ep = ep_connectivity then [ telematics ]
+  else if ep = ep_any_node then nodes
+  else if ep = ep_ev_ecu then [ ev_ecu ]
+  else if ep = ep_infotainment then [ infotainment ]
+  else if ep = ep_emergency then [ safety ]
+  else if ep = ep_air_bags then [ safety ]
+  else if ep = ep_media_browser then [ infotainment ]
+  else if ep = ep_manual_open then [ door_locks ]
+  else invalid_arg (Printf.sprintf "Names.nodes_of_entry_point: unknown %S" ep)

@@ -1,0 +1,77 @@
+(** Canonical identifiers for the car's nodes and assets.
+
+    Node names double as policy subjects; asset names are the policy
+    objects and the threat-model asset ids.  Using these constants
+    everywhere keeps the threat model, the policy text and the simulation
+    consistent. *)
+
+(** {2 CAN nodes (Fig. 2)} *)
+
+val ev_ecu : string
+
+val eps : string
+
+val engine : string
+
+val telematics : string
+(** The 3G/4G/WiFi unit. *)
+
+val infotainment : string
+
+val door_locks : string
+
+val safety : string
+(** Safety-critical controller: airbags, alarm, fail-safe logic. *)
+
+val sensors : string
+(** Acceleration / brake / transmission sensor cluster. *)
+
+val nodes : string list
+(** All eight, in Fig. 2 order. *)
+
+(** {2 Assets (Table I)} *)
+
+val asset_connectivity : string
+(** The "3G/4G/WiFi" asset, hosted by the telematics node. *)
+
+val asset_safety_critical : string
+
+val assets : string list
+
+val asset_of_node : string -> string
+(** Which asset a node hosts.  @raise Invalid_argument on unknown nodes. *)
+
+val node_of_asset : string -> string
+(** Inverse of {!asset_of_node}. *)
+
+(** {2 Entry points (Table I)} *)
+
+val ep_door_locks : string
+
+val ep_safety_critical : string
+
+val ep_sensors : string
+
+val ep_connectivity : string
+(** "3G/4G/WiFi" as an attack entry point. *)
+
+val ep_any_node : string
+
+val ep_ev_ecu : string
+
+val ep_infotainment : string
+
+val ep_emergency : string
+
+val ep_air_bags : string
+
+val ep_media_browser : string
+
+val ep_manual_open : string
+
+val entry_points : string list
+
+val nodes_of_entry_point : string -> string list
+(** The CAN node(s) an attacker reaches through an entry point; e.g.
+    [ep_media_browser] -> the infotainment node, [ep_any_node] -> every
+    node.  @raise Invalid_argument on unknown entry points. *)

@@ -1,0 +1,78 @@
+module Engine = Secpol_sim.Engine
+module Bus = Secpol_can.Bus
+module Node = Secpol_can.Node
+module Gateway = Secpol_can.Gateway
+module Frame = Secpol_can.Frame
+module Identifier = Secpol_can.Identifier
+
+type t = {
+  sim : Engine.t;
+  powertrain : Bus.t;
+  comfort : Bus.t;
+  gateway : Gateway.t;
+  state : State.t;
+  nodes : (string * Node.t) list;
+}
+
+let powertrain_nodes =
+  [ Names.sensors; Names.ev_ecu; Names.eps; Names.engine; Names.safety ]
+
+let comfort_nodes = [ Names.infotainment; Names.telematics; Names.door_locks ]
+
+let side node = if List.mem node powertrain_nodes then `Powertrain else `Comfort
+
+let crossing_ids () =
+  Messages.all
+  |> List.filter_map (fun (m : Messages.t) ->
+         let producer_sides = List.map side m.producers in
+         let consumer_sides = List.map side m.consumers in
+         let crosses =
+           List.exists
+             (fun p -> List.exists (fun c -> p <> c) consumer_sides)
+             producer_sides
+         in
+         if crosses then Some m.id else None)
+  |> List.sort_uniq compare
+
+let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(driving = true) () =
+  let sim = Engine.create ~seed () in
+  let powertrain = Bus.create ~bitrate sim in
+  let comfort = Bus.create ~bitrate sim in
+  let state = if driving then State.driving () else State.create () in
+  let builders =
+    [
+      (Names.sensors, Sensors.create);
+      (Names.ev_ecu, Ev_ecu.create);
+      (Names.eps, Eps.create);
+      (Names.engine, Engine_ecu.create);
+      (Names.safety, Safety.create);
+      (Names.infotainment, Infotainment.create);
+      (Names.telematics, Telematics.create);
+      (Names.door_locks, Door_locks.create);
+    ]
+  in
+  let nodes =
+    List.map
+      (fun (name, build) ->
+        let bus = if side name = `Powertrain then powertrain else comfort in
+        (name, build sim bus state))
+      builders
+  in
+  let whitelist = crossing_ids () in
+  let allowed (frame : Frame.t) =
+    match frame.id with
+    | Identifier.Standard id -> List.mem id whitelist
+    | Identifier.Extended _ -> false
+  in
+  let gateway =
+    Gateway.connect ~name:"gateway" ~a:powertrain ~b:comfort
+      ~forward_a_to_b:allowed ~forward_b_to_a:allowed
+  in
+  { sim; powertrain; comfort; gateway; state; nodes }
+
+let node t name =
+  match List.assoc_opt name t.nodes with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Segmented.node: unknown node %S" name)
+
+let run t ~seconds = Engine.run_until t.sim (Engine.now t.sim +. seconds)

@@ -1,0 +1,38 @@
+(** The segmented-car topology: the guideline alternative to the HPE.
+
+    The paper's guideline countermeasure list includes "CAN bus gateway:
+    limit components with CAN bus access".  This module builds that
+    architecture: a powertrain bus (sensors, EV-ECU, EPS, engine, safety)
+    and a comfort bus (infotainment, telematics, door locks) joined by a
+    {!Secpol_can.Gateway} whose whitelist is derived from the message map
+    (an ID crosses iff some designed producer and consumer sit on opposite
+    sides).
+
+    The ablation bench compares it with the flat-bus + HPE car: the
+    gateway stops cross-segment injection of IDs that never legitimately
+    cross, but any ID with a designed crossing is forwarded regardless of
+    its true origin — per-ID, not per-node, enforcement. *)
+
+type t = {
+  sim : Secpol_sim.Engine.t;
+  powertrain : Secpol_can.Bus.t;
+  comfort : Secpol_can.Bus.t;
+  gateway : Secpol_can.Gateway.t;
+  state : State.t;
+  nodes : (string * Secpol_can.Node.t) list;
+}
+
+val powertrain_nodes : string list
+
+val comfort_nodes : string list
+
+val crossing_ids : unit -> int list
+(** Message IDs with a designed producer and consumer on opposite sides —
+    the gateway whitelist (both directions). *)
+
+val create : ?seed:int64 -> ?bitrate:float -> ?driving:bool -> unit -> t
+
+val node : t -> string -> Secpol_can.Node.t
+(** @raise Invalid_argument on unknown node names. *)
+
+val run : t -> seconds:float -> unit

@@ -1,0 +1,27 @@
+module Engine = Secpol_sim.Engine
+
+let crash_signal = '\255'
+
+let byte_of_speed state =
+  Char.chr (min 255 (int_of_float (max 0.0 state.State.speed_kmh)))
+
+let create sim bus state =
+  let node = Ecu.make_node bus ~name:Names.sensors in
+  let running () = state.State.engine_running in
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.brake_status)
+    ~payload:(fun () -> "\000\000")
+    ~enabled:running;
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.accel_status)
+    ~payload:(fun () -> String.make 1 (byte_of_speed state) ^ "\000")
+    ~enabled:running;
+  Ecu.start_periodic sim node
+    (Messages.find_exn Messages.transmission_status)
+    ~payload:(fun () -> "\001\000")
+    ~enabled:running;
+  node
+
+let emit_obstacle node ~distance_m =
+  let payload = String.make 1 (Char.chr (min 255 (max 0 distance_m))) in
+  Ecu.send node (Messages.find_exn Messages.obstacle_warning) payload

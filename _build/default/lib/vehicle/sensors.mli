@@ -1,0 +1,15 @@
+(** Sensor cluster ECU: periodic brake / acceleration / transmission
+    telemetry, plus event-driven obstacle warnings.
+
+    A brake_status frame whose first byte is {!crash_signal} represents a
+    crash-magnitude deceleration; the safety controller reacts to it (and a
+    spoofed one is exactly Table I threat 15). *)
+
+val crash_signal : char
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t
+(** Starts the periodic telemetry (active while the engine runs). *)
+
+val emit_obstacle : Secpol_can.Node.t -> distance_m:int -> bool
+(** Broadcast an obstacle warning. *)

@@ -1,0 +1,18 @@
+(** Telematics unit: the 3G/4G/WiFi asset.
+
+    Emits GPS positions and theft-tracking reports while the modem is up,
+    places the emergency call on airbag deployment, and executes remote
+    lock/unlock on behalf of the OEM backend.  Silencing its modem is
+    Table I threats 9/10; losing tracking is threat 3. *)
+
+val create :
+  Secpol_sim.Engine.t -> Secpol_can.Bus.t -> State.t -> Secpol_can.Node.t
+
+val remote_lock : Secpol_can.Node.t -> bool
+(** OEM backend asks the car to lock (sent over the radio link, then the
+    bus). *)
+
+val remote_unlock : Secpol_can.Node.t -> bool
+
+val request_diagnostics : Secpol_can.Node.t -> bool
+(** Broadcast a diagnostic request (designed for remote-diagnostic mode). *)

@@ -1,0 +1,65 @@
+(** Table I of the paper: the sixteen connected-car threats with their
+    entry points, STRIDE classification, DREAD component scores and derived
+    R/W/RW policy.
+
+    Every row stores the paper's printed policy cell and DREAD average
+    alongside the threat so that tests and the Table-I bench can
+    *recompute* both (via {!Secpol_threat.Dread.average} and
+    {!Secpol_policy.Derive.row_access}) and compare against the paper.
+
+    The paper's mode checkmark columns are not recoverable from the
+    published text; the mode assignments here follow each threat's prose
+    (e.g. "during accident" -> fail-safe) and are documented per row. *)
+
+type row = {
+  threat : Secpol_threat.Threat.t;
+  paper_policy : Secpol_policy.Derive.access;  (** Table I "Policy" cell *)
+  paper_average : float;  (** Table I printed DREAD average *)
+}
+
+val rows : row list
+(** The sixteen rows in table order. *)
+
+val threats : Secpol_threat.Threat.t list
+
+val find : string -> row option
+(** Lookup by threat id. *)
+
+(** {2 Well-known threat ids} *)
+
+val ev_ecu_spoof_disable_locks : string
+
+val ev_ecu_spoof_disable_sensors : string
+
+val ev_ecu_tracking_disable : string
+
+val ev_ecu_failsafe_override : string
+
+val eps_deactivation : string
+
+val engine_sensor_deactivation : string
+
+val connectivity_component_modification : string
+
+val connectivity_firmware_privacy : string
+
+val connectivity_modem_disable_emergency : string
+
+val connectivity_modem_disable_sensors : string
+
+val infotainment_browser_escalation : string
+
+val infotainment_status_modification : string
+
+val door_unlock_in_motion : string
+
+val door_lock_in_accident : string
+
+val safety_false_failsafe : string
+
+val safety_alarm_disable : string
+
+val model : unit -> Secpol_threat.Model.t
+(** The complete car security model: assets, entry points, the three car
+    modes, all sixteen threats, and one derived policy countermeasure per
+    threat.  Validates by construction. *)

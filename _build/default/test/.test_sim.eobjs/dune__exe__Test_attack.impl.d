@@ -1,0 +1,1 @@
+test/test_attack.ml: Alcotest List Option Printf Secpol_attack Secpol_can Secpol_hpe Secpol_sim Secpol_threat Secpol_vehicle

@@ -1,0 +1,1 @@
+test/test_can.ml: Alcotest Bool Char Float Gen List Printf QCheck QCheck_alcotest Secpol_can Secpol_sim String

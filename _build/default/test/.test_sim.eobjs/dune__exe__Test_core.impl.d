@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest List Option Secpol Secpol_attack Secpol_policy Secpol_threat Secpol_vehicle String

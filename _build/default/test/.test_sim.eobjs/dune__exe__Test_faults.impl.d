@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Format List Secpol_attack Secpol_can Secpol_sim Secpol_vehicle String

@@ -1,0 +1,1 @@
+test/test_hpe.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Secpol_can Secpol_hpe Secpol_policy Secpol_sim

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Array List Printf Secpol_lifecycle Secpol_policy Secpol_sim String

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest List Printf QCheck QCheck_alcotest Secpol_policy Secpol_threat String

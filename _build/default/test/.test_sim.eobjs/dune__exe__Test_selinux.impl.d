@@ -1,0 +1,1 @@
+test/test_selinux.ml: Alcotest List Printf Secpol_selinux String

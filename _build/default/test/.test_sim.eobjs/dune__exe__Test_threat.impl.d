@@ -1,0 +1,1 @@
+test/test_threat.ml: Alcotest Format List Option Printf QCheck QCheck_alcotest Secpol_threat String

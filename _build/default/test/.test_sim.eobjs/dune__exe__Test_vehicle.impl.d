@@ -1,0 +1,1 @@
+test/test_vehicle.ml: Alcotest Format List Option Secpol_can Secpol_hpe Secpol_policy Secpol_threat Secpol_vehicle String

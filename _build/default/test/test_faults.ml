@@ -1,0 +1,172 @@
+(* Failure injection and determinism: the simulator under line noise, and
+   reproducibility guarantees the whole evaluation relies on. *)
+
+module V = Secpol_vehicle
+module Car = V.Car
+module State = V.State
+module Names = V.Names
+module Messages = V.Messages
+module Scenarios = Secpol_attack.Scenarios
+module Catalog = V.Threat_catalog
+module Node = Secpol_can.Node
+module Controller = Secpol_can.Controller
+module Errors = Secpol_can.Errors
+module Trace = Secpol_can.Trace
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let slow name f = Alcotest.test_case name `Slow f
+
+(* ---------- Determinism ---------- *)
+
+let state_fingerprint (s : State.t) =
+  Format.asprintf "%a|%d|%d" State.pp s s.software_installs s.emergency_calls
+
+let trace_fingerprint car =
+  List.map
+    (fun (e : Trace.entry) ->
+      Format.asprintf "%.9f %s %a %s" e.time e.node Secpol_can.Frame.pp e.frame
+        (Trace.event_name e.event))
+    (Trace.entries (Car.trace car))
+
+let test_same_seed_same_run () =
+  let run () =
+    let car = Car.create ~seed:7L ~corrupt_prob:0.01 () in
+    Car.run car ~seconds:2.0;
+    (state_fingerprint car.Car.state, trace_fingerprint car)
+  in
+  let s1, t1 = run () in
+  let s2, t2 = run () in
+  check Alcotest.string "same state" s1 s2;
+  check Alcotest.int "same trace length" (List.length t1) (List.length t2);
+  List.iter2 (fun a b -> check Alcotest.string "same trace entry" a b) t1 t2
+
+let test_different_seed_different_noise () =
+  let errors seed =
+    let car = Car.create ~seed ~corrupt_prob:0.05 () in
+    Car.run car ~seconds:2.0;
+    Trace.count (Car.trace car) (fun e -> e.Trace.event = Trace.Tx_error)
+  in
+  (* same noise rate, different draws *)
+  Alcotest.(check bool) "noise actually drawn" true (errors 1L > 0);
+  Alcotest.(check bool) "seeds shape the run" true (errors 1L <> errors 99L)
+
+(* ---------- Line noise ---------- *)
+
+let test_noisy_bus_function_retained () =
+  let car = Car.create ~corrupt_prob:0.02 () in
+  Car.run car ~seconds:3.0;
+  let s = car.Car.state in
+  Alcotest.(check bool) "ecu healthy" true s.State.ev_ecu_enabled;
+  Alcotest.(check bool) "engine running" true s.State.engine_running;
+  (* retransmissions happened... *)
+  Alcotest.(check bool) "errors observed" true
+    (Trace.count (Car.trace car) (fun e -> e.Trace.event = Trace.Tx_error) > 0);
+  (* ...and nobody fell off the bus at this noise level *)
+  List.iter
+    (fun name ->
+      let errs = Controller.errors (Node.controller (Car.node car name)) in
+      Alcotest.(check bool) (name ^ " not bus-off") true
+        (Errors.state errs <> Errors.Bus_off))
+    Names.nodes
+
+let test_noisy_bus_crash_chain_still_works () =
+  let car = Car.create ~corrupt_prob:0.02 () in
+  Car.run car ~seconds:0.5;
+  V.Safety.trigger_crash (Car.node car Names.safety) car.Car.state;
+  Car.run car ~seconds:1.0;
+  Alcotest.(check bool) "failsafe latched" true car.Car.state.State.failsafe_latched;
+  Alcotest.(check bool) "doors unlocked" false car.Car.state.State.doors_locked;
+  check Alcotest.int "emergency call placed" 1 car.Car.state.State.emergency_calls
+
+let test_hpe_enforcement_under_noise () =
+  (* the headline spoofing attack on a noisy bus: retransmission gets the
+     forged frame through eventually without enforcement, while the HPE
+     blocks it at the source regardless of line conditions *)
+  let attack enforcement =
+    let car = Car.create ~corrupt_prob:0.05 ~enforcement () in
+    Car.run car ~seconds:0.3;
+    let node = Car.node car Names.infotainment in
+    Controller.set_filters (Node.controller node) [];
+    for _ = 1 to 20 do
+      ignore
+        (Node.send node
+           (Secpol_can.Frame.data_std Messages.ecu_command
+              (String.make 1 Messages.cmd_disable)))
+    done;
+    Car.run car ~seconds:1.0;
+    car.Car.state.State.ev_ecu_enabled
+  in
+  Alcotest.(check bool) "lands through the noise unprotected" false
+    (attack Car.Software_filters);
+  Alcotest.(check bool) "still blocked by the HPE" true
+    (attack (Car.Hpe (V.Policy_map.baseline ())))
+
+let test_extreme_noise_starves_the_bus () =
+  let car = Car.create ~corrupt_prob:0.9 () in
+  Car.run car ~seconds:1.0;
+  (* almost nothing gets through; retry budgets exhaust *)
+  Alcotest.(check bool) "abandonments" true
+    (Trace.count (Car.trace car) (fun e -> e.Trace.event = Trace.Tx_abandoned) > 0)
+
+(* ---------- Stress ---------- *)
+
+let test_priority_storm_ordering () =
+  (* 500 frames of random priority queued at once drain in priority order *)
+  let sim = Secpol_sim.Engine.create () in
+  let bus = Secpol_can.Bus.create ~bitrate:1_000_000.0 sim in
+  let tx = Node.create ~name:"tx" bus in
+  let rx = Node.create ~name:"rx" bus in
+  let rng = Secpol_sim.Rng.create 3L in
+  (* distinct ids so the expected order is unambiguous *)
+  let ids = Array.init 500 (fun i -> i) in
+  Secpol_sim.Rng.shuffle rng ids;
+  Array.iter
+    (fun id -> ignore (Node.send tx (Secpol_can.Frame.data_std id "")))
+    ids;
+  Secpol_sim.Engine.run_until sim 10.0;
+  let received =
+    List.map
+      (fun (f : Secpol_can.Frame.t) -> Secpol_can.Identifier.raw f.id)
+      (Node.received rx)
+  in
+  check Alcotest.int "all delivered" 500 (List.length received);
+  (* after the first frame (whatever won while the bus was idle), the rest
+     drain lowest-id-first among what was pending: the tail is sorted *)
+  match received with
+  | _first :: rest ->
+      Alcotest.(check bool) "priority order" true
+        (List.sort compare rest = rest)
+  | [] -> Alcotest.fail "nothing delivered"
+
+let test_long_run_stability () =
+  let car = Car.create () in
+  Car.run car ~seconds:60.0;
+  Alcotest.(check bool) "still healthy after a minute" true
+    car.Car.state.State.ev_ecu_enabled;
+  Alcotest.(check bool) "thousands of frames" true
+    (Secpol_can.Bus.frames_sent car.Car.bus > 8_000)
+
+let () =
+  Alcotest.run "secpol_faults"
+    [
+      ( "determinism",
+        [
+          quick "same seed, same run" test_same_seed_same_run;
+          quick "different seeds differ" test_different_seed_different_noise;
+        ] );
+      ( "noise",
+        [
+          slow "function retained" test_noisy_bus_function_retained;
+          slow "crash chain under noise" test_noisy_bus_crash_chain_still_works;
+          slow "enforcement under noise" test_hpe_enforcement_under_noise;
+          quick "extreme noise" test_extreme_noise_starves_the_bus;
+        ] );
+      ( "stress",
+        [
+          quick "priority storm" test_priority_storm_ordering;
+          slow "long run" test_long_run_stability;
+        ] );
+    ]

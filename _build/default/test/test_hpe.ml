@@ -1,0 +1,425 @@
+(* Tests for the hardware policy engine: approved lists, decision block,
+   register file, policy compilation and node integration. *)
+
+module Approved_list = Secpol_hpe.Approved_list
+module Decision = Secpol_hpe.Decision
+module Registers = Secpol_hpe.Registers
+module Config = Secpol_hpe.Config
+module Hpe = Secpol_hpe.Engine
+module Identifier = Secpol_can.Identifier
+module Frame = Secpol_can.Frame
+module Bus = Secpol_can.Bus
+module Node = Secpol_can.Node
+module Engine = Secpol_sim.Engine
+module Compile = Secpol_policy.Compile
+module PEngine = Secpol_policy.Engine
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* ---------- Approved lists ---------- *)
+
+let test_list_basic backend () =
+  let l = Approved_list.create ~backend () in
+  check Alcotest.int "empty" 0 (Approved_list.cardinal l);
+  Approved_list.add l (Identifier.standard 0x100);
+  Approved_list.add l (Identifier.standard 0x100);
+  Approved_list.add l (Identifier.extended 0x12345);
+  check Alcotest.int "dedup add" 2 (Approved_list.cardinal l);
+  Alcotest.(check bool) "mem std" true
+    (Approved_list.mem l (Identifier.standard 0x100));
+  Alcotest.(check bool) "mem ext" true
+    (Approved_list.mem l (Identifier.extended 0x12345));
+  Alcotest.(check bool) "format distinct" false
+    (Approved_list.mem l (Identifier.extended 0x100));
+  Approved_list.remove l (Identifier.standard 0x100);
+  Alcotest.(check bool) "removed" false
+    (Approved_list.mem l (Identifier.standard 0x100));
+  check Alcotest.int "cardinal after remove" 1 (Approved_list.cardinal l);
+  Approved_list.clear l;
+  check Alcotest.int "cleared" 0 (Approved_list.cardinal l)
+
+let test_list_range () =
+  let l = Approved_list.create () in
+  Approved_list.add_range l ~lo:0x100 ~hi:0x10F;
+  check Alcotest.int "sixteen" 16 (Approved_list.cardinal l);
+  Alcotest.(check bool) "in range" true (Approved_list.mem l (Identifier.standard 0x108));
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Approved_list.add_range: bad 11-bit range") (fun () ->
+      Approved_list.add_range l ~lo:5 ~hi:2)
+
+let test_list_to_ids_sorted () =
+  let l =
+    Approved_list.of_ids
+      [
+        Identifier.standard 0x300;
+        Identifier.extended 0x2;
+        Identifier.standard 0x100;
+        Identifier.extended 0x1;
+      ]
+  in
+  let ids = Approved_list.to_ids l in
+  Alcotest.(check (list int)) "sorted std then ext"
+    [ 0x100; 0x300; 0x1; 0x2 ]
+    (List.map Identifier.raw ids)
+
+let id_gen =
+  QCheck.Gen.(
+    let* ext = bool in
+    let* raw = if ext then 0 -- 0x1FFFFFFF else 0 -- 0x7FF in
+    return (if ext then Identifier.extended raw else Identifier.standard raw))
+
+let prop_backends_agree =
+  QCheck.Test.make ~name:"bitset and hashtable backends agree" ~count:200
+    QCheck.(make Gen.(pair (list_size (0 -- 50) id_gen) (list_size (0 -- 20) id_gen)))
+    (fun (adds, queries) ->
+      let bits = Approved_list.of_ids ~backend:Approved_list.Bitset adds in
+      let tbl = Approved_list.of_ids ~backend:Approved_list.Hashtable adds in
+      Approved_list.cardinal bits = Approved_list.cardinal tbl
+      && List.for_all
+           (fun q -> Approved_list.mem bits q = Approved_list.mem tbl q)
+           (adds @ queries))
+
+(* ---------- Decision block ---------- *)
+
+let test_decision_block () =
+  let l = Approved_list.of_ids [ Identifier.standard 0x100 ] in
+  let d = Decision.create Decision.Reading l in
+  Alcotest.(check bool) "grant" true
+    (Decision.decide d (Frame.data_std 0x100 "") = Decision.Grant);
+  Alcotest.(check bool) "block" true
+    (Decision.decide d (Frame.data_std 0x200 "") = Decision.Block);
+  check Alcotest.int "grants" 1 (Decision.grants d);
+  check Alcotest.int "blocks" 1 (Decision.blocks d);
+  Decision.reset_counters d;
+  check Alcotest.int "reset" 0 (Decision.grants d)
+
+let test_decision_remote_frames () =
+  let l = Approved_list.of_ids [ Identifier.standard 0x100 ] in
+  let d = Decision.create Decision.Writing l in
+  Alcotest.(check bool) "remote judged by id" true
+    (Decision.decide d (Frame.remote (Identifier.standard 0x100) ~dlc:2)
+    = Decision.Grant)
+
+(* ---------- Register file ---------- *)
+
+let test_registers_provisioning () =
+  let r = Registers.create () in
+  Alcotest.(check bool) "starts unlocked" false (Registers.locked r);
+  Alcotest.(check bool) "filters off" false (Registers.read_filter_enabled r);
+  (match Registers.write_reg r ~addr:Registers.cmd_add_read 0x100 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Registers.read_reg r ~addr:Registers.count_read with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.fail (Printf.sprintf "count %d" n)
+  | Error e -> Alcotest.fail e);
+  (match Registers.write_reg r ~addr:Registers.ctrl 0b111 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "locked" true (Registers.locked r);
+  Alcotest.(check bool) "read enabled" true (Registers.read_filter_enabled r);
+  Alcotest.(check bool) "write enabled" true (Registers.write_filter_enabled r)
+
+let test_registers_lock_refuses_writes () =
+  let r = Registers.create () in
+  ignore (Registers.write_reg r ~addr:Registers.cmd_add_read 0x100);
+  ignore (Registers.write_reg r ~addr:Registers.ctrl 0b111);
+  (match Registers.write_reg r ~addr:Registers.cmd_add_read 0x200 with
+  | Ok () -> Alcotest.fail "locked register accepted a write"
+  | Error _ -> ());
+  (match Registers.write_reg r ~addr:Registers.cmd_clear 0 with
+  | Ok () -> Alcotest.fail "locked register accepted clear"
+  | Error _ -> ());
+  (* unlocking via CTRL is impossible: any different CTRL value is refused *)
+  (match Registers.write_reg r ~addr:Registers.ctrl 0b011 with
+  | Ok () -> Alcotest.fail "lock removed by CTRL write"
+  | Error _ -> ());
+  (* reads still work *)
+  match Registers.read_reg r ~addr:Registers.count_read with
+  | Ok 1 -> ()
+  | _ -> Alcotest.fail "read failed under lock"
+
+let test_registers_validation () =
+  let r = Registers.create () in
+  (match Registers.write_reg r ~addr:Registers.cmd_add_read 0x800 with
+  | Ok () -> Alcotest.fail "accepted out-of-range id"
+  | Error _ -> ());
+  (match Registers.write_reg r ~addr:Registers.status 1 with
+  | Ok () -> Alcotest.fail "wrote read-only register"
+  | Error _ -> ());
+  (match Registers.write_reg r ~addr:0xFF 1 with
+  | Ok () -> Alcotest.fail "wrote unknown register"
+  | Error _ -> ());
+  match Registers.read_reg r ~addr:Registers.cmd_clear with
+  | Ok _ -> Alcotest.fail "read write-only register"
+  | Error _ -> ()
+
+let test_registers_hard_reset () =
+  let r = Registers.create () in
+  ignore (Registers.write_reg r ~addr:Registers.cmd_add_write 0x42);
+  ignore (Registers.write_reg r ~addr:Registers.ctrl 0b111);
+  Registers.hard_reset r;
+  Alcotest.(check bool) "unlocked" false (Registers.locked r);
+  check Alcotest.int "lists cleared" 0
+    (Approved_list.cardinal (Registers.write_list r))
+
+(* ---------- Policy -> config ---------- *)
+
+let policy_engine src =
+  match Compile.of_source src with
+  | Ok db -> PEngine.create db
+  | Error e -> Alcotest.fail e
+
+let test_config_of_policy () =
+  let engine =
+    policy_engine
+      "policy \"p\" version 1 { default deny; asset telemetry { allow read \
+       from ecu messages 0x10..0x12; allow write from ecu messages 0x20; } }"
+  in
+  let bindings =
+    List.map
+      (fun id -> { Config.msg_id = id; asset = "telemetry" })
+      [ 0x10; 0x11; 0x12; 0x20; 0x30 ]
+  in
+  let cfg = Config.of_policy engine ~mode:"normal" ~subject:"ecu" ~bindings in
+  Alcotest.(check (list int)) "read ids" [ 0x10; 0x11; 0x12 ] cfg.Config.read_ids;
+  Alcotest.(check (list int)) "write ids" [ 0x20 ] cfg.Config.write_ids
+
+let test_config_provision () =
+  let r = Registers.create () in
+  let cfg = (Config.make ~read_ids:[ 0x10; 0x11 ] ~write_ids:[ 0x20 ] ()) in
+  (match Config.provision r cfg () with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "locked after provision" true (Registers.locked r);
+  check Alcotest.int "read count" 2 (Approved_list.cardinal (Registers.read_list r));
+  check Alcotest.int "write count" 1 (Approved_list.cardinal (Registers.write_list r));
+  (* provisioning twice must fail: the lock holds *)
+  match Config.provision r cfg () with
+  | Ok () -> Alcotest.fail "provisioned over a locked register file"
+  | Error _ -> ()
+
+(* ---------- Rate limiter ---------- *)
+
+module Rate_limiter = Secpol_hpe.Rate_limiter
+
+let rate count window_ms = Secpol_policy.Ast.rate_limit ~count ~window_ms
+
+let test_rate_limiter_window () =
+  let rl = Rate_limiter.create () in
+  Rate_limiter.set rl ~msg_id:0x200 (rate 2 1000);
+  Alcotest.(check bool) "unlimited id" true (Rate_limiter.admit rl ~now:0.0 ~msg_id:0x100);
+  Alcotest.(check bool) "1st" true (Rate_limiter.admit rl ~now:0.0 ~msg_id:0x200);
+  Alcotest.(check bool) "2nd" true (Rate_limiter.admit rl ~now:0.5 ~msg_id:0x200);
+  Alcotest.(check bool) "3rd blocked" false (Rate_limiter.admit rl ~now:0.9 ~msg_id:0x200);
+  Alcotest.(check bool) "window slides" true (Rate_limiter.admit rl ~now:1.1 ~msg_id:0x200)
+
+let test_rate_limiter_config () =
+  let rl = Rate_limiter.create () in
+  Rate_limiter.set rl ~msg_id:1 (rate 1 100);
+  Rate_limiter.set rl ~msg_id:2 (rate 5 200);
+  check Alcotest.int "two limits" 2 (List.length (Rate_limiter.limits rl));
+  Alcotest.(check bool) "limit lookup" true
+    (Rate_limiter.limit rl ~msg_id:1 = Some (rate 1 100));
+  Rate_limiter.remove rl ~msg_id:1;
+  Alcotest.(check bool) "removed" true (Rate_limiter.limit rl ~msg_id:1 = None);
+  ignore (Rate_limiter.admit rl ~now:0.0 ~msg_id:2);
+  Rate_limiter.reset_state rl;
+  (* full budget again *)
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "fresh budget" true
+      (Rate_limiter.admit rl ~now:0.0 ~msg_id:2)
+  done;
+  Rate_limiter.clear rl;
+  check Alcotest.int "cleared" 0 (List.length (Rate_limiter.limits rl))
+
+let test_config_extracts_rates () =
+  let engine =
+    policy_engine
+      "policy \"p\" version 1 { default deny; asset lock { allow write from \
+       ecu messages 0x200 rate 2 per 10000; allow write from ecu messages \
+       0x201; } }"
+  in
+  let bindings =
+    [ { Config.msg_id = 0x200; asset = "lock" };
+      { Config.msg_id = 0x201; asset = "lock" } ]
+  in
+  let cfg = Config.of_policy engine ~mode:"normal" ~subject:"ecu" ~bindings in
+  Alcotest.(check (list int)) "both writable" [ 0x200; 0x201 ] cfg.Config.write_ids;
+  Alcotest.(check bool) "rate extracted for 0x200" true
+    (List.assoc_opt 0x200 cfg.Config.write_rates = Some (rate 2 10_000));
+  Alcotest.(check bool) "0x201 unlimited" true
+    (List.assoc_opt 0x201 cfg.Config.write_rates = None)
+
+(* ---------- Engine on a node ---------- *)
+
+let make_net () =
+  let sim = Engine.create () in
+  let bus = Bus.create ~bitrate:500_000.0 sim in
+  (sim, bus)
+
+let test_hpe_transparent_until_enabled () =
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let _hpe = Hpe.install b in
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "passes before provisioning" 1 (Node.received_count b)
+
+let test_hpe_read_filter () =
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install b in
+  (match Hpe.provision hpe (Config.make ~read_ids:[ 0x100 ] ~write_ids:[] ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  ignore (Node.send a (Frame.data_std 0x200 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "only approved delivered" 1 (Node.received_count b);
+  check Alcotest.int "one read block" 1 (Hpe.read_blocks hpe);
+  check Alcotest.int "one read grant" 1 (Hpe.read_grants hpe)
+
+let test_hpe_write_filter () =
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install a in
+  (match Hpe.provision hpe (Config.make ~read_ids:[] ~write_ids:[ 0x100 ] ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "approved write passes" true
+    (Node.send a (Frame.data_std 0x100 ""));
+  Alcotest.(check bool) "unapproved write refused" false
+    (Node.send a (Frame.data_std 0x200 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "victim only sees approved" 1 (Node.received_count b);
+  check Alcotest.int "write blocks" 1 (Hpe.write_blocks hpe)
+
+let test_hpe_survives_firmware_filter_clear () =
+  (* The paper's core argument: software acceptance filters die with the
+     firmware; the locked HPE does not. *)
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b =
+    Node.create
+      ~filters:[ Secpol_can.Acceptance.exact (Identifier.standard 0x100) ]
+      ~name:"b" bus
+  in
+  let hpe = Hpe.install b in
+  (match Hpe.provision hpe (Config.make ~read_ids:[ 0x100 ] ~write_ids:[] ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* compromised firmware clears the software filters... *)
+  Secpol_can.Controller.set_filters (Node.controller b) [];
+  (* ...and attempts to clear the HPE through its registers *)
+  (match
+     Registers.write_reg (Hpe.registers hpe) ~addr:Registers.cmd_clear 0
+   with
+  | Ok () -> Alcotest.fail "firmware reconfigured a locked HPE"
+  | Error _ -> ());
+  ignore (Node.send a (Frame.data_std 0x200 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "HPE still blocks" 0 (Node.received_count b)
+
+let test_hpe_unlocked_is_reconfigurable () =
+  let _, bus = make_net () in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install b in
+  (match
+     Hpe.provision_unlocked hpe (Config.make ~read_ids:[ 0x100 ] ~write_ids:[] ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "not locked" false (Hpe.locked hpe);
+  match Registers.write_reg (Hpe.registers hpe) ~addr:Registers.cmd_clear 0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("unlocked HPE refused reconfiguration: " ^ e)
+
+let test_hpe_write_rate_shaping () =
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install a in
+  let cfg =
+    Config.make ~read_ids:[] ~write_ids:[ 0x200 ]
+      ~write_rates:[ (0x200, rate 2 10_000) ]
+      ()
+  in
+  (match Hpe.provision hpe cfg with Ok () -> () | Error e -> Alcotest.fail e);
+  (* a replay storm: 10 frames back to back *)
+  let accepted = ref 0 in
+  for _ = 1 to 10 do
+    if Node.send a (Frame.data_std 0x200 "\x01") then incr accepted
+  done;
+  Engine.run_until sim 0.1;
+  check Alcotest.int "storm shaped to the budget" 2 !accepted;
+  check Alcotest.int "victim sees the budget" 2 (Node.received_count b);
+  check Alcotest.int "rate blocks counted" 8 (Hpe.rate_blocks hpe);
+  (* the budget recovers with time *)
+  Engine.run_until sim 11.0;
+  Alcotest.(check bool) "recovered" true (Node.send a (Frame.data_std 0x200 "\x01"))
+
+let test_hpe_uninstall () =
+  let sim, bus = make_net () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install b in
+  (match Hpe.provision hpe (Config.make ~read_ids:[] ~write_ids:[] ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Hpe.uninstall hpe;
+  ignore (Node.send a (Frame.data_std 0x200 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "gates removed" 1 (Node.received_count b)
+
+let () =
+  Alcotest.run "secpol_hpe"
+    [
+      ( "approved-list",
+        [
+          quick "bitset basics" (test_list_basic Approved_list.Bitset);
+          quick "hashtable basics" (test_list_basic Approved_list.Hashtable);
+          quick "ranges" test_list_range;
+          quick "to_ids sorted" test_list_to_ids_sorted;
+          QCheck_alcotest.to_alcotest prop_backends_agree;
+        ] );
+      ( "decision",
+        [
+          quick "grant/block + counters" test_decision_block;
+          quick "remote frames" test_decision_remote_frames;
+        ] );
+      ( "registers",
+        [
+          quick "provisioning" test_registers_provisioning;
+          quick "lock refuses writes" test_registers_lock_refuses_writes;
+          quick "validation" test_registers_validation;
+          quick "hard reset" test_registers_hard_reset;
+        ] );
+      ( "config",
+        [
+          quick "of_policy" test_config_of_policy;
+          quick "provision + lock" test_config_provision;
+          quick "rate extraction" test_config_extracts_rates;
+        ] );
+      ( "rate-limiter",
+        [
+          quick "sliding window" test_rate_limiter_window;
+          quick "configuration" test_rate_limiter_config;
+          quick "write shaping on a node" test_hpe_write_rate_shaping;
+        ] );
+      ( "engine",
+        [
+          quick "transparent until enabled" test_hpe_transparent_until_enabled;
+          quick "read filter" test_hpe_read_filter;
+          quick "write filter" test_hpe_write_filter;
+          quick "survives firmware compromise"
+            test_hpe_survives_firmware_filter_clear;
+          quick "unlocked reconfigurable" test_hpe_unlocked_is_reconfigurable;
+          quick "uninstall" test_hpe_uninstall;
+        ] );
+    ]

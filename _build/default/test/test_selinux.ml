@@ -1,0 +1,555 @@
+(* Tests for the SELinux-style software policy engine. *)
+
+module Context = Secpol_selinux.Context
+module Av = Secpol_selinux.Access_vector
+module Te = Secpol_selinux.Te_rule
+module Db = Secpol_selinux.Policy_db
+module Pm = Secpol_selinux.Policy_module
+module Avc = Secpol_selinux.Avc
+module Server = Secpol_selinux.Server
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* ---------- Contexts ---------- *)
+
+let test_context_roundtrip () =
+  let c = Context.make ~user:"user_u" ~role:"user_r" ~type_:"media_t" in
+  check Alcotest.string "to_string" "user_u:user_r:media_t" (Context.to_string c);
+  match Context.of_string "user_u:user_r:media_t" with
+  | Ok c' -> Alcotest.(check bool) "equal" true (Context.equal c c')
+  | Error e -> Alcotest.fail e
+
+let test_context_invalid () =
+  (match Context.of_string "a:b" with
+  | Ok _ -> Alcotest.fail "accepted two components"
+  | Error _ -> ());
+  (match Context.of_string "a:b:c:d" with
+  | Ok _ -> Alcotest.fail "accepted four components"
+  | Error _ -> ());
+  Alcotest.check_raises "empty component"
+    (Invalid_argument "Context.make: components must be non-empty and colon-free")
+    (fun () -> ignore (Context.make ~user:"" ~role:"r" ~type_:"t"))
+
+let test_context_with_type () =
+  let c = Context.make ~user:"u" ~role:"r" ~type_:"a_t" in
+  let c' = Context.with_type c "b_t" in
+  check Alcotest.string "new type" "b_t" (Context.type_of c');
+  check Alcotest.string "same user/role" "u:r:b_t" (Context.to_string c')
+
+(* ---------- Access vectors ---------- *)
+
+let test_class_validation () =
+  Alcotest.check_raises "duplicate perms"
+    (Invalid_argument "Access_vector.cls: duplicate permissions") (fun () ->
+      ignore (Av.cls ~name:"x" ~permissions:[ "read"; "read" ]));
+  Alcotest.(check bool) "file has read" true (Av.has_permission Av.file "read");
+  Alcotest.(check bool) "file lacks start" false (Av.has_permission Av.file "start")
+
+let test_av_make () =
+  let av = Av.make Av.file [ "write"; "read" ] in
+  Alcotest.(check (list string)) "sorted" [ "read"; "write" ] av.Av.perms;
+  Alcotest.(check bool) "mem" true (Av.mem av "read");
+  Alcotest.check_raises "unknown perm"
+    (Invalid_argument "Access_vector.make: class file has no permission \"fly\"")
+    (fun () -> ignore (Av.make Av.file [ "fly" ]))
+
+let test_av_union () =
+  let a = Av.make Av.file [ "read" ] and b = Av.make Av.file [ "write" ] in
+  Alcotest.(check (list string)) "union" [ "read"; "write" ] (Av.union a b).Av.perms;
+  let c = Av.make Av.process [ "fork" ] in
+  Alcotest.check_raises "class mismatch"
+    (Invalid_argument "Access_vector.union: class mismatch") (fun () ->
+      ignore (Av.union a c))
+
+(* ---------- Policy database ---------- *)
+
+let base_types = [ "media_t"; "installer_t"; "system_t"; "exec_t" ]
+
+let build ?attributes rules =
+  Db.build ~types:base_types ?attributes ~rules ()
+
+let test_db_basic_allow () =
+  match build [ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "read" ] ] with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok db ->
+      Alcotest.(check bool) "granted" true
+        (Db.allows db ~source:"media_t" ~target:"exec_t" ~cls:"file" "read");
+      Alcotest.(check bool) "write not granted" false
+        (Db.allows db ~source:"media_t" ~target:"exec_t" ~cls:"file" "write");
+      Alcotest.(check bool) "other source" false
+        (Db.allows db ~source:"system_t" ~target:"exec_t" ~cls:"file" "read")
+
+let test_db_attribute_expansion () =
+  match
+    Db.build ~types:base_types
+      ~attributes:[ ("app_domain", [ "media_t"; "installer_t" ]) ]
+      ~rules:
+        [ Te.allow ~source:"app_domain" ~target:"exec_t" ~cls:"file" [ "read" ] ]
+      ()
+  with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok db ->
+      Alcotest.(check bool) "member granted" true
+        (Db.allows db ~source:"installer_t" ~target:"exec_t" ~cls:"file" "read");
+      Alcotest.(check bool) "non-member denied" false
+        (Db.allows db ~source:"system_t" ~target:"exec_t" ~cls:"file" "read");
+      Alcotest.(check (list string)) "expand" [ "media_t"; "installer_t" ]
+        (Db.expand db "app_domain")
+
+let test_db_self_target () =
+  match build [ Te.allow ~source:"media_t" ~target:"self" ~cls:"process" [ "fork" ] ] with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok db ->
+      Alcotest.(check bool) "self" true
+        (Db.allows db ~source:"media_t" ~target:"media_t" ~cls:"process" "fork");
+      Alcotest.(check bool) "not other" false
+        (Db.allows db ~source:"media_t" ~target:"installer_t" ~cls:"process" "fork")
+
+let test_db_unknown_references () =
+  (match build [ Te.allow ~source:"ghost_t" ~target:"exec_t" ~cls:"file" [ "read" ] ] with
+  | Ok _ -> Alcotest.fail "accepted unknown source"
+  | Error _ -> ());
+  (match build [ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"ghost" [ "read" ] ] with
+  | Ok _ -> Alcotest.fail "accepted unknown class"
+  | Error _ -> ());
+  match build [ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "levitate" ] ] with
+  | Ok _ -> Alcotest.fail "accepted unknown permission"
+  | Error _ -> ()
+
+let test_db_neverallow_violation () =
+  match
+    build
+      [
+        Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "execute" ];
+        Te.neverallow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "execute" ];
+      ]
+  with
+  | Ok _ -> Alcotest.fail "neverallow violation accepted"
+  | Error es ->
+      Alcotest.(check bool) "reported" true
+        (List.exists
+           (fun e ->
+             String.length e >= 10 && String.sub e 0 10 = "neverallow")
+           es)
+
+let test_db_neverallow_via_attribute () =
+  match
+    Db.build ~types:base_types
+      ~attributes:[ ("app_domain", [ "media_t"; "installer_t" ]) ]
+      ~rules:
+        [
+          Te.allow ~source:"installer_t" ~target:"exec_t" ~cls:"file" [ "write" ];
+          Te.neverallow ~source:"app_domain" ~target:"exec_t" ~cls:"file" [ "write" ];
+        ]
+      ()
+  with
+  | Ok _ -> Alcotest.fail "attribute neverallow violation accepted"
+  | Error _ -> ()
+
+let test_db_neverallow_satisfied () =
+  match
+    build
+      [
+        Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "read" ];
+        Te.neverallow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "execute" ];
+      ]
+  with
+  | Ok _ -> ()
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_db_duplicate_types () =
+  match Db.build ~types:[ "a_t"; "a_t" ] ~rules:[] () with
+  | Ok _ -> Alcotest.fail "accepted duplicate types"
+  | Error _ -> ()
+
+(* ---------- Modules ---------- *)
+
+let base_module =
+  Pm.make ~name:"base" ~types:base_types
+    ~rules:[ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "read" ] ]
+    ()
+
+let test_module_store_and_load () =
+  match Pm.store ~base:base_module with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      let extra =
+        Pm.make ~name:"update" ~types:[ "new_t" ]
+          ~rules:
+            [ Te.allow ~source:"new_t" ~target:"exec_t" ~cls:"file" [ "read" ] ]
+          ()
+      in
+      match Pm.load store extra with
+      | Error es -> Alcotest.fail (String.concat "; " es)
+      | Ok db ->
+          Alcotest.(check bool) "new rule active" true
+            (Db.allows db ~source:"new_t" ~target:"exec_t" ~cls:"file" "read");
+          check Alcotest.int "two modules" 2 (List.length (Pm.modules store)))
+
+let test_module_version_monotonic () =
+  match Pm.store ~base:base_module with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      match Pm.load store (Pm.make ~name:"base" ~version:1 ~types:base_types ~rules:[] ()) with
+      | Ok _ -> Alcotest.fail "accepted same version"
+      | Error _ -> ())
+
+let test_module_upgrade_replaces () =
+  match Pm.store ~base:base_module with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      let v2 =
+        Pm.make ~name:"base" ~version:2 ~types:base_types ~rules:[] ()
+      in
+      match Pm.load store v2 with
+      | Error es -> Alcotest.fail (String.concat "; " es)
+      | Ok db ->
+          Alcotest.(check bool) "old rule gone" false
+            (Db.allows db ~source:"media_t" ~target:"exec_t" ~cls:"file" "read"))
+
+let test_module_unload () =
+  match Pm.store ~base:base_module with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store ->
+      (match Pm.unload store "base" with
+      | Ok _ -> Alcotest.fail "unloaded base"
+      | Error _ -> ());
+      (match Pm.unload store "ghost" with
+      | Ok _ -> Alcotest.fail "unloaded unknown"
+      | Error _ -> ());
+      let extra = Pm.make ~name:"extra" ~types:[ "x_t" ] ~rules:[] () in
+      ignore (Pm.load store extra);
+      (match Pm.unload store "extra" with
+      | Ok _ -> check Alcotest.int "one left" 1 (List.length (Pm.modules store))
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let test_module_load_failure_atomic () =
+  match Pm.store ~base:base_module with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      let broken =
+        Pm.make ~name:"broken" ~rules:
+          [ Te.allow ~source:"ghost_t" ~target:"exec_t" ~cls:"file" [ "read" ] ]
+          ()
+      in
+      match Pm.load store broken with
+      | Ok _ -> Alcotest.fail "loaded a broken module"
+      | Error _ ->
+          check Alcotest.int "store unchanged" 1 (List.length (Pm.modules store));
+          Alcotest.(check bool) "db still serves" true
+            (Db.allows (Pm.db store) ~source:"media_t" ~target:"exec_t"
+               ~cls:"file" "read"))
+
+let test_module_neverallow_guards_updates () =
+  (* a loaded neverallow pins the invariant: a later sloppy module that
+     grants the forbidden permission is rejected as a unit *)
+  let guarded =
+    Pm.make ~name:"base" ~types:base_types
+      ~rules:
+        [ Te.neverallow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "execute" ] ]
+      ()
+  in
+  match Pm.store ~base:guarded with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      let sloppy =
+        Pm.make ~name:"feature"
+          ~rules:
+            [ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "execute" ] ]
+          ()
+      in
+      match Pm.load store sloppy with
+      | Ok _ -> Alcotest.fail "neverallow did not guard the update"
+      | Error _ -> ())
+
+(* ---------- AVC ---------- *)
+
+let simple_db () =
+  match build [ Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file" [ "read" ] ] with
+  | Ok db -> db
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_avc_hits () =
+  let avc = Avc.create () in
+  let db = simple_db () in
+  let q () = Avc.lookup avc db ~source:"media_t" ~target:"exec_t" ~cls:"file" in
+  Alcotest.(check (list string)) "first lookup" [ "read" ] (q ());
+  ignore (q ());
+  ignore (q ());
+  let stats = Avc.stats avc in
+  check Alcotest.int "hits" 2 stats.Avc.hits;
+  check Alcotest.int "misses" 1 stats.Avc.misses;
+  Alcotest.(check bool) "hit rate" true (Avc.hit_rate avc > 0.6)
+
+let test_avc_invalidate () =
+  let avc = Avc.create () in
+  let db = simple_db () in
+  ignore (Avc.lookup avc db ~source:"media_t" ~target:"exec_t" ~cls:"file");
+  Avc.invalidate avc;
+  (* after invalidation the same query misses again *)
+  ignore (Avc.lookup avc db ~source:"media_t" ~target:"exec_t" ~cls:"file");
+  check Alcotest.int "two misses" 2 (Avc.stats avc).Avc.misses
+
+let test_avc_capacity_flush () =
+  let avc = Avc.create ~capacity:4 () in
+  let db = simple_db () in
+  for i = 0 to 9 do
+    ignore
+      (Avc.lookup avc db ~source:(Printf.sprintf "s%d" i) ~target:"exec_t"
+         ~cls:"file")
+  done;
+  Alcotest.(check bool) "flushed" true ((Avc.stats avc).Avc.flushes >= 1)
+
+(* ---------- Server ---------- *)
+
+let ctx t = Context.make ~user:"u" ~role:"r" ~type_:t
+
+let server_db () =
+  match
+    Db.build ~types:[ "media_t"; "installer_t"; "exec_t"; "storage_t" ]
+      ~rules:
+        [
+          Te.allow ~source:"media_t" ~target:"exec_t" ~cls:"file"
+            [ "read"; "execute" ];
+          Te.allow ~source:"media_t" ~target:"installer_t" ~cls:"process"
+            [ "transition" ];
+          Te.allow ~source:"installer_t" ~target:"storage_t" ~cls:"file"
+            [ "write" ];
+        ]
+      ()
+  with
+  | Ok db -> db
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_server_check_and_audit () =
+  let s = Server.create (server_db ()) in
+  Alcotest.(check bool) "allowed" true
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "exec_t") ~cls:"file" "read");
+  Alcotest.(check bool) "denied" false
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "storage_t") ~cls:"file" "write");
+  check Alcotest.int "one denial" 1 (Server.denial_count s);
+  match Server.audit_log s with
+  | [ d ] ->
+      check Alcotest.string "denied perm" "write" d.Server.perm;
+      Alcotest.(check bool) "not granted" false d.Server.granted
+  | _ -> Alcotest.fail "expected one audit entry"
+
+let test_server_permissive () =
+  let s = Server.create ~enforcing:false (server_db ()) in
+  Alcotest.(check bool) "permissive allows" true
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "storage_t") ~cls:"file" "write");
+  check Alcotest.int "still audited" 1 (Server.denial_count s);
+  Server.set_enforcing s true;
+  Alcotest.(check bool) "enforcing denies" false
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "storage_t") ~cls:"file" "write")
+
+let test_server_check_all () =
+  let s = Server.create (server_db ()) in
+  Alcotest.(check bool) "both granted" true
+    (Server.check_all s ~source:(ctx "media_t") ~target:(ctx "exec_t")
+       ~cls:"file" [ "read"; "execute" ]);
+  Alcotest.(check bool) "one missing" false
+    (Server.check_all s ~source:(ctx "media_t") ~target:(ctx "exec_t")
+       ~cls:"file" [ "read"; "unlink" ])
+
+let test_server_transition () =
+  let s = Server.create (server_db ()) in
+  (match
+     Server.transition s ~source:(ctx "media_t") ~target:(ctx "exec_t")
+       ~new_type:"installer_t"
+   with
+  | Ok c -> check Alcotest.string "new domain" "installer_t" (Context.type_of c)
+  | Error e -> Alcotest.fail e);
+  match
+    Server.transition s ~source:(ctx "installer_t") ~target:(ctx "exec_t")
+      ~new_type:"media_t"
+  with
+  | Ok _ -> Alcotest.fail "reverse transition allowed"
+  | Error _ -> ()
+
+let test_server_reload_invalidates () =
+  let s = Server.create (server_db ()) in
+  Alcotest.(check bool) "before" true
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "exec_t") ~cls:"file" "read");
+  let tightened =
+    match
+      Db.build ~types:[ "media_t"; "installer_t"; "exec_t"; "storage_t" ] ~rules:[] ()
+    with
+    | Ok db -> db
+    | Error es -> Alcotest.fail (String.concat "; " es)
+  in
+  Server.reload s tightened;
+  Alcotest.(check bool) "after reload denied" false
+    (Server.check s ~source:(ctx "media_t") ~target:(ctx "exec_t") ~cls:"file" "read")
+
+let test_server_avc_hit_rate () =
+  let s = Server.create (server_db ()) in
+  for _ = 1 to 10 do
+    ignore
+      (Server.check s ~source:(ctx "media_t") ~target:(ctx "exec_t") ~cls:"file" "read")
+  done;
+  Alcotest.(check bool) "cache warms" true (Server.avc_hit_rate s > 0.8)
+
+(* ---------- .te source parser ---------- *)
+
+module Te_parser = Secpol_selinux.Te_parser
+
+let sample_te =
+  {|
+# infotainment hardening, shipped over the air
+module hardening 2;
+
+type media_t;
+type installer_t;
+type can0_t;
+attribute app_domain;
+typeattribute media_t app_domain;
+typeattribute installer_t app_domain;
+
+allow media_t can0_t : can_socket read;
+neverallow app_domain can0_t : can_socket { write setfilter };
+dontaudit media_t can0_t : can_socket read;
+|}
+
+let test_te_parse () =
+  match Te_parser.parse sample_te with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      check Alcotest.string "name" "hardening" m.Pm.name;
+      check Alcotest.int "version" 2 m.Pm.version;
+      check Alcotest.int "types" 3 (List.length m.Pm.types);
+      Alcotest.(check (list (pair string (list string))))
+        "attribute membership"
+        [ ("app_domain", [ "installer_t"; "media_t" ]) ]
+        m.Pm.attributes;
+      check Alcotest.int "rules" 3 (List.length m.Pm.rules);
+      (match m.Pm.rules with
+      | [ _; never; _ ] ->
+          Alcotest.(check bool) "neverallow kind" true
+            (never.Te.kind = Te.Neverallow);
+          Alcotest.(check (list string)) "braced perms"
+            [ "setfilter"; "write" ] never.Te.perms
+      | _ -> Alcotest.fail "unexpected rule shape")
+
+let test_te_parse_single_perm () =
+  match Te_parser.parse "module m 1;\ntype a_t;\nallow a_t a_t : file read;" with
+  | Ok m -> check Alcotest.int "one rule" 1 (List.length m.Pm.rules)
+  | Error e -> Alcotest.fail e
+
+let test_te_parse_errors () =
+  List.iter
+    (fun src ->
+      match Te_parser.parse src with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+      | Error e ->
+          Alcotest.(check bool) "positioned error" true
+            (String.length e > 5 && String.sub e 0 4 = "line"))
+    [
+      "type a_t;";
+      "module m 1; type a_t";
+      "module m 1; allow a_t : file read;";
+      "module m 1; allow a_t b_t : file { };";
+      "module m 1; typeattribute a_t ghost;";
+      "module m 1; bogus a_t;";
+      "module m 1; allow a_t b_t : file read; @";
+    ]
+
+let test_te_print_parse_roundtrip () =
+  let m = Te_parser.parse_exn sample_te in
+  let m' = Te_parser.parse_exn (Te_parser.print m) in
+  check Alcotest.string "name" m.Pm.name m'.Pm.name;
+  check Alcotest.int "version" m.Pm.version m'.Pm.version;
+  Alcotest.(check (list string)) "types" m.Pm.types m'.Pm.types;
+  Alcotest.(check bool) "attributes" true (m.Pm.attributes = m'.Pm.attributes);
+  Alcotest.(check bool) "rules" true (m.Pm.rules = m'.Pm.rules)
+
+let test_te_parsed_module_loads () =
+  (* a textual update goes through the full chain: parse -> load -> enforce *)
+  let base =
+    Pm.make ~name:"base" ~version:1
+      ~types:[ "media_t"; "installer_t"; "can0_t" ]
+      ~rules:
+        [
+          Te.allow ~source:"media_t" ~target:"can0_t" ~cls:"can_socket"
+            [ "read"; "write" ];
+        ]
+      ()
+  in
+  match Pm.store ~base with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok store -> (
+      let update =
+        Te_parser.parse_exn
+          "module base 2;\n\
+           type media_t; type installer_t; type can0_t;\n\
+           allow media_t can0_t : can_socket read;"
+      in
+      match Pm.load store update with
+      | Error es -> Alcotest.fail (String.concat "; " es)
+      | Ok db ->
+          Alcotest.(check bool) "write right revoked by the textual update"
+            false
+            (Db.allows db ~source:"media_t" ~target:"can0_t" ~cls:"can_socket"
+               "write"))
+
+let () =
+  Alcotest.run "secpol_selinux"
+    [
+      ( "context",
+        [
+          quick "round trip" test_context_roundtrip;
+          quick "invalid" test_context_invalid;
+          quick "with_type" test_context_with_type;
+        ] );
+      ( "access-vector",
+        [
+          quick "class validation" test_class_validation;
+          quick "make" test_av_make;
+          quick "union" test_av_union;
+        ] );
+      ( "policy-db",
+        [
+          quick "basic allow" test_db_basic_allow;
+          quick "attribute expansion" test_db_attribute_expansion;
+          quick "self target" test_db_self_target;
+          quick "unknown references" test_db_unknown_references;
+          quick "neverallow violation" test_db_neverallow_violation;
+          quick "neverallow via attribute" test_db_neverallow_via_attribute;
+          quick "neverallow satisfied" test_db_neverallow_satisfied;
+          quick "duplicate types" test_db_duplicate_types;
+        ] );
+      ( "modules",
+        [
+          quick "store + load" test_module_store_and_load;
+          quick "version monotonic" test_module_version_monotonic;
+          quick "upgrade replaces" test_module_upgrade_replaces;
+          quick "unload rules" test_module_unload;
+          quick "atomic failure" test_module_load_failure_atomic;
+          quick "neverallow guards updates" test_module_neverallow_guards_updates;
+        ] );
+      ( "avc",
+        [
+          quick "hits/misses" test_avc_hits;
+          quick "invalidate" test_avc_invalidate;
+          quick "capacity flush" test_avc_capacity_flush;
+        ] );
+      ( "te-parser",
+        [
+          quick "parse module" test_te_parse;
+          quick "single permission" test_te_parse_single_perm;
+          quick "errors" test_te_parse_errors;
+          quick "print/parse round trip" test_te_print_parse_roundtrip;
+          quick "parsed module loads" test_te_parsed_module_loads;
+        ] );
+      ( "server",
+        [
+          quick "check + audit" test_server_check_and_audit;
+          quick "permissive mode" test_server_permissive;
+          quick "check_all" test_server_check_all;
+          quick "domain transition" test_server_transition;
+          quick "reload invalidates" test_server_reload_invalidates;
+          quick "avc hit rate" test_server_avc_hit_rate;
+        ] );
+    ]

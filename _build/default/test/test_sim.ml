@@ -1,0 +1,337 @@
+(* Tests for the simulation substrate: RNG, event queue, engine, stats. *)
+
+module Rng = Secpol_sim.Rng
+module Event_queue = Secpol_sim.Event_queue
+module Engine = Secpol_sim.Engine
+module Stats = Secpol_sim.Stats
+
+let check = Alcotest.check
+
+(* ---------- RNG ---------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 3L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 500 do
+    let v = Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "in closed range" true (v >= -3 && v <= 3)
+  done
+
+let test_rng_split_independent () =
+  let root = Rng.create 11L in
+  let a = Rng.split root in
+  let b = Rng.split root in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_rng_copy_diverges_from_original () =
+  let a = Rng.create 13L in
+  let b = Rng.copy a in
+  check Alcotest.int64 "copies agree" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing one does not advance the other *)
+  let a3 = Rng.bits64 a and b2 = Rng.bits64 b in
+  Alcotest.(check bool) "diverged" true (a3 <> b2)
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 17L in
+  Alcotest.(check bool) "p=0 never" false (Rng.chance rng 0.0);
+  Alcotest.(check bool) "p=1 always" true (Rng.chance rng 1.0)
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 19L in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 23L in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "positive" true (Rng.exponential rng 5.0 > 0.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 29L in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng 4.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f within 10%% of 4.0" mean)
+    true
+    (mean > 3.6 && mean < 4.4)
+
+let test_rng_pick_and_shuffle () =
+  let rng = Rng.create 31L in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  let arr2 = Array.init 20 Fun.id in
+  Rng.shuffle rng arr2;
+  let sorted = Array.copy arr2 in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 Fun.id) sorted
+
+(* ---------- Event queue ---------- *)
+
+let test_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3.0 "c";
+  Event_queue.add q ~time:1.0 "a";
+  Event_queue.add q ~time:2.0 "b";
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_queue_fifo_same_time () =
+  let q = Event_queue.create () in
+  List.iter (fun p -> Event_queue.add q ~time:1.0 p) [ "x"; "y"; "z" ];
+  let order = List.map snd (Event_queue.drain q) in
+  Alcotest.(check (list string)) "insertion order" [ "x"; "y"; "z" ] order
+
+let test_queue_peek_pop () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None (Event_queue.peek_time q);
+  Event_queue.add q ~time:5.0 0;
+  Alcotest.(check (option (float 0.0))) "peek" (Some 5.0) (Event_queue.peek_time q);
+  check Alcotest.int "length" 1 (Event_queue.length q);
+  (match Event_queue.pop q with
+  | Some (t, v) ->
+      check Alcotest.(float 0.0) "pop time" 5.0 t;
+      check Alcotest.int "pop value" 0 v
+  | None -> Alcotest.fail "expected event");
+  Alcotest.(check bool) "empty after pop" true (Event_queue.is_empty q)
+
+let test_queue_nan_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "NaN" (Invalid_argument "Event_queue.add: NaN time")
+    (fun () -> Event_queue.add q ~time:Float.nan ())
+
+let test_queue_clear () =
+  let q = Event_queue.create () in
+  for i = 1 to 10 do
+    Event_queue.add q ~time:(float_of_int i) i
+  done;
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q);
+  (* still usable after clear *)
+  Event_queue.add q ~time:1.0 99;
+  check Alcotest.int "usable" 1 (Event_queue.length q)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"event queue drains sorted by time" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun events ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, v) -> Event_queue.add q ~time:t v) events;
+      let drained = Event_queue.drain q in
+      let times = List.map fst drained in
+      List.length drained = List.length events
+      && List.sort compare times = times)
+
+(* ---------- Engine ---------- *)
+
+let test_engine_schedule_order () =
+  let sim = Engine.create () in
+  let log = ref [] in
+  Engine.schedule sim ~at:2.0 (fun _ -> log := "b" :: !log);
+  Engine.schedule sim ~at:1.0 (fun _ -> log := "a" :: !log);
+  Engine.run_until sim 10.0;
+  Alcotest.(check (list string)) "fired in order" [ "a"; "b" ] (List.rev !log);
+  check Alcotest.(float 0.0) "clock at horizon" 10.0 (Engine.now sim)
+
+let test_engine_past_rejected () =
+  let sim = Engine.create () in
+  Engine.run_until sim 5.0;
+  Alcotest.check_raises "past" (Invalid_argument "Engine.schedule: time in the past")
+    (fun () -> Engine.schedule sim ~at:1.0 (fun _ -> ()))
+
+let test_engine_schedule_in () =
+  let sim = Engine.create () in
+  let fired_at = ref (-1.0) in
+  Engine.run_until sim 1.0;
+  Engine.schedule_in sim ~delay:2.5 (fun s -> fired_at := Engine.now s);
+  Engine.run_until sim 10.0;
+  check Alcotest.(float 1e-9) "fired at 3.5" 3.5 !fired_at
+
+let test_engine_every () =
+  let sim = Engine.create () in
+  let count = ref 0 in
+  Engine.every sim ~period:1.0 ~until:5.5 (fun _ -> incr count);
+  Engine.run_until sim 100.0;
+  check Alcotest.int "five ticks" 5 !count
+
+let test_engine_every_unbounded () =
+  let sim = Engine.create () in
+  let count = ref 0 in
+  Engine.every sim ~period:0.5 (fun _ -> incr count);
+  Engine.run_until sim 10.0;
+  check Alcotest.int "twenty ticks" 20 !count
+
+let test_engine_cascading () =
+  (* events scheduled during execution still run within the horizon *)
+  let sim = Engine.create () in
+  let log = ref [] in
+  Engine.schedule sim ~at:1.0 (fun s ->
+      log := 1 :: !log;
+      Engine.schedule_in s ~delay:1.0 (fun _ -> log := 2 :: !log));
+  Engine.run_until sim 5.0;
+  Alcotest.(check (list int)) "cascade" [ 1; 2 ] (List.rev !log)
+
+let test_engine_stop () =
+  let sim = Engine.create () in
+  let count = ref 0 in
+  Engine.every sim ~period:1.0 (fun _ -> incr count);
+  Engine.run_until sim 3.0;
+  Engine.stop sim;
+  Engine.run_until sim 10.0;
+  check Alcotest.int "stopped" 3 !count
+
+let test_engine_run_next () =
+  let sim = Engine.create () in
+  Alcotest.(check bool) "empty" false (Engine.run_next sim);
+  Engine.schedule sim ~at:4.0 (fun _ -> ());
+  Alcotest.(check bool) "ran one" true (Engine.run_next sim);
+  check Alcotest.(float 0.0) "clock moved" 4.0 (Engine.now sim)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Stats.count s);
+  check Alcotest.(float 1e-9) "mean" 2.5 (Stats.mean s);
+  check Alcotest.(float 1e-9) "total" 10.0 (Stats.total s);
+  check Alcotest.(float 1e-9) "min" 1.0 (Stats.min s);
+  check Alcotest.(float 1e-9) "max" 4.0 (Stats.max s);
+  check Alcotest.(float 1e-6) "variance" (5.0 /. 3.0) (Stats.variance s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check Alcotest.(float 0.0) "mean of empty" 0.0 (Stats.mean s);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min: empty sample")
+    (fun () -> ignore (Stats.min s))
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check Alcotest.(float 0.0) "p50" 50.0 (Stats.percentile s 50.0);
+  check Alcotest.(float 0.0) "p99" 99.0 (Stats.percentile s 99.0);
+  check Alcotest.(float 0.0) "p100" 100.0 (Stats.percentile s 100.0);
+  check Alcotest.(float 0.0) "median" 50.0 (Stats.median s)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
+              (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let v = Stats.percentile s p in
+      v >= Stats.min s && v <= Stats.max s)
+
+let prop_mean_welford_matches_naive =
+  QCheck.Test.make ~name:"Welford mean matches naive mean" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 100) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let s = Stats.create () in
+      List.iter (Stats.add s) xs;
+      let naive = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.mean s -. naive) < 1e-6 *. (1.0 +. Float.abs naive))
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.incr c "a";
+  Stats.Counter.add c "b" 5;
+  check Alcotest.int "a" 2 (Stats.Counter.get c "a");
+  check Alcotest.int "b" 5 (Stats.Counter.get c "b");
+  check Alcotest.int "missing" 0 (Stats.Counter.get c "zzz");
+  Alcotest.(check (list (pair string int)))
+    "sorted list"
+    [ ("a", 2); ("b", 5) ]
+    (Stats.Counter.to_list c)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "secpol_sim"
+    [
+      ( "rng",
+        [
+          quick "deterministic" test_rng_deterministic;
+          quick "seeds differ" test_rng_seeds_differ;
+          quick "int bounds" test_rng_int_bounds;
+          quick "int invalid" test_rng_int_invalid;
+          quick "int_in bounds" test_rng_int_in;
+          quick "split independent" test_rng_split_independent;
+          quick "copy diverges" test_rng_copy_diverges_from_original;
+          quick "chance extremes" test_rng_chance_extremes;
+          quick "float bounds" test_rng_float_bounds;
+          quick "exponential positive" test_rng_exponential_positive;
+          quick "exponential mean" test_rng_exponential_mean;
+          quick "pick and shuffle" test_rng_pick_and_shuffle;
+        ] );
+      ( "event-queue",
+        [
+          quick "time order" test_queue_order;
+          quick "FIFO at equal time" test_queue_fifo_same_time;
+          quick "peek/pop" test_queue_peek_pop;
+          quick "NaN rejected" test_queue_nan_rejected;
+          quick "clear" test_queue_clear;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+        ] );
+      ( "engine",
+        [
+          quick "schedule order" test_engine_schedule_order;
+          quick "past rejected" test_engine_past_rejected;
+          quick "schedule_in" test_engine_schedule_in;
+          quick "every bounded" test_engine_every;
+          quick "every unbounded" test_engine_every_unbounded;
+          quick "cascading events" test_engine_cascading;
+          quick "stop" test_engine_stop;
+          quick "run_next" test_engine_run_next;
+        ] );
+      ( "stats",
+        [
+          quick "basic moments" test_stats_basic;
+          quick "empty sample" test_stats_empty;
+          quick "percentiles" test_stats_percentile;
+          quick "counters" test_counter;
+          QCheck_alcotest.to_alcotest prop_percentile_bounded;
+          QCheck_alcotest.to_alcotest prop_mean_welford_matches_naive;
+        ] );
+    ]

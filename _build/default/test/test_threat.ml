@@ -1,0 +1,608 @@
+(* Tests for the STRIDE/DREAD threat-modelling library. *)
+
+module Stride = Secpol_threat.Stride
+module Dread = Secpol_threat.Dread
+module Asset = Secpol_threat.Asset
+module Entry_point = Secpol_threat.Entry_point
+module Threat = Secpol_threat.Threat
+module Risk = Secpol_threat.Risk
+module Countermeasure = Secpol_threat.Countermeasure
+module Model = Secpol_threat.Model
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+(* ---------- STRIDE ---------- *)
+
+let test_stride_codes () =
+  List.iter
+    (fun c ->
+      check
+        Alcotest.(option char)
+        (Stride.name c) (Some (Stride.code c))
+        (Option.map Stride.code (Stride.of_code (Stride.code c))))
+    Stride.all;
+  Alcotest.(check bool) "unknown code" true (Stride.of_code 'X' = None)
+
+let test_stride_parse () =
+  match Stride.of_string "STD" with
+  | Ok cs ->
+      check Alcotest.string "round trip" "STD" (Stride.to_string cs);
+      Alcotest.(check bool) "spoofing" true (Stride.mem Stride.Spoofing cs);
+      Alcotest.(check bool) "no repudiation" false (Stride.mem Stride.Repudiation cs)
+  | Error e -> Alcotest.fail e
+
+let test_stride_parse_unordered () =
+  (* parsing normalises to mnemonic order *)
+  match Stride.of_string "DTS" with
+  | Ok cs -> check Alcotest.string "normalised" "STD" (Stride.to_string cs)
+  | Error e -> Alcotest.fail e
+
+let test_stride_rejects_bad () =
+  (match Stride.of_string "SXT" with
+  | Ok _ -> Alcotest.fail "accepted unknown letter"
+  | Error _ -> ());
+  match Stride.of_string "SS" with
+  | Ok _ -> Alcotest.fail "accepted duplicate"
+  | Error _ -> ()
+
+let test_stride_full_set () =
+  match Stride.of_string "STRIDE" with
+  | Ok cs ->
+      check Alcotest.int "six categories" 6 (List.length cs);
+      check Alcotest.string "round trip" "STRIDE" (Stride.to_string cs)
+  | Error e -> Alcotest.fail e
+
+let test_stride_properties () =
+  check Alcotest.string "tampering->integrity" "integrity"
+    (Stride.property_violated Stride.Tampering);
+  check Alcotest.string "dos->availability" "availability"
+    (Stride.property_violated Stride.Denial_of_service)
+
+let stride_subset_gen =
+  (* generate a random sub-list of the six categories, in random order *)
+  QCheck.Gen.(
+    let shuffled = shuffle_l Stride.all in
+    map2 (fun l n -> List.filteri (fun i _ -> i < n) l) shuffled (0 -- 6))
+
+let prop_stride_roundtrip =
+  QCheck.Test.make ~name:"STRIDE to_string/of_string round trip" ~count:100
+    (QCheck.make stride_subset_gen) (fun cs ->
+      match Stride.of_string (Stride.to_string cs) with
+      | Ok cs' -> Stride.normalise cs = cs'
+      | Error _ -> false)
+
+(* ---------- DREAD ---------- *)
+
+let test_dread_make () =
+  match
+    Dread.make ~damage:8 ~reproducibility:5 ~exploitability:4 ~affected_users:6
+      ~discoverability:4
+  with
+  | Ok d ->
+      check Alcotest.(float 1e-9) "average" 5.4 (Dread.average d);
+      check Alcotest.string "rating" "High" (Dread.rating_name (Dread.rating d))
+  | Error e -> Alcotest.fail e
+
+let test_dread_out_of_range () =
+  (match
+     Dread.make ~damage:11 ~reproducibility:5 ~exploitability:4
+       ~affected_users:6 ~discoverability:4
+   with
+  | Ok _ -> Alcotest.fail "accepted 11"
+  | Error _ -> ());
+  match
+    Dread.make ~damage:(-1) ~reproducibility:5 ~exploitability:4
+      ~affected_users:6 ~discoverability:4
+  with
+  | Ok _ -> Alcotest.fail "accepted -1"
+  | Error _ -> ()
+
+let test_dread_of_list () =
+  (match Dread.of_list [ 1; 2; 3; 4; 5 ] with
+  | Ok d -> Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4; 5 ] (Dread.to_list d)
+  | Error e -> Alcotest.fail e);
+  match Dread.of_list [ 1; 2; 3 ] with
+  | Ok _ -> Alcotest.fail "accepted short list"
+  | Error _ -> ()
+
+let test_dread_rating_bands () =
+  let rating l =
+    match Dread.of_list l with
+    | Ok d -> Dread.rating_name (Dread.rating d)
+    | Error e -> Alcotest.fail e
+  in
+  check Alcotest.string "low" "Low" (rating [ 2; 2; 2; 2; 2 ]);
+  check Alcotest.string "medium" "Medium" (rating [ 4; 4; 4; 4; 4 ]);
+  check Alcotest.string "high" "High" (rating [ 6; 6; 6; 6; 6 ]);
+  check Alcotest.string "critical" "Critical" (rating [ 8; 8; 8; 8; 8 ])
+
+let test_dread_of_string () =
+  (match Dread.of_string "8,5,4,6,4 (5.4)" with
+  | Ok d -> check Alcotest.(float 1e-9) "avg recomputed" 5.4 (Dread.average d)
+  | Error e -> Alcotest.fail e);
+  (match Dread.of_string "8,5,4,6,4" with
+  | Ok d -> Alcotest.(check (list int)) "no parens" [ 8; 5; 4; 6; 4 ] (Dread.to_list d)
+  | Error e -> Alcotest.fail e);
+  match Dread.of_string "8,5,x,6,4" with
+  | Ok _ -> Alcotest.fail "accepted junk"
+  | Error _ -> ()
+
+let test_dread_pp () =
+  match Dread.of_list [ 8; 5; 4; 6; 4 ] with
+  | Ok d ->
+      check Alcotest.string "table format" "8,5,4,6,4 (5.4)"
+        (Format.asprintf "%a" Dread.pp d)
+  | Error e -> Alcotest.fail e
+
+let dread_components_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d, e) -> [ a; b; c; d; e ])
+      (tup5 (0 -- 10) (0 -- 10) (0 -- 10) (0 -- 10) (0 -- 10)))
+
+let prop_dread_average_bounds =
+  QCheck.Test.make ~name:"DREAD average within [0,10]" ~count:200
+    (QCheck.make dread_components_gen) (fun l ->
+      match Dread.of_list l with
+      | Ok d ->
+          let avg = Dread.average d in
+          avg >= 0.0 && avg <= 10.0
+      | Error _ -> false)
+
+let prop_dread_string_roundtrip =
+  QCheck.Test.make ~name:"DREAD pp/of_string round trip" ~count:200
+    (QCheck.make dread_components_gen) (fun l ->
+      match Dread.of_list l with
+      | Ok d -> (
+          match Dread.of_string (Format.asprintf "%a" Dread.pp d) with
+          | Ok d' -> Dread.to_list d = Dread.to_list d'
+          | Error _ -> false)
+      | Error _ -> false)
+
+(* ---------- Assets and entry points ---------- *)
+
+let test_asset_make () =
+  let a = Asset.make ~id:"ev_ecu" ~name:"EV-ECU" Asset.Safety_critical in
+  check Alcotest.string "id" "ev_ecu" a.Asset.id;
+  check Alcotest.int "rank" 3 (Asset.criticality_rank a.Asset.criticality)
+
+let test_asset_bad_id () =
+  Alcotest.check_raises "spaces" (Invalid_argument "Asset.make: invalid id \"EV ECU\"")
+    (fun () -> ignore (Asset.make ~id:"EV ECU" ~name:"x" Asset.Operational))
+
+let test_asset_ordering () =
+  let a = Asset.make ~id:"a" ~name:"A" Asset.Convenience in
+  let b = Asset.make ~id:"b" ~name:"B" Asset.Safety_critical in
+  Alcotest.(check bool) "safety first" true (Asset.compare_by_criticality b a < 0)
+
+let test_entry_point_remote () =
+  let wireless = Entry_point.make ~id:"radio" ~name:"Radio" Entry_point.Wireless in
+  let bus = Entry_point.make ~id:"canbus" ~name:"CAN" Entry_point.Bus in
+  Alcotest.(check bool) "wireless remote" true (Entry_point.remote wireless);
+  Alcotest.(check bool) "bus local" false (Entry_point.remote bus)
+
+(* ---------- Threats ---------- *)
+
+let dread_of l =
+  match Dread.of_list l with Ok d -> d | Error e -> Alcotest.fail e
+
+let stride_of s =
+  match Stride.of_string s with Ok c -> c | Error e -> Alcotest.fail e
+
+let sample_threat ?(id = "t1") ?(legit = [ Threat.Read ]) () =
+  Threat.make ~id ~title:"Sample" ~asset:"ev_ecu" ~entry_points:[ "ep1"; "ep1" ]
+    ~modes:[ "normal" ] ~stride:(stride_of "STD")
+    ~dread:(dread_of [ 8; 5; 4; 6; 4 ])
+    ~attack_operation:Threat.Write ~legitimate_operations:legit ()
+
+let test_threat_make_dedups () =
+  let t = sample_threat () in
+  Alcotest.(check (list string)) "deduplicated entry points" [ "ep1" ]
+    t.Threat.entry_points
+
+let test_threat_risk () =
+  let t = sample_threat () in
+  check Alcotest.(float 1e-9) "risk" 5.4 (Threat.risk t)
+
+let test_threat_residual () =
+  Alcotest.(check bool) "read-only blocks write attack" false
+    (Threat.residual_risk (sample_threat ()));
+  Alcotest.(check bool) "write-permitting leaves residual" true
+    (Threat.residual_risk (sample_threat ~legit:[ Threat.Read; Threat.Write ] ()))
+
+let test_threat_validation () =
+  Alcotest.check_raises "no entry points"
+    (Invalid_argument "Threat.make: no entry points") (fun () ->
+      ignore
+        (Threat.make ~id:"x" ~title:"x" ~asset:"a" ~entry_points:[]
+           ~stride:(stride_of "S")
+           ~dread:(dread_of [ 1; 1; 1; 1; 1 ])
+           ~attack_operation:Threat.Read ~legitimate_operations:[] ()))
+
+(* ---------- Risk ---------- *)
+
+let test_risk_likelihood_impact () =
+  let d = dread_of [ 8; 6; 6; 4; 6 ] in
+  check Alcotest.(float 1e-9) "likelihood" 6.0 (Risk.likelihood d);
+  check Alcotest.(float 1e-9) "impact" 6.0 (Risk.impact d)
+
+let test_risk_priorities () =
+  let p l = Risk.priority_name (Risk.priority (dread_of l)) in
+  check Alcotest.string "P1" "P1" (p [ 8; 8; 8; 8; 8 ]);
+  check Alcotest.string "P2" "P2" (p [ 9; 1; 1; 9; 1 ]);
+  check Alcotest.string "P3" "P3" (p [ 1; 9; 9; 1; 9 ]);
+  check Alcotest.string "P4" "P4" (p [ 1; 1; 1; 1; 1 ])
+
+let test_risk_rank () =
+  let low = sample_threat ~id:"low" () in
+  let high =
+    Threat.make ~id:"high" ~title:"High" ~asset:"a" ~entry_points:[ "e" ]
+      ~stride:(stride_of "T")
+      ~dread:(dread_of [ 9; 9; 9; 9; 9 ])
+      ~attack_operation:Threat.Write ~legitimate_operations:[] ()
+  in
+  match Risk.rank [ low; high ] with
+  | first :: _ -> check Alcotest.string "highest first" "high" first.Threat.id
+  | [] -> Alcotest.fail "empty ranking"
+
+let test_risk_top () =
+  let ts =
+    List.init 5 (fun i ->
+        Threat.make
+          ~id:(Printf.sprintf "t%d" i)
+          ~title:"t" ~asset:"a" ~entry_points:[ "e" ] ~stride:(stride_of "D")
+          ~dread:(dread_of [ i * 2; i; i; i; i ])
+          ~attack_operation:Threat.Read ~legitimate_operations:[] ())
+  in
+  check Alcotest.int "top 2" 2 (List.length (Risk.top 2 ts))
+
+let test_risk_mean () =
+  check Alcotest.(float 0.0) "empty" 0.0 (Risk.mean_risk []);
+  check Alcotest.(float 1e-9) "singleton" 5.4 (Risk.mean_risk [ sample_threat () ])
+
+let test_risk_by_priority_complete () =
+  let buckets = Risk.by_priority [ sample_threat () ] in
+  check Alcotest.int "four buckets" 4 (List.length buckets);
+  let total = List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 buckets in
+  check Alcotest.int "partition" 1 total
+
+(* ---------- Model ---------- *)
+
+let asset id = Asset.make ~id ~name:(String.uppercase_ascii id) Asset.Operational
+
+let entry id = Entry_point.make ~id ~name:id Entry_point.Bus
+
+let valid_model () =
+  Model.make ~use_case:"test"
+    ~assets:[ asset "ev_ecu"; asset "eps" ]
+    ~entry_points:[ entry "ep1"; entry "ep2" ]
+    ~modes:[ "normal" ] ~threats:[ sample_threat () ] ()
+
+let test_model_valid () =
+  match valid_model () with
+  | Ok m ->
+      check Alcotest.int "assets" 2 (List.length m.Model.assets);
+      check Alcotest.(float 0.0) "no countermeasures" 0.0 (Model.coverage m)
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let test_model_unknown_asset () =
+  let bad =
+    Threat.make ~id:"bad" ~title:"bad" ~asset:"missing" ~entry_points:[ "ep1" ]
+      ~stride:(stride_of "S")
+      ~dread:(dread_of [ 1; 1; 1; 1; 1 ])
+      ~attack_operation:Threat.Read ~legitimate_operations:[] ()
+  in
+  match
+    Model.make ~use_case:"t" ~assets:[ asset "ev_ecu" ]
+      ~entry_points:[ entry "ep1" ] ~threats:[ bad ] ()
+  with
+  | Ok _ -> Alcotest.fail "accepted unknown asset"
+  | Error _ -> ()
+
+let test_model_unknown_mode () =
+  match
+    Model.make ~use_case:"t" ~assets:[ asset "ev_ecu" ]
+      ~entry_points:[ entry "ep1" ] ~modes:[]
+      ~threats:
+        [
+          Threat.make ~id:"t" ~title:"t" ~asset:"ev_ecu" ~entry_points:[ "ep1" ]
+            ~modes:[ "weird" ] ~stride:(stride_of "S")
+            ~dread:(dread_of [ 1; 1; 1; 1; 1 ])
+            ~attack_operation:Threat.Read ~legitimate_operations:[] ();
+        ]
+      ()
+  with
+  | Ok _ -> Alcotest.fail "accepted unknown mode"
+  | Error _ -> ()
+
+let test_model_duplicate_ids () =
+  match
+    Model.make ~use_case:"t"
+      ~assets:[ asset "ev_ecu"; asset "ev_ecu" ]
+      ~entry_points:[ entry "ep1" ] ~modes:[ "normal" ] ~threats:[] ()
+  with
+  | Ok _ -> Alcotest.fail "accepted duplicate assets"
+  | Error _ -> ()
+
+let test_model_countermeasure_refs () =
+  match
+    Model.make ~use_case:"t" ~assets:[ asset "ev_ecu" ]
+      ~entry_points:[ entry "ep1" ] ~modes:[ "normal" ]
+      ~threats:[ sample_threat () ]
+      ~countermeasures:
+        [ Countermeasure.guideline ~threat_id:"nonexistent" [ "do better" ] ]
+      ()
+  with
+  | Ok _ -> Alcotest.fail "accepted dangling countermeasure"
+  | Error _ -> ()
+
+let test_model_queries () =
+  match valid_model () with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok m ->
+      check Alcotest.int "threats to ev_ecu" 1
+        (List.length (Model.threats_to_asset m "ev_ecu"));
+      check Alcotest.int "threats to eps" 0
+        (List.length (Model.threats_to_asset m "eps"));
+      check Alcotest.int "via ep1" 1
+        (List.length (Model.threats_via_entry_point m "ep1"));
+      check Alcotest.int "in normal" 1
+        (List.length (Model.threats_in_mode m "normal"));
+      Alcotest.(check bool) "find_threat" true (Model.find_threat m "t1" <> None)
+
+let test_model_add_countermeasure_coverage () =
+  match valid_model () with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok m -> (
+      check Alcotest.int "uncovered" 1 (List.length (Model.uncovered_threats m));
+      match
+        Model.add_countermeasure m
+          (Countermeasure.policy ~threat_id:"t1"
+             ~enforcement:Countermeasure.Hardware_enforced
+             "policy \"p\" version 1 {}")
+      with
+      | Ok m' ->
+          check Alcotest.(float 0.0) "full coverage" 1.0 (Model.coverage m');
+          check Alcotest.int "none uncovered" 0
+            (List.length (Model.uncovered_threats m'))
+      | Error es -> Alcotest.fail (String.concat "; " es))
+
+let test_model_add_threat_revalidates () =
+  match valid_model () with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok m -> (
+      let bad =
+        Threat.make ~id:"t2" ~title:"bad" ~asset:"nope" ~entry_points:[ "ep1" ]
+          ~stride:(stride_of "S")
+          ~dread:(dread_of [ 1; 1; 1; 1; 1 ])
+          ~attack_operation:Threat.Read ~legitimate_operations:[] ()
+      in
+      match Model.add_threat m bad with
+      | Ok _ -> Alcotest.fail "accepted invalid threat"
+      | Error _ -> ())
+
+let test_countermeasure_kinds () =
+  let g = Countermeasure.guideline ~threat_id:"t" [ "a"; "b" ] in
+  let p =
+    Countermeasure.policy ~threat_id:"t"
+      ~enforcement:Countermeasure.Software_enforced "src"
+  in
+  Alcotest.(check bool) "guideline not updatable" false
+    (Countermeasure.updatable_post_deployment g);
+  Alcotest.(check bool) "policy updatable" true
+    (Countermeasure.updatable_post_deployment p);
+  Alcotest.check_raises "empty guideline"
+    (Invalid_argument "Countermeasure.guideline: empty recommendation list")
+    (fun () -> ignore (Countermeasure.guideline ~threat_id:"t" []))
+
+(* ---------- Model interchange format ---------- *)
+
+module Model_format = Secpol_threat.Model_format
+
+let sample_model_source =
+  {|
+# a small device model
+use_case "Smart door lock"
+description "Connected deadbolt"
+modes normal maintenance
+
+asset lock_motor "Lock motor" safety_critical "actuator bolting the door"
+asset access_log "Access log" privacy
+
+entry ble "Bluetooth LE" wireless "proximity radio"
+entry keypad "Keypad" physical
+
+threat replay_unlock {
+  title "Replayed BLE unlock command"
+  description "Captured unlock replayed at the kerb"
+  asset lock_motor
+  entry ble
+  modes normal
+  stride ST
+  dread 8 6 5 7 6
+  attack write
+  legit read
+}
+
+threat log_theft {
+  title "Access log exfiltration"
+  asset access_log
+  entry ble keypad
+  stride I
+  dread 5 7 6 8 7
+  attack read
+  legit read
+}
+|}
+
+let test_format_parse () =
+  match Model_format.parse sample_model_source with
+  | Error e -> Alcotest.fail e
+  | Ok m ->
+      check Alcotest.string "use case" "Smart door lock" m.Model.use_case;
+      check Alcotest.int "assets" 2 (List.length m.Model.assets);
+      check Alcotest.int "entries" 2 (List.length m.Model.entry_points);
+      check Alcotest.int "threats" 2 (List.length m.Model.threats);
+      (match Model.find_threat m "replay_unlock" with
+      | Some t ->
+          check Alcotest.(float 1e-9) "risk" 6.4 (Threat.risk t);
+          Alcotest.(check (list string)) "modes" [ "normal" ] t.Threat.modes
+      | None -> Alcotest.fail "replay_unlock missing");
+      (* a threat with no modes applies everywhere *)
+      check Alcotest.int "log_theft in maintenance" 2
+        (List.length (Model.threats_in_mode m "maintenance") + 1)
+
+let test_format_roundtrip () =
+  let m = Model_format.parse_exn sample_model_source in
+  let m' = Model_format.parse_exn (Model_format.print m) in
+  check Alcotest.string "use case" m.Model.use_case m'.Model.use_case;
+  Alcotest.(check bool) "assets equal" true (m.Model.assets = m'.Model.assets);
+  Alcotest.(check bool) "entries equal" true
+    (m.Model.entry_points = m'.Model.entry_points);
+  Alcotest.(check bool) "threats equal" true (m.Model.threats = m'.Model.threats)
+
+let test_format_errors () =
+  List.iter
+    (fun src ->
+      match Model_format.parse src with
+      | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+      | Error _ -> ())
+    [
+      "";
+      "use_case \"x\" asset a \"A\" bogus_criticality";
+      "use_case \"x\" threat t { }";
+      "use_case \"x\" threat t { title \"y\" asset ghost entry e stride S \
+       dread 1 1 1 1 1 attack write }";
+      "use_case \"x\" nonsense";
+      "use_case \"x\" threat t { dread 1 2 3 }";
+    ]
+
+let test_format_validates_references () =
+  (* syntax fine, semantics broken: threat references an unknown asset *)
+  let src =
+    {|use_case "x"
+      entry e "E" bus
+      threat t { title "t" asset ghost entry e stride S dread 1 1 1 1 1 attack write }|}
+  in
+  match Model_format.parse src with
+  | Ok _ -> Alcotest.fail "accepted dangling asset reference"
+  | Error e ->
+      Alcotest.(check bool) "validator message" true
+        (String.length e > 0 && not (String.length e > 4 && String.sub e 0 4 = "line"))
+
+(* ---------- Report rendering ---------- *)
+
+let test_report_markdown () =
+  match valid_model () with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok m ->
+      let md = Secpol_threat.Report.markdown m in
+      let contains needle =
+        let nl = String.length needle and hl = String.length md in
+        let rec scan i =
+          i + nl <= hl && (String.sub md i nl = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      List.iter
+        (fun section ->
+          Alcotest.(check bool) ("contains " ^ section) true (contains section))
+        [
+          "# Security model: test";
+          "## Assets";
+          "## Entry points";
+          "## Threats";
+          "## Risk matrix";
+          "## Countermeasures";
+          "| t1 |";
+          "8,5,4,6,4 (5.4)";
+          "### Uncovered threats";
+        ]
+
+let test_report_table_rows () =
+  match valid_model () with
+  | Error es -> Alcotest.fail (String.concat "; " es)
+  | Ok m ->
+      let table = Secpol_threat.Report.threat_table m in
+      let rows =
+        List.filter
+          (fun l -> String.length l > 0 && l.[0] = '|')
+          (String.split_on_char '\n' table)
+      in
+      (* header + separator + one threat *)
+      check Alcotest.int "row count" 3 (List.length rows)
+
+let () =
+  Alcotest.run "secpol_threat"
+    [
+      ( "stride",
+        [
+          quick "codes" test_stride_codes;
+          quick "parse" test_stride_parse;
+          quick "parse unordered" test_stride_parse_unordered;
+          quick "rejects bad input" test_stride_rejects_bad;
+          quick "full set" test_stride_full_set;
+          quick "properties violated" test_stride_properties;
+          QCheck_alcotest.to_alcotest prop_stride_roundtrip;
+        ] );
+      ( "dread",
+        [
+          quick "make + average" test_dread_make;
+          quick "range validation" test_dread_out_of_range;
+          quick "of_list" test_dread_of_list;
+          quick "rating bands" test_dread_rating_bands;
+          quick "of_string" test_dread_of_string;
+          quick "pp table format" test_dread_pp;
+          QCheck_alcotest.to_alcotest prop_dread_average_bounds;
+          QCheck_alcotest.to_alcotest prop_dread_string_roundtrip;
+        ] );
+      ( "assets",
+        [
+          quick "make" test_asset_make;
+          quick "bad id" test_asset_bad_id;
+          quick "criticality ordering" test_asset_ordering;
+          quick "entry point remoteness" test_entry_point_remote;
+        ] );
+      ( "threats",
+        [
+          quick "dedup" test_threat_make_dedups;
+          quick "risk" test_threat_risk;
+          quick "residual risk" test_threat_residual;
+          quick "validation" test_threat_validation;
+        ] );
+      ( "risk",
+        [
+          quick "likelihood/impact" test_risk_likelihood_impact;
+          quick "priority quadrants" test_risk_priorities;
+          quick "ranking" test_risk_rank;
+          quick "top-n" test_risk_top;
+          quick "mean risk" test_risk_mean;
+          quick "by_priority partition" test_risk_by_priority_complete;
+        ] );
+      ( "model",
+        [
+          quick "valid model" test_model_valid;
+          quick "unknown asset" test_model_unknown_asset;
+          quick "unknown mode" test_model_unknown_mode;
+          quick "duplicate ids" test_model_duplicate_ids;
+          quick "dangling countermeasure" test_model_countermeasure_refs;
+          quick "queries" test_model_queries;
+          quick "coverage" test_model_add_countermeasure_coverage;
+          quick "add_threat revalidates" test_model_add_threat_revalidates;
+          quick "countermeasure kinds" test_countermeasure_kinds;
+        ] );
+      ( "format",
+        [
+          quick "parse" test_format_parse;
+          quick "print/parse round trip" test_format_roundtrip;
+          quick "syntax errors" test_format_errors;
+          quick "reference validation" test_format_validates_references;
+        ] );
+      ( "report",
+        [
+          quick "markdown sections" test_report_markdown;
+          quick "table rows" test_report_table_rows;
+        ] );
+    ]
