@@ -1,7 +1,8 @@
 (* secpolc: the policy compiler / toolchain CLI.
 
    Subcommands:
-     check   parse + compile + static analysis (conflicts, shadowing)
+     lint    parse + compile + full static analysis (text or JSON report)
+     check   thin alias for lint: text output, fail on errors
      fmt     pretty-print the normal form
      eval    evaluate one access request against a policy
      diff    rule-level difference between two policy files
@@ -9,6 +10,9 @@
 *)
 
 module Policy = Secpol.Policy
+module Vehicle = Secpol.Vehicle
+module Lint = Policy.Lint
+module Diagnostic = Policy.Diagnostic
 open Cmdliner
 
 let read_file path =
@@ -25,67 +29,161 @@ let load path =
 let policy_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"POLICY" ~doc:"Policy source file.")
 
+let strategy_conv =
+  Arg.enum
+    [
+      ("deny-overrides", Policy.Engine.Deny_overrides);
+      ("allow-overrides", Policy.Engine.Allow_overrides);
+      ("first-match", Policy.Engine.First_match);
+    ]
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv Policy.Engine.Deny_overrides
+       & info [ "strategy" ] ~docv:"S"
+           ~doc:"Resolution strategy: $(b,deny-overrides), \
+                 $(b,allow-overrides) or $(b,first-match).")
+
+(* ---------- lint ---------- *)
+
+(* Exit codes: 0 clean (or findings below --fail-on), 1 findings at or above
+   the threshold, 3 unreadable / unparsable / uncompilable policy.  Cmdliner
+   reserves 124/125 for command-line errors. *)
+
+let comma_list =
+  Arg.list ~sep:',' Arg.string
+
+let lint_config ~strategy ~modes ~subjects ~assets ~vehicle =
+  let default l = function Some v -> Some v | None -> l in
+  if vehicle then
+    {
+      Lint.strategy;
+      modes = default (Some (List.map Vehicle.Modes.name Vehicle.Modes.all)) modes;
+      subjects = default (Some Vehicle.Names.assets) subjects;
+      assets = default (Some Vehicle.Names.assets) assets;
+    }
+  else { Lint.strategy; modes; subjects; assets }
+
+let run_lint file ~strategy ~modes ~subjects ~assets ~vehicle =
+  match load file with
+  | Error e -> Error e
+  | Ok ast -> (
+      match Policy.Compile.compile ast with
+      | Error issues ->
+          Error
+            (String.concat "\n"
+               (List.map
+                  (fun i -> Format.asprintf "%a" Policy.Compile.pp_issue i)
+                  issues))
+      | Ok (db, _warnings) ->
+          let config = lint_config ~strategy ~modes ~subjects ~assets ~vehicle in
+          let passes =
+            if vehicle then Lint.builtin @ Vehicle.Lint_passes.passes ()
+            else Lint.builtin
+          in
+          Ok (db, Lint.run ~passes config db))
+
+let exit_for ~fail_on diagnostics =
+  let errors = Diagnostic.count Diagnostic.Error diagnostics in
+  let warnings = Diagnostic.count Diagnostic.Warning diagnostics in
+  match fail_on with
+  | `Never -> 0
+  | `Error -> if errors > 0 then 1 else 0
+  | `Warning -> if errors > 0 || warnings > 0 then 1 else 0
+
+let lint_cmd =
+  let run file format strategy fail_on modes subjects assets vehicle =
+    match run_lint file ~strategy ~modes ~subjects ~assets ~vehicle with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok (db, diagnostics) ->
+        (match format with
+        | `Text -> Format.printf "%a" Lint.pp_report (db, diagnostics)
+        | `Json ->
+            print_endline
+              (Policy.Json.to_string (Lint.report_to_json db diagnostics)));
+        exit_for ~fail_on diagnostics
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]) `Error
+         & info [ "fail-on" ] ~docv:"SEV"
+             ~doc:"Exit non-zero when findings of this severity (or worse) \
+                   exist: $(b,error), $(b,warning) or $(b,never).")
+  in
+  let modes =
+    Arg.(value & opt (some comma_list) None
+         & info [ "modes" ] ~docv:"M1,M2"
+             ~doc:"Declared mode universe; enables the mode-unknown pass and \
+                   widens the coverage grid.")
+  in
+  let subjects =
+    Arg.(value & opt (some comma_list) None
+         & info [ "subjects" ] ~docv:"S1,S2" ~doc:"Coverage subject universe.")
+  in
+  let assets =
+    Arg.(value & opt (some comma_list) None
+         & info [ "assets" ] ~docv:"A1,A2" ~doc:"Coverage asset universe.")
+  in
+  let vehicle =
+    Arg.(value & flag
+         & info [ "vehicle" ]
+             ~doc:"Lint against the built-in connected-car deployment: the \
+                   car's mode/subject/asset universes plus the cross-layer \
+                   HPE-consistency and threat-traceability passes.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run all static-analysis passes over a policy."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Parses and compiles $(i,POLICY), runs the lint passes \
+               (conflicts SP001, shadowing SP002, coverage gaps SP003, \
+               unreachable rules SP004, unknown modes SP005, rate sanity \
+               SP006/SP007, and with $(b,--vehicle) also HPE consistency \
+               SP008 and threat traceability SP009) and reports the \
+               findings.";
+           `S Manpage.s_exit_status;
+           `P "0 on a clean policy (or findings below $(b,--fail-on)); 1 \
+               when findings at or above the threshold exist; 3 when the \
+               policy cannot be read, parsed or compiled.";
+         ])
+    Term.(const run $ policy_file $ format $ strategy_arg $ fail_on $ modes
+          $ subjects $ assets $ vehicle)
+
 (* ---------- check ---------- *)
 
 let check_cmd =
-  let run strategy_first_match file =
-    match load file with
+  let run first_match file =
+    let strategy =
+      if first_match then Policy.Engine.First_match
+      else Policy.Engine.Deny_overrides
+    in
+    match
+      run_lint file ~strategy ~modes:None ~subjects:None ~assets:None
+        ~vehicle:false
+    with
     | Error e ->
         prerr_endline e;
         1
-    | Ok ast -> (
-        match Policy.Compile.compile ast with
-        | Error issues ->
-            List.iter
-              (fun i -> Format.eprintf "%a@." Policy.Compile.pp_issue i)
-              issues;
-            1
-        | Ok (db, warnings) ->
-            List.iter
-              (fun i -> Format.printf "%a@." Policy.Compile.pp_issue i)
-              warnings;
-            let conflicts = Policy.Conflict.conflicts db in
-            List.iter
-              (fun c -> Format.printf "conflict: %a@." Policy.Conflict.pp_conflict c)
-              conflicts;
-            let shadowed = Policy.Conflict.shadowed db in
-            List.iter
-              (fun ((a : Policy.Ir.rule), (b : Policy.Ir.rule)) ->
-                Format.printf "shadowed: rule #%d is covered by rule #%d@."
-                  b.idx a.idx)
-              shadowed;
-            (* coverage over the universes the policy itself names *)
-            let modes =
-              match
-                List.concat_map
-                  (fun (r : Policy.Ir.rule) -> Option.value ~default:[] r.modes)
-                  db.Policy.Ir.rules
-                |> List.sort_uniq String.compare
-              with
-              | [] -> [ "(any)" ]
-              | l -> l
-            in
-            let subjects = Policy.Ir.subjects db in
-            let assets = Policy.Ir.assets db in
-            if subjects <> [] && assets <> [] then
-              Format.printf "%a@."
-                Policy.Coverage.pp
-                (Policy.Coverage.analyse db ~modes ~subjects ~assets);
-            Format.printf "%s v%d: %d rules, default %s: %s@." db.Policy.Ir.name
-              db.Policy.Ir.version
-              (List.length db.Policy.Ir.rules)
-              (Policy.Ast.decision_name db.Policy.Ir.default)
-              (if conflicts = [] then "OK"
-               else if strategy_first_match then
-                 "conflicts resolved by source order (first-match)"
-               else "conflicts resolved by deny-overrides");
-            if conflicts <> [] then 2 else 0)
+    | Ok (db, diagnostics) ->
+        Format.printf "%a" Lint.pp_report (db, diagnostics);
+        if Diagnostic.count Diagnostic.Error diagnostics > 0 then 2 else 0
   in
   let first_match =
-    Arg.(value & flag & info [ "first-match" ] ~doc:"Report conflicts assuming first-match resolution.")
+    Arg.(value & flag
+         & info [ "first-match" ]
+             ~doc:"Analyse reachability assuming first-match resolution.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Parse, compile and statically analyse a policy.")
+    (Cmd.info "check"
+       ~doc:"Parse, compile and statically analyse a policy (alias for \
+             lint with text output; exit 2 on errors)." )
     Term.(const run $ first_match $ policy_file)
 
 (* ---------- fmt ---------- *)
@@ -118,24 +216,7 @@ let eval_cmd =
             List.iter (fun i -> Format.eprintf "%a@." Policy.Compile.pp_issue i) issues;
             1
         | Ok (db, _) ->
-            let strategy =
-              match strategy with
-              | "deny-overrides" -> Policy.Engine.Deny_overrides
-              | "allow-overrides" -> Policy.Engine.Allow_overrides
-              | "first-match" -> Policy.Engine.First_match
-              | s ->
-                  Printf.eprintf "unknown strategy %s\n" s;
-                  exit 1
-            in
             let engine = Policy.Engine.create ~strategy db in
-            let op =
-              match op with
-              | "read" -> Policy.Ir.Read
-              | "write" -> Policy.Ir.Write
-              | s ->
-                  Printf.eprintf "unknown operation %s (read|write)\n" s;
-                  exit 1
-            in
             let request = { Policy.Ir.mode; subject; asset; op; msg_id } in
             let outcome = Policy.Engine.decide engine request in
             Format.printf "%a -> %a@." Policy.Ir.pp_request request
@@ -153,19 +234,19 @@ let eval_cmd =
   let asset =
     Arg.(required & opt (some string) None & info [ "asset" ] ~docv:"ASSET" ~doc:"Target asset.")
   in
+  let op_conv =
+    Arg.enum [ ("read", Policy.Ir.Read); ("write", Policy.Ir.Write) ]
+  in
   let op =
-    Arg.(value & opt string "read" & info [ "op" ] ~docv:"OP" ~doc:"read or write.")
+    Arg.(value & opt op_conv Policy.Ir.Read
+         & info [ "op" ] ~docv:"OP" ~doc:"$(b,read) or $(b,write).")
   in
   let msg =
     Arg.(value & opt (some int) None & info [ "msg" ] ~docv:"ID" ~doc:"CAN message id.")
   in
-  let strategy =
-    Arg.(value & opt string "deny-overrides"
-         & info [ "strategy" ] ~docv:"S" ~doc:"deny-overrides, allow-overrides or first-match.")
-  in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one access request. Exit 0 allow / 3 deny.")
-    Term.(const run $ policy_file $ mode $ subject $ asset $ op $ msg $ strategy)
+    Term.(const run $ policy_file $ mode $ subject $ asset $ op $ msg $ strategy_arg)
 
 (* ---------- diff ---------- *)
 
@@ -229,4 +310,7 @@ let () =
     Cmd.info "secpolc" ~version:"1.0.0"
       ~doc:"Policy compiler and toolchain for the Secpol policy DSL."
   in
-  exit (Cmd.eval' (Cmd.group info [ check_cmd; fmt_cmd; eval_cmd; diff_cmd; bundle_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ lint_cmd; check_cmd; fmt_cmd; eval_cmd; diff_cmd; bundle_cmd ]))

@@ -79,6 +79,10 @@ val range_mem : int -> msg_range -> bool
 val normalise_subjects : subjects -> subjects
 (** Sorts and deduplicates; collapses an empty list to [Any_subject]. *)
 
+val normalise_ranges : msg_range list -> msg_range list
+(** Sorts by lower bound and merges overlapping or adjacent ranges, so the
+    normal form of a message set is unique. *)
+
 val normalise : policy -> policy
 (** Canonical form: subjects normalised, message ranges sorted and merged
     where overlapping/adjacent, mode lists sorted and deduplicated.

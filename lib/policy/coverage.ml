@@ -1,13 +1,18 @@
 type cell = { mode : string; subject : string; asset : string; op : Ir.op }
 
+type verdict = Full | Partial of Ast.msg_range list | Gap
+
 type report = {
   total : int;
   covered : int;
+  partial : (cell * Ast.msg_range list) list;
   gaps : cell list;
   default : Ast.decision;
 }
 
-let rule_covers (r : Ir.rule) (c : cell) =
+(* Ignoring the message dimension: does the rule speak about this cell at
+   all? *)
+let rule_touches (r : Ir.rule) (c : cell) =
   r.asset = c.asset
   && List.mem c.op r.ops
   && (match r.subjects with
@@ -15,12 +20,30 @@ let rule_covers (r : Ir.rule) (c : cell) =
      | Ast.Subjects l -> List.mem c.subject l)
   && match r.modes with None -> true | Some l -> List.mem c.mode l
 
-let cell_covered (db : Ir.db) c = List.exists (fun r -> rule_covers r c) db.rules
+(* A rule scoped to message ids decides the cell only for those ids:
+   requests outside the ranges (or carrying no id at all) fall through, so
+   the rule must not count as covering the whole cell. *)
+let rule_covers (r : Ir.rule) (c : cell) = rule_touches r c && r.messages = None
+
+let classify (db : Ir.db) c =
+  let touching = List.filter (fun r -> rule_touches r c) db.rules in
+  if List.exists (fun (r : Ir.rule) -> r.messages = None) touching then Full
+  else
+    match
+      List.concat_map
+        (fun (r : Ir.rule) -> Option.value ~default:[] r.messages)
+        touching
+    with
+    | [] -> Gap
+    | ranges -> Partial (Ast.normalise_ranges ranges)
+
+let cell_covered (db : Ir.db) c = classify db c = Full
 
 let analyse db ~modes ~subjects ~assets =
   if modes = [] || subjects = [] || assets = [] then
     invalid_arg "Coverage.analyse: empty universe";
   let gaps = ref [] in
+  let partial = ref [] in
   let covered = ref 0 in
   let total = ref 0 in
   List.iter
@@ -33,24 +56,37 @@ let analyse db ~modes ~subjects ~assets =
                 (fun op ->
                   incr total;
                   let c = { mode; subject; asset; op } in
-                  if cell_covered db c then incr covered else gaps := c :: !gaps)
+                  match classify db c with
+                  | Full -> incr covered
+                  | Partial ranges -> partial := (c, ranges) :: !partial
+                  | Gap -> gaps := c :: !gaps)
                 [ Ir.Read; Ir.Write ])
             assets)
         subjects)
     modes;
-  { total = !total; covered = !covered; gaps = List.rev !gaps;
-    default = db.Ir.default }
+  { total = !total; covered = !covered; partial = List.rev !partial;
+    gaps = List.rev !gaps; default = db.Ir.default }
 
 let ratio r = if r.total = 0 then 1.0 else float_of_int r.covered /. float_of_int r.total
 
+let ranges_text ranges =
+  String.concat "," (List.map Ir.range_text ranges)
+
 let pp ppf r =
   Format.fprintf ppf
-    "coverage: %d/%d cells decided explicitly (%.0f%%); %d gap(s) fall to \
-     default %s"
+    "coverage: %d/%d cells decided explicitly (%.0f%%); %d partial, %d gap(s) \
+     fall to default %s"
     r.covered r.total
     (100.0 *. ratio r)
+    (List.length r.partial)
     (List.length r.gaps)
     (Ast.decision_name r.default);
+  List.iteri
+    (fun i (c, ranges) ->
+      if i < 5 then
+        Format.fprintf ppf "@,  partial: %s %s %s in %s decided only for messages %s"
+          c.subject (Ir.op_name c.op) c.asset c.mode (ranges_text ranges))
+    r.partial;
   List.iteri
     (fun i c ->
       if i < 5 then

@@ -5,21 +5,43 @@
     legitimate flow (a Q4 false block waiting to happen); with
     [default allow] a gap is an unreviewed permission.  The analysis
     enumerates the [(mode, subject, asset, operation)] grid over declared
-    universes and reports the cells no rule speaks about. *)
+    universes and reports the cells no rule speaks about.
+
+    The message-id dimension is handled conservatively: a rule scoped to
+    message ranges decides its cell only for the ids it names, so such a
+    cell is {e partially} covered — requests outside the ranges (or with no
+    message id) still fall to the default. *)
 
 type cell = { mode : string; subject : string; asset : string; op : Ir.op }
 
+type verdict =
+  | Full  (** some rule with no message restriction decides the cell *)
+  | Partial of Ast.msg_range list
+      (** only message-scoped rules decide it; the normalised union of the
+          decided ids is given *)
+  | Gap  (** no rule speaks about the cell *)
+
 type report = {
   total : int;  (** grid size *)
-  covered : int;  (** cells some rule explicitly decides *)
+  covered : int;  (** fully covered cells *)
+  partial : (cell * Ast.msg_range list) list;
+      (** cells decided only for some message ids, deterministic order *)
   gaps : cell list;  (** uncovered cells, deterministic order *)
   default : Ast.decision;  (** what the gaps resolve to at run time *)
 }
 
+val rule_covers : Ir.rule -> cell -> bool
+(** Full cover: the rule's scope includes the cell and it carries no
+    message restriction. *)
+
+val rule_touches : Ir.rule -> cell -> bool
+(** The rule's (asset, op, subject, mode) scope includes the cell, message
+    restrictions ignored. *)
+
+val classify : Ir.db -> cell -> verdict
+
 val cell_covered : Ir.db -> cell -> bool
-(** True when some rule's scope includes the cell (message-ID constraints
-    are ignored: a message-scoped rule covers its cell for the IDs it
-    names). *)
+(** [classify db c = Full]. *)
 
 val analyse :
   Ir.db ->
@@ -31,7 +53,7 @@ val analyse :
     @raise Invalid_argument otherwise. *)
 
 val ratio : report -> float
-(** covered / total. *)
+(** fully covered / total. *)
 
 val pp : Format.formatter -> report -> unit
-(** Summary plus the first few gaps. *)
+(** Summary plus the first few partial cells and gaps. *)

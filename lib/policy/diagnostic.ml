@@ -1,0 +1,214 @@
+type severity = Error | Warning | Info
+
+type code =
+  | Conflict
+  | Shadowed
+  | Coverage_gap
+  | Unreachable_rule
+  | Mode_unknown
+  | Rate_deny
+  | Rate_ineffective
+  | Hpe_mismatch
+  | Threat_untraced
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  rules : int list;
+  asset : string option;
+  subject : string option;
+  mode : string option;
+  op : Ir.op option;
+  msg_range : (int * int) option;
+}
+
+let all_codes =
+  [
+    Conflict; Shadowed; Coverage_gap; Unreachable_rule; Mode_unknown;
+    Rate_deny; Rate_ineffective; Hpe_mismatch; Threat_untraced;
+  ]
+
+let id = function
+  | Conflict -> "SP001"
+  | Shadowed -> "SP002"
+  | Coverage_gap -> "SP003"
+  | Unreachable_rule -> "SP004"
+  | Mode_unknown -> "SP005"
+  | Rate_deny -> "SP006"
+  | Rate_ineffective -> "SP007"
+  | Hpe_mismatch -> "SP008"
+  | Threat_untraced -> "SP009"
+
+let slug = function
+  | Conflict -> "conflict"
+  | Shadowed -> "shadowed"
+  | Coverage_gap -> "coverage-gap"
+  | Unreachable_rule -> "unreachable-rule"
+  | Mode_unknown -> "mode-unknown"
+  | Rate_deny -> "rate-deny"
+  | Rate_ineffective -> "rate-ineffective"
+  | Hpe_mismatch -> "hpe-mismatch"
+  | Threat_untraced -> "threat-untraced"
+
+let code_of_id s =
+  List.find_opt (fun c -> id c = s || slug c = s) all_codes
+
+(* A conflict, a rule that never matches because of a typo, an impossible
+   rate, or hardware contradicting software are all bugs in the policy; dead
+   rules and silent defaults are smells the author should review. *)
+let default_severity = function
+  | Conflict | Mode_unknown | Rate_deny | Hpe_mismatch -> Error
+  | Shadowed | Coverage_gap | Unreachable_rule | Rate_ineffective
+  | Threat_untraced ->
+      Warning
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let make ?severity ?(rules = []) ?asset ?subject ?mode ?op ?msg_range code
+    message =
+  {
+    code;
+    severity =
+      (match severity with Some s -> s | None -> default_severity code);
+    message;
+    rules = List.sort_uniq Int.compare rules;
+    asset;
+    subject;
+    mode;
+    op;
+    msg_range;
+  }
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let cmp =
+    Stdlib.compare (severity_rank a.severity) (severity_rank b.severity)
+  in
+  if cmp <> 0 then cmp
+  else
+    let cmp = String.compare (id a.code) (id b.code) in
+    if cmp <> 0 then cmp
+    else
+      let cmp = Stdlib.compare a.rules b.rules in
+      if cmp <> 0 then cmp
+      else
+        Stdlib.compare
+          (a.asset, a.subject, a.mode, a.op, a.msg_range, a.message)
+          (b.asset, b.subject, b.mode, b.op, b.msg_range, b.message)
+
+let by_code code = List.filter (fun d -> d.code = code)
+
+let count severity l =
+  List.length (List.filter (fun d -> d.severity = severity) l)
+
+let worst = function
+  | [] -> None
+  | l ->
+      Some
+        (List.fold_left
+           (fun acc d ->
+             if severity_rank d.severity < severity_rank acc then d.severity
+             else acc)
+           Info l)
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s (%s): %s"
+    (severity_name d.severity)
+    (id d.code) (slug d.code) d.message
+
+let to_json d =
+  let opt_str key = function
+    | None -> []
+    | Some s -> [ (key, Json.String s) ]
+  in
+  Json.Obj
+    ([
+       ("code", Json.String (id d.code));
+       ("slug", Json.String (slug d.code));
+       ("severity", Json.String (severity_name d.severity));
+       ("message", Json.String d.message);
+       ("rules", Json.List (List.map (fun i -> Json.Int i) d.rules));
+     ]
+    @ opt_str "asset" d.asset
+    @ opt_str "subject" d.subject
+    @ opt_str "mode" d.mode
+    @ opt_str "op" (Option.map Ir.op_name d.op)
+    @
+    match d.msg_range with
+    | None -> []
+    | Some (lo, hi) ->
+        [ ("messages", Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi) ]) ])
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field key conv what =
+    match Option.bind (Json.member key json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "diagnostic: missing or bad %S %s" key what)
+  in
+  let opt_str key = Option.bind (Json.member key json) Json.to_str in
+  let* code_str = field "code" Json.to_str "string" in
+  let* code =
+    match code_of_id code_str with
+    | Some c -> Ok c
+    | None -> Error (Printf.sprintf "diagnostic: unknown code %S" code_str)
+  in
+  let* severity_str = field "severity" Json.to_str "string" in
+  let* severity =
+    match severity_of_name severity_str with
+    | Some s -> Ok s
+    | None ->
+        Error (Printf.sprintf "diagnostic: unknown severity %S" severity_str)
+  in
+  let* message = field "message" Json.to_str "string" in
+  let* rule_items = field "rules" Json.to_list "list" in
+  let* rules =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match Json.to_int item with
+        | Some i -> Ok (i :: acc)
+        | None -> Error "diagnostic: non-integer rule index")
+      (Ok []) rule_items
+  in
+  let* op =
+    match opt_str "op" with
+    | None -> Ok None
+    | Some "read" -> Ok (Some Ir.Read)
+    | Some "write" -> Ok (Some Ir.Write)
+    | Some other -> Error (Printf.sprintf "diagnostic: unknown op %S" other)
+  in
+  let* msg_range =
+    match Json.member "messages" json with
+    | None -> Ok None
+    | Some r -> (
+        match
+          ( Option.bind (Json.member "lo" r) Json.to_int,
+            Option.bind (Json.member "hi" r) Json.to_int )
+        with
+        | Some lo, Some hi -> Ok (Some (lo, hi))
+        | _ -> Error "diagnostic: bad messages range")
+  in
+  Ok
+    {
+      code;
+      severity;
+      message;
+      rules = List.sort_uniq Int.compare (List.rev rules);
+      asset = opt_str "asset";
+      subject = opt_str "subject";
+      mode = opt_str "mode";
+      op;
+      msg_range;
+    }

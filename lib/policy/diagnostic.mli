@@ -1,0 +1,95 @@
+(** Structured diagnostics for Secpol static analysis.
+
+    Every finding a lint pass can emit carries a {e stable} code (the
+    [SPxxx] identifiers below never change meaning between releases — CI
+    gates and editors key on them), a severity, a human-readable message
+    and a structured payload naming the rules, asset, subject, mode,
+    operation and message-id range involved, so tooling does not have to
+    parse prose.  Text and JSON renderers are provided; the JSON form
+    round-trips through {!of_json}. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Conflict  (** [SP001] overlapping rules with opposite decisions *)
+  | Shadowed  (** [SP002] rule fully covered by an earlier same-decision rule *)
+  | Coverage_gap
+      (** [SP003] an access cell no rule decides (or decides only for some
+          message ids), falling silently to the default *)
+  | Unreachable_rule
+      (** [SP004] a rule no request can trigger under the chosen resolution
+          strategy *)
+  | Mode_unknown
+      (** [SP005] a rule names a mode outside the declared mode universe, so
+          it silently never matches *)
+  | Rate_deny  (** [SP006] a deny rule carries a rate limit *)
+  | Rate_ineffective
+      (** [SP007] a rate limit that never binds because an unlimited allow
+          rule covers the same scope *)
+  | Hpe_mismatch
+      (** [SP008] hardware policy engine configuration disagrees with the
+          software engine's decision for some (binding, op) *)
+  | Threat_untraced
+      (** [SP009] a threat-catalogue countermeasure maps to no policy rule *)
+
+type t = {
+  code : code;
+  severity : severity;
+  message : string;
+  rules : int list;  (** indices of the rules involved, ascending *)
+  asset : string option;
+  subject : string option;
+  mode : string option;
+  op : Ir.op option;
+  msg_range : (int * int) option;
+}
+
+val all_codes : code list
+(** In [SP001..] order. *)
+
+val id : code -> string
+(** The stable identifier, e.g. ["SP001"]. *)
+
+val slug : code -> string
+(** The stable short name, e.g. ["coverage-gap"]. *)
+
+val code_of_id : string -> code option
+(** Accepts either the [SPxxx] id or the slug. *)
+
+val default_severity : code -> severity
+
+val severity_name : severity -> string
+
+val severity_of_name : string -> severity option
+
+val make :
+  ?severity:severity ->
+  ?rules:int list ->
+  ?asset:string ->
+  ?subject:string ->
+  ?mode:string ->
+  ?op:Ir.op ->
+  ?msg_range:int * int ->
+  code ->
+  string ->
+  t
+(** [make code message] with the code's default severity unless
+    overridden.  Rule indices are sorted. *)
+
+val compare : t -> t -> int
+(** Severity first (errors before warnings before infos), then code, then
+    rule indices, then payload — a deterministic report order. *)
+
+val by_code : code -> t list -> t list
+
+val count : severity -> t list -> int
+
+val worst : t list -> severity option
+(** [None] on an empty list. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error SP001 (conflict): message]. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result

@@ -39,6 +39,9 @@ val op_of_ast : Ast.op -> op list
 
 val op_name : op -> string
 
+val range_text : Ast.msg_range -> string
+(** ["0x100"] or ["0x100..0x10f"]. *)
+
 val rule_matches : rule -> request -> bool
 (** True when every dimension of the rule covers the request.  A
     message-constrained rule only matches requests that carry a message ID

@@ -1,0 +1,32 @@
+(** A minimal JSON tree, printer and parser.
+
+    Just enough for machine-readable diagnostics ({!Diagnostic.to_json},
+    [secpolc lint --format json]) without pulling a JSON dependency into the
+    embedded toolchain.  The printer emits compact, deterministic output
+    (object fields in the order given); the parser accepts standard JSON
+    and is used to round-trip lint reports in tests and tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering; strings are escaped per RFC 8259. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed).  Errors carry a
+    character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields and non-objects. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_list : t -> t list option
