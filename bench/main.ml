@@ -371,33 +371,62 @@ let q4 () =
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* One measured row of the perf suite; ns/op and minor words/op from the
+   bechamel OLS fit.  Collected across targets so `--json FILE` can emit a
+   machine-readable report at exit (consumed by the CI bench-smoke job). *)
+type perf_row = { bench : string; ns_per_op : float; minor_per_op : float }
+
+let perf_rows : perf_row list ref = ref []
+
+(* `--quick` trades precision for wall-clock: enough samples for a sanity
+   gate in CI, not for a publishable number. *)
+let quick_mode = ref false
+
+let json_file : string option ref = ref None
+
+let check_speedup : float option ref = ref None
+
 let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let limit, quota =
+    if !quick_mode then (500, Time.second 0.05) else (2000, Time.second 0.5)
+  in
+  let cfg = Benchmark.cfg ~limit ~quota () in
   let raw =
     Benchmark.all cfg
-      Instance.[ monotonic_clock ]
+      Instance.[ minor_allocated; monotonic_clock ]
       (Test.make_grouped ~name:"secpol" tests)
   in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> e
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | Some ols -> (
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> Float.nan)
+    | None -> Float.nan
   in
-  Printf.printf "%-52s %14s\n" "benchmark" "ns/op";
-  List.iter (fun (name, ns) -> Printf.printf "%-52s %14.1f\n" name ns) rows
+  let times = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) times []
+    |> List.sort compare
+    |> List.map (fun name ->
+           {
+             bench = name;
+             ns_per_op = estimate times name;
+             minor_per_op = estimate allocs name;
+           })
+  in
+  perf_rows := !perf_rows @ rows;
+  Printf.printf "%-58s %14s %14s\n" "benchmark" "ns/op" "minor w/op";
+  List.iter
+    (fun r ->
+      Printf.printf "%-58s %14.1f %14.1f\n" r.bench r.ns_per_op r.minor_per_op)
+    rows
 
 let perf () =
   section "Micro-benchmarks (Bechamel, OLS ns/op)";
@@ -408,43 +437,82 @@ let perf () =
   in
   let bitset = Hpe.Approved_list.of_ids ~backend:Hpe.Approved_list.Bitset ids in
   let table = Hpe.Approved_list.of_ids ~backend:Hpe.Approved_list.Hashtable ids in
+  let intervals =
+    Hpe.Approved_list.of_ids ~backend:Hpe.Approved_list.Intervals ids
+  in
   let probe = Can.Identifier.standard V.Messages.ecu_command in
   let miss = Can.Identifier.standard 0x7ff in
-  let bench_bitset =
-    Test.make ~name:"hpe/approved-list/bitset"
+  let bench_approved name l =
+    Test.make ~name
       (Staged.stage (fun () ->
-           ignore (Hpe.Approved_list.mem bitset probe);
-           ignore (Hpe.Approved_list.mem bitset miss)))
+           ignore (Hpe.Approved_list.mem l probe);
+           ignore (Hpe.Approved_list.mem l miss)))
   in
-  let bench_table =
-    Test.make ~name:"hpe/approved-list/hashtable"
+  let bench_bitset = bench_approved "hpe/approved-list/bitset" bitset in
+  let bench_table = bench_approved "hpe/approved-list/hashtable" table in
+  let bench_intervals = bench_approved "hpe/approved-list/intervals" intervals in
+  (* policy engine: interpreted scan vs compiled indexed table vs cache,
+     over the connected-car workload (every designed producer write and
+     consumer read, plus the Table-I spoofed writes the policy denies) *)
+  let db = Policy.Compile.compile_exn (V.Policy_map.baseline ()) in
+  let workload =
+    let designed =
+      List.concat_map
+        (fun (m : V.Messages.t) ->
+          let req subject op =
+            {
+              Policy.Ir.mode = "normal";
+              subject = V.Names.asset_of_node subject;
+              asset = m.asset;
+              op;
+              msg_id = Some m.id;
+            }
+          in
+          List.map (fun p -> req p Policy.Ir.Write) m.producers
+          @ List.map (fun c -> req c Policy.Ir.Read) m.consumers)
+        V.Messages.all
+    in
+    let attacks =
+      List.map
+        (fun (m : V.Messages.t) ->
+          {
+            Policy.Ir.mode = "normal";
+            subject = V.Names.asset_of_node V.Names.infotainment;
+            asset = m.asset;
+            op = Policy.Ir.Write;
+            msg_id = Some m.id;
+          })
+        V.Messages.all
+    in
+    Array.of_list (designed @ attacks)
+  in
+  let bench_engine name engine =
+    let n = Array.length workload in
+    let i = ref 0 in
+    Test.make ~name
       (Staged.stage (fun () ->
-           ignore (Hpe.Approved_list.mem table probe);
-           ignore (Hpe.Approved_list.mem table miss)))
+           let req = workload.(!i) in
+           incr i;
+           if !i = n then i := 0;
+           ignore (Policy.Engine.decide engine req)))
   in
-  (* policy engine with and without the decision cache *)
-  let db =
-    Policy.Compile.compile_exn (V.Policy_map.baseline ())
+  let bench_interpreted =
+    bench_engine "policy/engine/interpreted (car workload)"
+      (Policy.Engine.create ~mode:`Interpreted ~cache:false db)
   in
-  let engine_cached = Policy.Engine.create ~cache:true db in
-  let engine_raw = Policy.Engine.create ~cache:false db in
-  let request =
-    {
-      Policy.Ir.mode = "normal";
-      subject = V.Names.asset_safety_critical;
-      asset = V.Names.ev_ecu;
-      op = Policy.Ir.Write;
-      msg_id = Some V.Messages.ecu_command;
-    }
+  let bench_compiled =
+    bench_engine "policy/engine/compiled (car workload)"
+      (Policy.Engine.create ~mode:`Compiled ~cache:false db)
   in
-  let bench_engine_cached =
-    Test.make ~name:"policy/engine/decide (cache)"
-      (Staged.stage (fun () -> ignore (Policy.Engine.decide engine_cached request)))
+  let bench_compiled_cache =
+    bench_engine "policy/engine/compiled+cache (car workload)"
+      (Policy.Engine.create ~mode:`Compiled ~cache:true db)
   in
-  let bench_engine_raw =
-    Test.make ~name:"policy/engine/decide (no cache)"
-      (Staged.stage (fun () -> ignore (Policy.Engine.decide engine_raw request)))
-  in
+  (match
+     Policy.Engine.table_stats (Policy.Engine.create ~mode:`Compiled db)
+   with
+  | Some s -> Format.printf "compiled table: %a@." Policy.Table.pp_stats s
+  | None -> ());
   (* policy parsing *)
   let source = Policy.Printer.to_string (V.Policy_map.baseline ()) in
   let bench_parse =
@@ -510,8 +578,10 @@ let perf () =
     [
       bench_bitset;
       bench_table;
-      bench_engine_cached;
-      bench_engine_raw;
+      bench_intervals;
+      bench_interpreted;
+      bench_compiled;
+      bench_compiled_cache;
       bench_parse;
       bench_avc;
       bench_noavc;
@@ -749,11 +819,97 @@ let targets =
     ("extension", extension);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(*                                                                     *)
+(*   main.exe [TARGET...] [--quick] [--json FILE] [--check-speedup X]  *)
+(*                                                                     *)
+(* Exit codes: 0 ok; 1 unknown target / bad flag; 4 the compiled       *)
+(* engine's speedup over the interpreted path fell below the           *)
+(* --check-speedup threshold (the CI bench-smoke sanity gate).         *)
+(* ------------------------------------------------------------------ *)
+
+let find_row suffix =
+  List.find_opt
+    (fun r ->
+      let n = String.length r.bench and m = String.length suffix in
+      n >= m && String.sub r.bench (n - m) m = suffix)
+    !perf_rows
+
+let speedup_rows () =
+  match
+    ( find_row "policy/engine/interpreted (car workload)",
+      find_row "policy/engine/compiled (car workload)" )
+  with
+  | Some i, Some c when c.ns_per_op > 0.0 && Float.is_finite i.ns_per_op ->
+      Some (i, c, i.ns_per_op /. c.ns_per_op)
+  | _ -> None
+
+let json_float f =
+  if Float.is_finite f then Policy.Json.Float f else Policy.Json.Null
+
+let json_report () =
+  let results =
+    List.map
+      (fun r ->
+        Policy.Json.Obj
+          [
+            ("name", Policy.Json.String r.bench);
+            ("ns_per_op", json_float r.ns_per_op);
+            ("minor_words_per_op", json_float r.minor_per_op);
+          ])
+      !perf_rows
+  in
+  let speedup =
+    match speedup_rows () with
+    | None -> Policy.Json.Null
+    | Some (i, c, s) ->
+        Policy.Json.Obj
+          [
+            ("baseline", Policy.Json.String i.bench);
+            ("fast_path", Policy.Json.String c.bench);
+            ("speedup", json_float s);
+          ]
+  in
+  Policy.Json.Obj
+    [
+      ("schema", Policy.Json.Int 1);
+      ("suite", Policy.Json.String "secpol-perf");
+      ("quick", Policy.Json.Bool !quick_mode);
+      ("results", Policy.Json.List results);
+      ("compiled_vs_interpreted", speedup);
+    ]
+
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let usage () =
+    Printf.eprintf
+      "usage: main.exe [TARGET...] [--quick] [--json FILE] [--check-speedup \
+       X]\nknown targets: %s\n"
+      (String.concat ", " (List.map fst targets));
+    exit 1
+  in
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--quick" :: rest ->
+        quick_mode := true;
+        parse names rest
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse names rest
+    | "--check-speedup" :: x :: rest -> (
+        match float_of_string_opt x with
+        | Some v ->
+            check_speedup := Some v;
+            parse names rest
+        | None -> usage ())
+    | ("--json" | "--check-speedup") :: [] -> usage ()
+    | name :: rest ->
+        if String.length name >= 2 && String.sub name 0 2 = "--" then usage ();
+        parse (name :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst targets
+    match parse [] args with [] -> List.map fst targets | names -> names
   in
   List.iter
     (fun name ->
@@ -763,4 +919,28 @@ let () =
           Printf.eprintf "unknown bench target %S; known: %s\n" name
             (String.concat ", " (List.map fst targets));
           exit 1)
-    requested
+    requested;
+  (match !json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Policy.Json.to_string (json_report ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (%d benchmark results)\n" file
+        (List.length !perf_rows));
+  match !check_speedup with
+  | None -> ()
+  | Some threshold -> (
+      match speedup_rows () with
+      | None ->
+          Printf.eprintf
+            "--check-speedup: no engine benchmarks recorded (run the perf \
+             target)\n";
+          exit 4
+      | Some (i, c, s) ->
+          Printf.printf
+            "speedup gate: interpreted %.1f ns/op -> compiled %.1f ns/op = \
+             %.2fx (threshold %.2fx)\n"
+            i.ns_per_op c.ns_per_op s threshold;
+          if s < threshold then exit 4)

@@ -248,6 +248,148 @@ let eval_cmd =
     (Cmd.info "eval" ~doc:"Evaluate one access request. Exit 0 allow / 3 deny.")
     Term.(const run $ policy_file $ mode $ subject $ asset $ op $ msg $ strategy_arg)
 
+(* ---------- bench ---------- *)
+
+(* Exit codes: 0 measured (and above --min-speedup when given); 1 the
+   compiled fast path fell below --min-speedup; 3 unreadable / unparsable /
+   uncompilable policy.  Coarse CPU-clock timing on purpose: this is the
+   CI-friendly smoke check, bench/main.exe perf is the precise harness. *)
+
+let bench_cmd =
+  let run file strategy iters min_speedup json =
+    match load file with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok ast -> (
+        match Policy.Compile.compile ast with
+        | Error issues ->
+            List.iter
+              (fun i -> Format.eprintf "%a@." Policy.Compile.pp_issue i)
+              issues;
+            3
+        | Ok (db, _) ->
+            (* synthesise a request mix covering every asset and subject the
+               policy names, plus a stranger falling to the default *)
+            let modes =
+              "normal"
+              :: List.concat_map
+                   (fun (r : Policy.Ir.rule) ->
+                     Option.value ~default:[] r.Policy.Ir.modes)
+                   db.Policy.Ir.rules
+              |> List.sort_uniq String.compare
+            in
+            let subjects = "stranger" :: Policy.Ir.subjects db in
+            let workload =
+              List.concat_map
+                (fun asset ->
+                  List.concat_map
+                    (fun subject ->
+                      List.concat_map
+                        (fun mode ->
+                          List.concat_map
+                            (fun op ->
+                              [
+                                { Policy.Ir.mode; subject; asset; op; msg_id = None };
+                                {
+                                  Policy.Ir.mode;
+                                  subject;
+                                  asset;
+                                  op;
+                                  msg_id = Some 0x100;
+                                };
+                              ])
+                            [ Policy.Ir.Read; Policy.Ir.Write ])
+                        modes)
+                    subjects)
+                (Policy.Ir.assets db)
+              |> Array.of_list
+            in
+            if Array.length workload = 0 then begin
+              prerr_endline "policy has no rules to benchmark";
+              3
+            end
+            else begin
+              let time mode =
+                let engine =
+                  Policy.Engine.create ~strategy ~mode ~cache:false db
+                in
+                let n = Array.length workload in
+                (* warm up allocators and the table *)
+                for k = 0 to min n 1000 - 1 do
+                  ignore (Policy.Engine.decide engine workload.(k mod n))
+                done;
+                let t0 = Sys.time () in
+                for k = 0 to iters - 1 do
+                  ignore (Policy.Engine.decide engine workload.(k mod n))
+                done;
+                (Sys.time () -. t0) /. float_of_int iters *. 1e9
+              in
+              let interpreted = time `Interpreted in
+              let compiled = time `Compiled in
+              let speedup =
+                if compiled > 0.0 then interpreted /. compiled else 0.0
+              in
+              (match json with
+              | false ->
+                  Printf.printf
+                    "policy %s v%d: %d rules, %d-request workload, %d \
+                     iterations\ninterpreted: %8.1f ns/op\ncompiled:    \
+                     %8.1f ns/op\nspeedup:     %8.2fx\n"
+                    db.Policy.Ir.name db.Policy.Ir.version
+                    (List.length db.Policy.Ir.rules)
+                    (Array.length workload) iters interpreted compiled speedup
+              | true ->
+                  print_endline
+                    (Policy.Json.to_string
+                       (Policy.Json.Obj
+                          [
+                            ("policy", Policy.Json.String db.Policy.Ir.name);
+                            ("version", Policy.Json.Int db.Policy.Ir.version);
+                            ("rules", Policy.Json.Int (List.length db.Policy.Ir.rules));
+                            ("iterations", Policy.Json.Int iters);
+                            ("interpreted_ns_per_op", Policy.Json.Float interpreted);
+                            ("compiled_ns_per_op", Policy.Json.Float compiled);
+                            ("speedup", Policy.Json.Float speedup);
+                          ])));
+              match min_speedup with
+              | Some m when speedup < m ->
+                  Printf.eprintf
+                    "speedup %.2fx below required minimum %.2fx\n" speedup m;
+                  1
+              | Some _ | None -> 0
+            end)
+  in
+  let iters =
+    Arg.(value & opt int 100_000
+         & info [ "iters" ] ~docv:"N" ~doc:"Decision iterations per engine.")
+  in
+  let min_speedup =
+    Arg.(value & opt (some float) None
+         & info [ "min-speedup" ] ~docv:"X"
+             ~doc:"Exit 1 when the compiled engine's speedup over the \
+                   interpreted engine is below $(docv).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the measurements as a JSON object.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Micro-benchmark the interpreted vs compiled engine on a policy."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Compiles $(i,POLICY), synthesises a request workload covering \
+               its assets, subjects and modes, and times the interpreted \
+               rule scan against the compiled decision table.";
+           `S Manpage.s_exit_status;
+           `P "0 when measured (and at or above $(b,--min-speedup) when \
+               given); 1 below the minimum; 3 when the policy cannot be \
+               read, parsed or compiled.";
+         ])
+    Term.(const run $ policy_file $ strategy_arg $ iters $ min_speedup $ json)
+
 (* ---------- diff ---------- *)
 
 let diff_cmd =
@@ -313,4 +455,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ lint_cmd; check_cmd; fmt_cmd; eval_cmd; diff_cmd; bundle_cmd ]))
+          [ lint_cmd; check_cmd; fmt_cmd; eval_cmd; bench_cmd; diff_cmd; bundle_cmd ]))

@@ -1,11 +1,15 @@
 module Identifier = Secpol_can.Identifier
+module Intervals_set = Secpol_policy.Intervals
 
-type backend = Bitset | Hashtable
+type backend = Bitset | Hashtable | Intervals
 
 type repr =
   | Bits of { std : Bytes.t; ext : (int, unit) Hashtbl.t }
   | Table of (int * bool, unit) Hashtbl.t
       (** key: raw id, is_extended *)
+  | Ranges of { mutable std : Intervals_set.t; ext : (int, unit) Hashtbl.t }
+      (** the compiled policy table's sorted-interval matcher, reused:
+          standard IDs as disjoint ranges, sparse extended IDs hashed *)
 
 type t = { backend : backend; repr : repr; mutable cardinal : int }
 
@@ -14,6 +18,8 @@ let create ?(backend = Bitset) () =
     match backend with
     | Bitset -> Bits { std = Bytes.make 256 '\000'; ext = Hashtbl.create 16 }
     | Hashtable -> Table (Hashtbl.create 64)
+    | Intervals ->
+        Ranges { std = Intervals_set.empty; ext = Hashtbl.create 16 }
   in
   { backend; repr; cardinal = 0 }
 
@@ -32,6 +38,8 @@ let mem t id =
   match (t.repr, id) with
   | Bits { std; _ }, Identifier.Standard i -> bit_get std i
   | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.mem ext i
+  | Ranges { std; _ }, Identifier.Standard i -> Intervals_set.mem std i
+  | Ranges { ext; _ }, Identifier.Extended i -> Hashtbl.mem ext i
   | Table tbl, _ -> Hashtbl.mem tbl (Identifier.raw id, Identifier.is_extended id)
 
 let add t id =
@@ -40,6 +48,9 @@ let add t id =
     match (t.repr, id) with
     | Bits { std; _ }, Identifier.Standard i -> bit_set std i true
     | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.replace ext i ()
+    | Ranges r, Identifier.Standard i ->
+        r.std <- Intervals_set.add r.std ~lo:i ~hi:i
+    | Ranges { ext; _ }, Identifier.Extended i -> Hashtbl.replace ext i ()
     | Table tbl, _ ->
         Hashtbl.replace tbl (Identifier.raw id, Identifier.is_extended id) ()
   end
@@ -47,9 +58,16 @@ let add t id =
 let add_range t ~lo ~hi =
   if lo < 0 || hi > 0x7FF || hi < lo then
     invalid_arg "Approved_list.add_range: bad 11-bit range";
-  for i = lo to hi do
-    add t (Identifier.standard i)
-  done
+  match t.repr with
+  | Ranges r ->
+      (* bulk form: one interval merge instead of per-ID insertion *)
+      let before = Intervals_set.cardinal r.std in
+      r.std <- Intervals_set.add r.std ~lo ~hi;
+      t.cardinal <- t.cardinal + (Intervals_set.cardinal r.std - before)
+  | Bits _ | Table _ ->
+      for i = lo to hi do
+        add t (Identifier.standard i)
+      done
 
 let remove t id =
   if mem t id then begin
@@ -57,6 +75,9 @@ let remove t id =
     match (t.repr, id) with
     | Bits { std; _ }, Identifier.Standard i -> bit_set std i false
     | Bits { ext; _ }, Identifier.Extended i -> Hashtbl.remove ext i
+    | Ranges r, Identifier.Standard i ->
+        r.std <- Intervals_set.remove r.std ~lo:i ~hi:i
+    | Ranges { ext; _ }, Identifier.Extended i -> Hashtbl.remove ext i
     | Table tbl, _ ->
         Hashtbl.remove tbl (Identifier.raw id, Identifier.is_extended id)
   end
@@ -68,6 +89,9 @@ let clear t =
   | Bits { std; ext } ->
       Bytes.fill std 0 (Bytes.length std) '\000';
       Hashtbl.reset ext
+  | Ranges r ->
+      r.std <- Intervals_set.empty;
+      Hashtbl.reset r.ext
   | Table tbl -> Hashtbl.reset tbl);
   t.cardinal <- 0
 
@@ -85,6 +109,11 @@ let to_ids t =
           if bit_get std i then s := i :: !s
         done;
         (!s, Hashtbl.fold (fun k () acc -> k :: acc) ext [])
+    | Ranges { std; ext } ->
+        ( List.concat_map
+            (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
+            (Intervals_set.ranges std),
+          Hashtbl.fold (fun k () acc -> k :: acc) ext [] )
     | Table tbl ->
         Hashtbl.fold
           (fun (raw, is_ext) () (s, e) ->

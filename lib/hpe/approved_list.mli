@@ -1,12 +1,14 @@
 (** Approved CAN-message-ID lists (paper Fig. 4).
 
     The HPE holds one list of approved IDs for reading and one for writing;
-    the decision block consults them per frame.  Two interchangeable
+    the decision block consults them per frame.  Three interchangeable
     implementations are provided for the lookup-structure ablation bench:
     a bitset over the 11-bit standard ID space (with a hash table for the
-    sparse extended IDs) and a plain hash table. *)
+    sparse extended IDs), a plain hash table, and the compiled policy
+    table's sorted-interval matcher ({!Secpol_policy.Intervals}) — the
+    natural fit when approvals arrive as message-ID ranges. *)
 
-type backend = Bitset | Hashtable
+type backend = Bitset | Hashtable | Intervals
 
 type t
 

@@ -1,4 +1,9 @@
-type strategy = Deny_overrides | Allow_overrides | First_match
+type strategy = Table.strategy =
+  | Deny_overrides
+  | Allow_overrides
+  | First_match
+
+type mode = [ `Interpreted | `Compiled ]
 
 type outcome = {
   decision : Ast.decision;
@@ -12,13 +17,20 @@ type stats = {
   denies : int;
   cache_hits : int;
   cache_misses : int;
+  cache_flushes : int;
 }
+
+module Cache = Hashtbl.Make (Ir.Request)
 
 type t = {
   mutable db : Ir.db;
   strategy : strategy;
+  mode : mode;
   mutable by_asset : (string, Ir.rule list) Hashtbl.t;
-  cache : (Ir.request, Ast.decision * Ir.rule option) Hashtbl.t option;
+      (* interpreted path; kept in both modes for introspection *)
+  mutable table : Table.t option;  (* compiled path *)
+  cache : (Ast.decision * Ir.rule option) Cache.t option;
+  cache_capacity : int;
   (* sliding-window grant timestamps per (rate-limited rule, subject) *)
   buckets : (int * string, float list ref) Hashtbl.t;
   mutable rated_assets : string list;
@@ -27,6 +39,7 @@ type t = {
   mutable denies : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cache_flushes : int;
 }
 
 let index_by_asset (db : Ir.db) =
@@ -45,12 +58,23 @@ let rated_assets_of (db : Ir.db) =
          if r.rate <> None then Some r.asset else None)
   |> List.sort_uniq String.compare
 
-let create ?(strategy = Deny_overrides) ?(cache = true) db =
+let default_cache_capacity = 8192
+
+let create ?(strategy = Deny_overrides) ?(cache = true)
+    ?(cache_capacity = default_cache_capacity) ?(mode = `Compiled) db =
+  if cache_capacity <= 0 then
+    invalid_arg "Engine.create: cache_capacity must be positive";
   {
     db;
     strategy;
+    mode;
     by_asset = index_by_asset db;
-    cache = (if cache then Some (Hashtbl.create 256) else None);
+    table =
+      (match mode with
+      | `Compiled -> Some (Table.compile ~strategy db)
+      | `Interpreted -> None);
+    cache = (if cache then Some (Cache.create 256) else None);
+    cache_capacity;
     buckets = Hashtbl.create 32;
     rated_assets = rated_assets_of db;
     decisions = 0;
@@ -58,11 +82,16 @@ let create ?(strategy = Deny_overrides) ?(cache = true) db =
     denies = 0;
     cache_hits = 0;
     cache_misses = 0;
+    cache_flushes = 0;
   }
 
 let strategy t = t.strategy
 
+let mode t = t.mode
+
 let db t = t.db
+
+let table_stats t = Option.map Table.stats t.table
 
 (* Behavioural budgets: a rate-limited allow rule is *available* while its
    sliding window has room, and its budget is consumed only when the rule
@@ -99,7 +128,7 @@ let matching_rules t (req : Ir.request) =
   in
   List.filter (fun r -> Ir.rule_matches r req) candidates
 
-let resolve t ~now (req : Ir.request) =
+let resolve_interpreted t ~now (req : Ir.request) =
   let matching = matching_rules t req in
   let subject = req.Ir.subject in
   (* the first allow rule whose budget (if any) has room; consuming it *)
@@ -148,19 +177,36 @@ let resolve t ~now (req : Ir.request) =
           | Some r -> (Ast.Deny, Some r)
           | None -> (t.db.default, None)))
 
+let resolve t ~now (req : Ir.request) =
+  match t.table with
+  | Some table ->
+      Table.decide table
+        ~rate_available:(fun r -> rate_available t ~now r req.Ir.subject)
+        ~rate_consume:(fun r -> rate_consume t ~now r req.Ir.subject)
+        req
+  | None -> resolve_interpreted t ~now req
+
 let record t decision =
   t.decisions <- t.decisions + 1;
   match decision with
   | Ast.Allow -> t.allows <- t.allows + 1
   | Ast.Deny -> t.denies <- t.denies + 1
 
+let cache_insert t cache req entry =
+  (* bounded: a full flush beats per-entry eviction bookkeeping on the hot
+     path, and the compiled table repopulates a flushed cache in one pass
+     over the working set *)
+  if Cache.length cache >= t.cache_capacity then begin
+    Cache.reset cache;
+    t.cache_flushes <- t.cache_flushes + 1
+  end;
+  Cache.replace cache req entry
+
 let decide ?(now = 0.0) t (req : Ir.request) =
-  let cacheable =
-    not (List.mem req.Ir.asset t.rated_assets)
-  in
+  let cacheable = not (List.mem req.Ir.asset t.rated_assets) in
   match t.cache with
   | Some cache when cacheable -> (
-      match Hashtbl.find_opt cache req with
+      match Cache.find_opt cache req with
       | Some (decision, matched) ->
           t.cache_hits <- t.cache_hits + 1;
           record t decision;
@@ -168,7 +214,7 @@ let decide ?(now = 0.0) t (req : Ir.request) =
       | None ->
           t.cache_misses <- t.cache_misses + 1;
           let decision, matched = resolve t ~now req in
-          Hashtbl.replace cache req (decision, matched);
+          cache_insert t cache req (decision, matched);
           record t decision;
           { decision; matched; from_cache = false })
   | Some _ | None ->
@@ -178,11 +224,14 @@ let decide ?(now = 0.0) t (req : Ir.request) =
 
 let permitted ?now t req = (decide ?now t req).decision = Ast.Allow
 
-let flush_cache t = Option.iter Hashtbl.reset t.cache
+let flush_cache t = Option.iter Cache.reset t.cache
 
 let swap_db t db =
   t.db <- db;
   t.by_asset <- index_by_asset db;
+  (match t.mode with
+  | `Compiled -> t.table <- Some (Table.compile ~strategy:t.strategy db)
+  | `Interpreted -> ());
   t.rated_assets <- rated_assets_of db;
   Hashtbl.reset t.buckets;
   flush_cache t
@@ -194,6 +243,7 @@ let stats t =
     denies = t.denies;
     cache_hits = t.cache_hits;
     cache_misses = t.cache_misses;
+    cache_flushes = t.cache_flushes;
   }
 
 let pp_outcome ppf o =

@@ -2,12 +2,18 @@
     shared by the software (SELinux-style) and hardware (HPE) enforcement
     paths, which compile their own tables from the same {!Ir.db}. *)
 
-type strategy =
+type strategy = Table.strategy =
   | Deny_overrides
       (** any matching deny wins over any matching allow (default; this is
           the fail-safe composition used for Table I) *)
   | Allow_overrides  (** any matching allow wins over any matching deny *)
   | First_match  (** the earliest matching rule in source order decides *)
+
+type mode = [ `Interpreted | `Compiled ]
+(** [`Interpreted] scans the per-asset rule list on every decision;
+    [`Compiled] (the default) lowers the database into an indexed
+    {!Table} at creation / {!swap_db} time so the hot path is a single
+    hashed lookup.  Observable semantics are identical. *)
 
 type outcome = {
   decision : Ast.decision;
@@ -17,12 +23,28 @@ type outcome = {
 
 type t
 
-val create : ?strategy:strategy -> ?cache:bool -> Ir.db -> t
-(** [cache] (default [true]) memoises decisions per distinct request. *)
+val create :
+  ?strategy:strategy ->
+  ?cache:bool ->
+  ?cache_capacity:int ->
+  ?mode:mode ->
+  Ir.db ->
+  t
+(** [cache] (default [true]) memoises decisions per distinct request in a
+    table keyed by {!Ir.Request}.  The cache is bounded: once it holds
+    [cache_capacity] entries (default 8192) it is flushed in full and the
+    flush is counted in {!stats}, so unbounded request diversity (fuzzing,
+    long simulations) cannot grow it without limit.
+    @raise Invalid_argument if [cache_capacity <= 0]. *)
 
 val strategy : t -> strategy
 
+val mode : t -> mode
+
 val db : t -> Ir.db
+
+val table_stats : t -> Table.stats option
+(** Shape of the compiled decision table; [None] in interpreted mode. *)
 
 val decide : ?now:float -> t -> Ir.request -> outcome
 (** [now] (seconds, default [0.]) drives behavioural rate limits: an allow
@@ -38,7 +60,8 @@ val permitted : ?now:float -> t -> Ir.request -> bool
 (** [decide] projected to a boolean. *)
 
 val swap_db : t -> Ir.db -> unit
-(** Hot-swap the policy database (a policy update); flushes the cache. *)
+(** Hot-swap the policy database (a policy update); recompiles the decision
+    table in compiled mode and flushes the cache. *)
 
 val flush_cache : t -> unit
 
@@ -48,6 +71,7 @@ type stats = {
   denies : int;
   cache_hits : int;
   cache_misses : int;
+  cache_flushes : int;  (** times the bounded cache was emptied at capacity *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,77 @@
+(* Flattened representation: los.(i)..his.(i) inclusive, sorted by lo,
+   pairwise disjoint and non-adjacent (normal form), so membership is one
+   binary search and no allocation. *)
+
+type t = { los : int array; his : int array }
+
+let empty = { los = [||]; his = [||] }
+
+let is_empty t = Array.length t.los = 0
+
+let check_pair (lo, hi) =
+  if lo < 0 || hi < lo then
+    invalid_arg (Printf.sprintf "Intervals: bad range %d..%d" lo hi)
+
+let normalise pairs =
+  List.iter check_pair pairs;
+  let sorted = List.sort compare pairs in
+  let merged =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (plo, phi) :: rest when lo <= phi + 1 -> (plo, max phi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] sorted
+    |> List.rev
+  in
+  {
+    los = Array.of_list (List.map fst merged);
+    his = Array.of_list (List.map snd merged);
+  }
+
+let of_ranges pairs = normalise pairs
+
+let ranges t =
+  Array.to_list (Array.mapi (fun i lo -> (lo, t.his.(i))) t.los)
+
+let mem t x =
+  (* greatest i with los.(i) <= x, then check his.(i) *)
+  let n = Array.length t.los in
+  if n = 0 || x < t.los.(0) then false
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.los.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    x <= t.his.(!lo)
+  end
+
+let add t ~lo ~hi = normalise ((lo, hi) :: ranges t)
+
+let remove t ~lo ~hi =
+  check_pair (lo, hi);
+  let keep =
+    List.concat_map
+      (fun (rlo, rhi) ->
+        if rhi < lo || rlo > hi then [ (rlo, rhi) ]
+        else
+          (if rlo < lo then [ (rlo, lo - 1) ] else [])
+          @ if rhi > hi then [ (hi + 1, rhi) ] else [])
+      (ranges t)
+  in
+  normalise keep
+
+let cardinal t =
+  Array.to_list t.los
+  |> List.mapi (fun i lo -> t.his.(i) - lo + 1)
+  |> List.fold_left ( + ) 0
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (lo, hi) ->
+            if lo = hi then Printf.sprintf "0x%x" lo
+            else Printf.sprintf "0x%x..0x%x" lo hi)
+          (ranges t)))

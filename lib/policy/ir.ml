@@ -50,6 +50,27 @@ let message_matches messages msg_id =
       | None -> false
       | Some id -> List.exists (Ast.range_mem id) ranges)
 
+module Request = struct
+  type t = request
+
+  let equal a b =
+    a.op = b.op
+    && (match (a.msg_id, b.msg_id) with
+       | None, None -> true
+       | Some x, Some y -> x = y
+       | None, Some _ | Some _, None -> false)
+    && String.equal a.subject b.subject
+    && String.equal a.asset b.asset
+    && String.equal a.mode b.mode
+
+  let hash r =
+    let h = String.hash r.mode in
+    let h = (h * 31) + String.hash r.subject in
+    let h = (h * 31) + String.hash r.asset in
+    let h = (h * 31) + (match r.op with Read -> 17 | Write -> 29) in
+    ((h * 31) + (match r.msg_id with None -> 3 | Some id -> id + 7)) land max_int
+end
+
 let rule_matches (r : rule) (req : request) =
   r.asset = req.asset
   && List.mem req.op r.ops

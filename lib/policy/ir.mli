@@ -42,10 +42,24 @@ val op_name : op -> string
 val range_text : Ast.msg_range -> string
 (** ["0x100"] or ["0x100..0x10f"]. *)
 
+val subject_matches : Ast.subjects -> string -> bool
+(** [Any_subject] covers everything; [Subjects l] covers members of [l]. *)
+
 val rule_matches : rule -> request -> bool
 (** True when every dimension of the rule covers the request.  A
     message-constrained rule only matches requests that carry a message ID
     inside one of its ranges. *)
+
+module Request : sig
+  type t = request
+
+  val equal : t -> t -> bool
+
+  val hash : t -> int
+  (** Field-wise hash (no [Hashtbl.hash] on the structured value), suitable
+      for [Hashtbl.Make]; used to key the engine's decision cache and the
+      compiled table ({!Table}). *)
+end
 
 val rules_for_asset : db -> string -> rule list
 (** Rules scoped to the given asset, in source order. *)

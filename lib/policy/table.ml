@@ -1,0 +1,283 @@
+type strategy = Deny_overrides | Allow_overrides | First_match
+
+(* ------------------------------------------------------------------ *)
+(* Key modules: dedicated hashing, no Hashtbl.hash on structured keys  *)
+(* ------------------------------------------------------------------ *)
+
+let op_tag = function Ir.Read -> 17 | Ir.Write -> 29
+
+module Subject_key = struct
+  type t = { subject : string; asset : string; op : Ir.op }
+
+  let equal a b =
+    a.op = b.op
+    && String.equal a.subject b.subject
+    && String.equal a.asset b.asset
+
+  let hash k =
+    let h = String.hash k.subject in
+    let h = (h * 31) + String.hash k.asset in
+    ((h * 31) + op_tag k.op) land max_int
+end
+
+module Asset_key = struct
+  type t = { asset : string; op : Ir.op }
+
+  let equal a b = a.op = b.op && String.equal a.asset b.asset
+
+  let hash k = ((String.hash k.asset * 31) + op_tag k.op) land max_int
+end
+
+module SH = Hashtbl.Make (Subject_key)
+module AH = Hashtbl.Make (Asset_key)
+
+module Mode_tbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+
+  let hash s = String.hash s land max_int
+end)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled rule form                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Modes intern to bits 0..60 of a mask; bit 61 means "a mode the policy
+   never names", so [Mask (-1)] (a rule with no mode scope) matches those
+   too while explicit masks never can.  Policies naming more than 61
+   distinct modes keep the literal list — correctness over speed in a case
+   that does not occur in practice. *)
+let unknown_mode_bit = 1 lsl 61
+
+let max_interned_modes = 61
+
+type cmodes = Mask of int | Listed of string list
+
+type cmsgs = Any_msg | Ranges of Intervals.t
+
+type crule = {
+  rule : Ir.rule;
+  cmodes : cmodes;
+  cmsgs : cmsgs;
+  allow : bool;
+  rated : bool;
+}
+
+type verdict =
+  | Const of Ast.decision * Ir.rule
+      (** head rule matches unconditionally: precomputed decision *)
+  | Scan of crule array
+
+type t = {
+  default : Ast.decision;
+  exact : verdict SH.t;
+  wildcard : verdict AH.t;
+  mode_ids : int Mode_tbl.t;
+}
+
+let default t = t.default
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile ~strategy (db : Ir.db) =
+  let mode_ids = Mode_tbl.create 16 in
+  let intern_mode m =
+    match Mode_tbl.find_opt mode_ids m with
+    | Some i -> Some i
+    | None ->
+        let i = Mode_tbl.length mode_ids in
+        if i >= max_interned_modes then None
+        else begin
+          Mode_tbl.replace mode_ids m i;
+          Some i
+        end
+  in
+  let compile_modes = function
+    | None -> Mask (-1)
+    | Some modes -> (
+        let bits =
+          List.fold_left
+            (fun acc m ->
+              match (acc, intern_mode m) with
+              | Some mask, Some i -> Some (mask lor (1 lsl i))
+              | _, None | None, _ -> None)
+            (Some 0) modes
+        in
+        match bits with Some mask -> Mask mask | None -> Listed modes)
+  in
+  let compile_rule (r : Ir.rule) =
+    {
+      rule = r;
+      cmodes = compile_modes r.modes;
+      cmsgs =
+        (match r.messages with
+        | None -> Any_msg
+        | Some ranges ->
+            Ranges
+              (Intervals.of_ranges
+                 (List.map (fun (g : Ast.msg_range) -> (g.lo, g.hi)) ranges)));
+      allow = r.decision = Ast.Allow;
+      rated = r.rate <> None;
+    }
+  in
+  (* fold the strategy into bucket order: after this, every strategy is
+     "first matching rule in bucket order wins" (rate-exhausted allows are
+     skipped), which is exactly what the interpreted engine computes *)
+  let reorder rules =
+    match strategy with
+    | First_match -> rules
+    | Deny_overrides ->
+        let denies, allows =
+          List.partition (fun (r : Ir.rule) -> r.decision = Ast.Deny) rules
+        in
+        denies @ allows
+    | Allow_overrides ->
+        let denies, allows =
+          List.partition (fun (r : Ir.rule) -> r.decision = Ast.Deny) rules
+        in
+        allows @ denies
+  in
+  let to_verdict rules =
+    let arr = Array.of_list (List.map compile_rule (reorder rules)) in
+    match arr.(0) with
+    | { cmodes = Mask (-1); cmsgs = Any_msg; rated = false; rule; _ } ->
+        (* everything after an unconditional head is unreachable *)
+        Const (rule.Ir.decision, rule)
+    | _ -> Scan arr
+  in
+  (* group rules by (asset, op) in source order *)
+  let groups = AH.create 32 in
+  let group_order = ref [] in
+  List.iter
+    (fun (r : Ir.rule) ->
+      List.iter
+        (fun op ->
+          let key = { Asset_key.asset = r.asset; op } in
+          match AH.find_opt groups key with
+          | Some rules -> rules := r :: !rules
+          | None ->
+              AH.replace groups key (ref [ r ]);
+              group_order := key :: !group_order)
+        r.ops)
+    db.rules;
+  let exact = SH.create 64 in
+  let wildcard = AH.create 32 in
+  List.iter
+    (fun (key : Asset_key.t) ->
+      let rules = List.rev !(AH.find groups key) in
+      let named =
+        rules
+        |> List.concat_map (fun (r : Ir.rule) ->
+               match r.subjects with
+               | Ast.Any_subject -> []
+               | Ast.Subjects l -> l)
+        |> List.sort_uniq String.compare
+      in
+      List.iter
+        (fun subject ->
+          let bucket =
+            List.filter
+              (fun (r : Ir.rule) -> Ir.subject_matches r.subjects subject)
+              rules
+          in
+          SH.replace exact
+            { Subject_key.subject; asset = key.asset; op = key.op }
+            (to_verdict bucket))
+        named;
+      match
+        List.filter (fun (r : Ir.rule) -> r.subjects = Ast.Any_subject) rules
+      with
+      | [] -> ()
+      | any_rules -> AH.replace wildcard key (to_verdict any_rules))
+    (List.rev !group_order);
+  { default = db.default; exact; wildcard; mode_ids }
+
+(* ------------------------------------------------------------------ *)
+(* The fast path                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mode_bit t mode =
+  match Mode_tbl.find_opt t.mode_ids mode with
+  | Some i -> 1 lsl i
+  | None -> unknown_mode_bit
+
+let crule_matches (c : crule) ~bit ~mode ~msg_id =
+  (match c.cmodes with
+  | Mask m -> m land bit <> 0
+  | Listed l -> List.mem mode l)
+  &&
+  match c.cmsgs with
+  | Any_msg -> true
+  | Ranges iv -> ( match msg_id with None -> false | Some id -> Intervals.mem iv id)
+
+let decide t ~rate_available ~rate_consume (req : Ir.request) =
+  let verdict =
+    match
+      SH.find_opt t.exact
+        { Subject_key.subject = req.subject; asset = req.asset; op = req.op }
+    with
+    | Some _ as v -> v
+    | None -> AH.find_opt t.wildcard { Asset_key.asset = req.asset; op = req.op }
+  in
+  match verdict with
+  | None -> (t.default, None)
+  | Some (Const (decision, rule)) -> (decision, Some rule)
+  | Some (Scan arr) ->
+      let bit = mode_bit t req.mode in
+      let n = Array.length arr in
+      let rec go i =
+        if i = n then (t.default, None)
+        else
+          let c = arr.(i) in
+          if crule_matches c ~bit ~mode:req.mode ~msg_id:req.msg_id then
+            if not c.allow then (Ast.Deny, Some c.rule)
+            else if not c.rated then (Ast.Allow, Some c.rule)
+            else if rate_available c.rule then begin
+              rate_consume c.rule;
+              (Ast.Allow, Some c.rule)
+            end
+            else go (i + 1)
+          else go (i + 1)
+      in
+      go 0
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  buckets : int;
+  wildcard_buckets : int;
+  folded : int;
+  max_bucket : int;
+  modes : int;
+}
+
+let stats t =
+  let fold_verdict v (folded, max_bucket) =
+    match v with
+    | Const _ -> (folded + 1, max_bucket)
+    | Scan arr -> (folded, max max_bucket (Array.length arr))
+  in
+  let folded, max_bucket =
+    SH.fold (fun _ v acc -> fold_verdict v acc) t.exact (0, 0)
+  in
+  let folded, max_bucket =
+    AH.fold (fun _ v acc -> fold_verdict v acc) t.wildcard (folded, max_bucket)
+  in
+  {
+    buckets = SH.length t.exact;
+    wildcard_buckets = AH.length t.wildcard;
+    folded;
+    max_bucket;
+    modes = Mode_tbl.length t.mode_ids;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d buckets (+%d wildcard), %d folded to constants, longest scan %d, %d \
+     modes interned"
+    s.buckets s.wildcard_buckets s.folded s.max_bucket s.modes

@@ -1,0 +1,64 @@
+(** Compiled decision tables: the wire-speed fast path of the policy
+    engine.
+
+    {!Engine.decide} in interpreted mode scans every rule indexed under the
+    request's asset.  This module instead lowers an {!Ir.db} once, at
+    policy-load time, into an indexed structure so the hot path is a single
+    hash lookup (paper Fig. 4's hardware decision block; DiSPEL compiles
+    bus policies into per-node tables for the same reason):
+
+    - rules are bucketed by [(subject, asset, op)] through a dedicated
+      [Hashtbl.Make] key module (no polymorphic hashing); rules over
+      [any] subject are merged into every named subject's bucket and also
+      kept in a wildcard [(asset, op)] table for subjects the policy never
+      names;
+    - mode lists are interned to bitmasks and message-ID ranges lowered to
+      sorted interval arrays ({!Intervals}), so per-rule matching is a mask
+      test plus a binary search;
+    - the conflict-resolution strategy is folded away at compile time by
+      reordering each bucket (deny-overrides hoists denies, allow-overrides
+      hoists allows, first-match keeps source order), after which runtime
+      resolution for every strategy is "first match in bucket order wins";
+    - a bucket whose first rule matches unconditionally (all modes, all
+      message IDs, no rate limit) collapses to a precomputed constant
+      decision — the common case for generated least-privilege policies.
+
+    Rate-limited rules cannot be folded (their outcome is time-dependent);
+    buckets containing one keep the scan form and consult the engine's
+    budget through the callbacks passed to {!decide}. *)
+
+type strategy = Deny_overrides | Allow_overrides | First_match
+(** Re-exported by {!Engine.strategy}; defined here so compilation does not
+    depend on the engine. *)
+
+type t
+
+val compile : strategy:strategy -> Ir.db -> t
+(** Lower [db] for [strategy].  Observable semantics of {!decide} are
+    identical to the interpreted scan for the same strategy. *)
+
+val default : t -> Ast.decision
+
+val decide :
+  t ->
+  rate_available:(Ir.rule -> bool) ->
+  rate_consume:(Ir.rule -> unit) ->
+  Ir.request ->
+  Ast.decision * Ir.rule option
+(** One table lookup (+ bucket scan when the bucket could not be folded).
+    [rate_available r] must report whether rate-limited allow rule [r] has
+    budget for this request's subject; [rate_consume r] is called exactly
+    when [r] grounds an [Allow] decision.  Rules without a rate limit never
+    reach the callbacks. *)
+
+type stats = {
+  buckets : int;  (** exact [(subject, asset, op)] buckets *)
+  wildcard_buckets : int;  (** [(asset, op)] buckets for unnamed subjects *)
+  folded : int;  (** buckets collapsed to a constant decision *)
+  max_bucket : int;  (** longest residual scan *)
+  modes : int;  (** distinct interned mode names *)
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -71,15 +71,46 @@ let id_gen =
     return (if ext then Identifier.extended raw else Identifier.standard raw))
 
 let prop_backends_agree =
-  QCheck.Test.make ~name:"bitset and hashtable backends agree" ~count:200
+  QCheck.Test.make ~name:"bitset, hashtable and intervals backends agree"
+    ~count:200
     QCheck.(make Gen.(pair (list_size (0 -- 50) id_gen) (list_size (0 -- 20) id_gen)))
     (fun (adds, queries) ->
       let bits = Approved_list.of_ids ~backend:Approved_list.Bitset adds in
       let tbl = Approved_list.of_ids ~backend:Approved_list.Hashtable adds in
+      let rng = Approved_list.of_ids ~backend:Approved_list.Intervals adds in
       Approved_list.cardinal bits = Approved_list.cardinal tbl
+      && Approved_list.cardinal bits = Approved_list.cardinal rng
       && List.for_all
-           (fun q -> Approved_list.mem bits q = Approved_list.mem tbl q)
+           (fun q ->
+             Approved_list.mem bits q = Approved_list.mem tbl q
+             && Approved_list.mem bits q = Approved_list.mem rng q)
            (adds @ queries))
+
+let test_intervals_bulk_range () =
+  (* the intervals backend takes add_range as one merge, not 4096 inserts *)
+  let l = Approved_list.create ~backend:Approved_list.Intervals () in
+  Approved_list.add_range l ~lo:0x000 ~hi:0x5FF;
+  Approved_list.add_range l ~lo:0x600 ~hi:0x7FF;
+  check Alcotest.int "full 11-bit space" 0x800 (Approved_list.cardinal l);
+  Alcotest.(check bool) "mem" true (Approved_list.mem l (Identifier.standard 0x5FF));
+  (* overlapping re-approval adds only the new IDs *)
+  Approved_list.add_range l ~lo:0x100 ~hi:0x1FF;
+  check Alcotest.int "idempotent overlap" 0x800 (Approved_list.cardinal l);
+  Approved_list.remove l (Identifier.standard 0x400);
+  check Alcotest.int "range split on remove" 0x7FF (Approved_list.cardinal l);
+  Alcotest.(check bool) "hole" false (Approved_list.mem l (Identifier.standard 0x400));
+  Alcotest.(check bool) "neighbours intact" true
+    (Approved_list.mem l (Identifier.standard 0x3FF)
+    && Approved_list.mem l (Identifier.standard 0x401))
+
+let test_intervals_to_ids () =
+  let l = Approved_list.create ~backend:Approved_list.Intervals () in
+  Approved_list.add_range l ~lo:0x101 ~hi:0x103;
+  Approved_list.add l (Identifier.extended 0x2);
+  Approved_list.add l (Identifier.extended 0x1);
+  Alcotest.(check (list int)) "expanded, std then ext"
+    [ 0x101; 0x102; 0x103; 0x1; 0x2 ]
+    (List.map Identifier.raw (Approved_list.to_ids l))
 
 (* ---------- Decision block ---------- *)
 
@@ -384,7 +415,10 @@ let () =
         [
           quick "bitset basics" (test_list_basic Approved_list.Bitset);
           quick "hashtable basics" (test_list_basic Approved_list.Hashtable);
+          quick "intervals basics" (test_list_basic Approved_list.Intervals);
           quick "ranges" test_list_range;
+          quick "intervals bulk ranges" test_intervals_bulk_range;
+          quick "intervals to_ids" test_intervals_to_ids;
           quick "to_ids sorted" test_list_to_ids_sorted;
           QCheck_alcotest.to_alcotest prop_backends_agree;
         ] );

@@ -554,6 +554,191 @@ let prop_deny_overrides_monotone_in_denies =
                   (not (Engine.permitted e' req)) || Engine.permitted e req)
                 (requests_for db)))
 
+(* ---------- Intervals ---------- *)
+
+module Intervals = Secpol_policy.Intervals
+
+let test_intervals_normalise () =
+  let t = Intervals.of_ranges [ (8, 12); (5, 10); (13, 20); (30, 30) ] in
+  Alcotest.(check (list (pair int int))) "merged + sorted"
+    [ (5, 20); (30, 30) ] (Intervals.ranges t);
+  check Alcotest.int "cardinal" 17 (Intervals.cardinal t);
+  Alcotest.(check bool) "empty" true (Intervals.is_empty Intervals.empty)
+
+let test_intervals_mem () =
+  let t = Intervals.of_ranges [ (0x100, 0x10f); (0x200, 0x200) ] in
+  List.iter
+    (fun (x, expect) ->
+      Alcotest.(check bool) (Printf.sprintf "mem %#x" x) expect (Intervals.mem t x))
+    [ (0x0ff, false); (0x100, true); (0x105, true); (0x10f, true);
+      (0x110, false); (0x1ff, false); (0x200, true); (0x201, false) ];
+  Alcotest.(check bool) "empty never matches" false (Intervals.mem Intervals.empty 0)
+
+let test_intervals_add_remove () =
+  let t = Intervals.add Intervals.empty ~lo:10 ~hi:20 in
+  (* adjacent ranges coalesce *)
+  let t = Intervals.add t ~lo:21 ~hi:25 in
+  Alcotest.(check (list (pair int int))) "coalesced" [ (10, 25) ] (Intervals.ranges t);
+  (* removal splits a straddling range *)
+  let t = Intervals.remove t ~lo:15 ~hi:17 in
+  Alcotest.(check (list (pair int int))) "split"
+    [ (10, 14); (18, 25) ] (Intervals.ranges t);
+  let t = Intervals.remove t ~lo:0 ~hi:100 in
+  Alcotest.(check bool) "removed all" true (Intervals.is_empty t)
+
+let test_intervals_validation () =
+  Alcotest.check_raises "reversed pair"
+    (Invalid_argument "Intervals: bad range 9..5") (fun () ->
+      ignore (Intervals.of_ranges [ (9, 5) ]));
+  Alcotest.check_raises "negative bound"
+    (Invalid_argument "Intervals: bad range -1..5") (fun () ->
+      ignore (Intervals.add Intervals.empty ~lo:(-1) ~hi:5))
+
+(* ---------- Compiled decision table ---------- *)
+
+module Table = Secpol_policy.Table
+
+let table_stats_exn e =
+  match Engine.table_stats e with
+  | Some s -> s
+  | None -> Alcotest.fail "expected a compiled table"
+
+let test_table_const_folding () =
+  (* unconditional head rules collapse to constants *)
+  let db =
+    compile_ok
+      "policy \"f\" version 1 { default deny; asset a { allow rw from alice; \
+       deny write from bob; } }"
+  in
+  let e = Engine.create db in
+  let s = table_stats_exn e in
+  (* alice:read, alice:write, bob:write are exact buckets; all unconditional *)
+  check Alcotest.int "buckets" 3 s.Table.buckets;
+  check Alcotest.int "all folded" 3 s.Table.folded;
+  check Alcotest.int "no wildcard buckets" 0 s.Table.wildcard_buckets;
+  Alcotest.(check bool) "alice write" true
+    (Engine.permitted e (request ~subject:"alice" ~asset:"a" ~op:Ir.Write ()));
+  Alcotest.(check bool) "bob write" false
+    (Engine.permitted e (request ~subject:"bob" ~asset:"a" ~op:Ir.Write ()))
+
+let test_table_no_folding_under_conditions () =
+  (* mode-, message- and rate-conditioned head rules must keep the scan *)
+  let db =
+    compile_ok
+      "policy \"f\" version 1 { default deny; mode m { asset a { allow read \
+       from x; } } asset b { allow write from y messages 1..5; } asset c { \
+       allow write from z rate 1 per 100; } }"
+  in
+  let s = table_stats_exn (Engine.create db) in
+  check Alcotest.int "nothing folded" 0 s.Table.folded
+
+let test_table_wildcard_fallback () =
+  let db =
+    compile_ok
+      "policy \"w\" version 1 { default deny; asset a { allow read from any; \
+       deny read from evil; } }"
+  in
+  let e = Engine.create db in
+  let s = table_stats_exn e in
+  check Alcotest.int "wildcard bucket for unnamed subjects" 1 s.Table.wildcard_buckets;
+  Alcotest.(check bool) "stranger allowed via wildcard" true
+    (Engine.permitted e (request ~subject:"stranger" ~asset:"a" ()));
+  Alcotest.(check bool) "named subject sees merged bucket (deny overrides)" false
+    (Engine.permitted e (request ~subject:"evil" ~asset:"a" ()));
+  (* first-match reorders: the any-allow precedes the deny in source order *)
+  let e' = Engine.create ~strategy:Engine.First_match db in
+  Alcotest.(check bool) "first match lets the earlier any-allow win" true
+    (Engine.permitted e' (request ~subject:"evil" ~asset:"a" ()))
+
+let test_table_interpreted_mode () =
+  let e = Engine.create ~mode:`Interpreted (compile_ok sample_source) in
+  Alcotest.(check bool) "no table in interpreted mode" true
+    (Engine.table_stats e = None);
+  Alcotest.(check bool) "mode accessor" true (Engine.mode e = `Interpreted);
+  Alcotest.(check bool) "still decides" true (Engine.permitted e (request ()))
+
+let test_table_swap_recompiles () =
+  let e = Engine.create (compile_ok sample_source) in
+  let before = table_stats_exn e in
+  Engine.swap_db e
+    (compile_ok "policy \"tiny\" version 9 { default deny; asset a { allow \
+                 read from x; } }");
+  let after = table_stats_exn e in
+  Alcotest.(check bool) "table recompiled on swap" true (before <> after);
+  check Alcotest.int "one bucket" 1 after.Table.buckets
+
+(* ---------- Bounded decision cache ---------- *)
+
+let test_cache_flush_at_capacity () =
+  let e = Engine.create ~cache_capacity:4 (compile_ok sample_source) in
+  (* 8 distinct uncached requests against a 4-entry cache *)
+  for i = 0 to 7 do
+    ignore (Engine.decide e (request ~subject:(Printf.sprintf "s%d" i) ()))
+  done;
+  let stats = Engine.stats e in
+  Alcotest.(check bool) "flushed at least once" true (stats.Engine.cache_flushes >= 1);
+  check Alcotest.int "all were misses" 8 stats.Engine.cache_misses;
+  (* correctness survives the flush *)
+  Alcotest.(check bool) "still allows" true (Engine.permitted e (request ()));
+  Alcotest.(check bool) "still denies" false
+    (Engine.permitted e (request ~subject:"s3" ()))
+
+let test_cache_capacity_validation () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Engine.create: cache_capacity must be positive")
+    (fun () ->
+      ignore (Engine.create ~cache_capacity:0 (compile_ok sample_source)))
+
+(* ---------- Compiled / interpreted equivalence ---------- *)
+
+let all_strategies =
+  [ Engine.Deny_overrides; Engine.Allow_overrides; Engine.First_match ]
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make
+    ~name:"compiled and interpreted engines agree (decision, rule, stats)"
+    ~count:200 (QCheck.make policy_gen) (fun p ->
+      match Compile.compile p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok (db, _) ->
+          List.for_all
+            (fun strategy ->
+              let ei = Engine.create ~cache:false ~strategy ~mode:`Interpreted db in
+              let ec = Engine.create ~cache:false ~strategy ~mode:`Compiled db in
+              let reqs = requests_for db in
+              (* repeated probes at advancing clocks drive any rate-limited
+                 rules through grant, exhaustion and window-expiry on both
+                 engines in lockstep *)
+              List.for_all
+                (fun now ->
+                  List.for_all
+                    (fun req ->
+                      let a = Engine.decide ~now ei req in
+                      let b = Engine.decide ~now ec req in
+                      a.Engine.decision = b.Engine.decision
+                      && a.Engine.matched = b.Engine.matched)
+                    reqs)
+                [ 0.0; 0.0; 0.001; 0.5; 20.0 ]
+              && Engine.stats ei = Engine.stats ec)
+            all_strategies)
+
+let prop_compiled_cache_transparent =
+  QCheck.Test.make ~name:"bounded cache never changes a decision" ~count:100
+    (QCheck.make policy_gen) (fun p ->
+      let p = strip_rates p in
+      match Compile.compile p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok (db, _) ->
+          let plain = Engine.create ~cache:false db in
+          let cached = Engine.create ~cache:true ~cache_capacity:8 db in
+          let reqs = requests_for db in
+          (* two passes: the second hits the cache where it survived *)
+          List.for_all
+            (fun req ->
+              (Engine.decide plain req).Engine.decision
+              = (Engine.decide cached req).Engine.decision)
+            (reqs @ reqs))
+
 (* ---------- Behavioural rate limits ---------- *)
 
 let test_rate_parses_and_prints () =
@@ -1025,6 +1210,28 @@ let () =
           QCheck_alcotest.to_alcotest prop_strategies_agree_without_conflicts;
           QCheck_alcotest.to_alcotest prop_normalise_idempotent;
           QCheck_alcotest.to_alcotest prop_deny_overrides_monotone_in_denies;
+        ] );
+      ( "intervals",
+        [
+          quick "normalise" test_intervals_normalise;
+          quick "membership" test_intervals_mem;
+          quick "add + remove" test_intervals_add_remove;
+          quick "validation" test_intervals_validation;
+        ] );
+      ( "table",
+        [
+          quick "constant folding" test_table_const_folding;
+          quick "conditions block folding" test_table_no_folding_under_conditions;
+          quick "wildcard fallback" test_table_wildcard_fallback;
+          quick "interpreted mode" test_table_interpreted_mode;
+          quick "swap recompiles" test_table_swap_recompiles;
+          QCheck_alcotest.to_alcotest prop_compiled_equals_interpreted;
+        ] );
+      ( "cache",
+        [
+          quick "flush at capacity" test_cache_flush_at_capacity;
+          quick "capacity validation" test_cache_capacity_validation;
+          QCheck_alcotest.to_alcotest prop_compiled_cache_transparent;
         ] );
       ( "rates",
         [
