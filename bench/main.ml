@@ -378,6 +378,10 @@ type perf_row = { bench : string; ns_per_op : float; minor_per_op : float }
 
 let perf_rows : perf_row list ref = ref []
 
+(* registry snapshot from the instrumented engine pass, folded into the
+   JSON report as "telemetry" *)
+let telemetry : Policy.Json.t option ref = ref None
+
 (* `--quick` trades precision for wall-clock: enough samples for a sanity
    gate in CI, not for a publishable number. *)
 let quick_mode = ref false
@@ -588,7 +592,18 @@ let perf () =
       bench_encode;
       bench_decode;
       bench_bus;
-    ]
+    ];
+  (* one extra pass through an obs-registered compiled engine: bechamel
+     gives the OLS mean, the histogram gives the latency distribution *)
+  let obs = Secpol_obs.Registry.create () in
+  let engine = Policy.Engine.create ~mode:`Compiled ~cache:false ~obs db in
+  let passes = if !quick_mode then 20 else 200 in
+  for _ = 1 to passes do
+    Array.iter (fun req -> ignore (Policy.Engine.decide engine req)) workload
+  done;
+  Format.printf "compiled decide latency: %a@." Secpol_obs.Histogram.pp_summary
+    (Secpol_obs.Registry.histogram obs "policy.engine.decide_ns");
+  telemetry := Some (Policy.Obs_json.registry obs)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -878,6 +893,7 @@ let json_report () =
       ("quick", Policy.Json.Bool !quick_mode);
       ("results", Policy.Json.List results);
       ("compiled_vs_interpreted", speedup);
+      ("telemetry", Option.value ~default:Policy.Json.Null !telemetry);
     ]
 
 let () =

@@ -73,9 +73,10 @@ let table1_cmd =
 (* ---------- run ---------- *)
 
 let run_cmd =
-  let run level seed seconds =
+  let run level seed seconds metrics_out =
+    let obs = Secpol.Obs.Registry.create () in
     let car =
-      Car.create ~seed ~enforcement:(Campaign.enforcement_of level) ()
+      Car.create ~seed ~enforcement:(Campaign.enforcement_of level) ~obs ()
     in
     Car.run car ~seconds;
     Format.printf "state after %.1f s: %a@." seconds V.State.pp car.Car.state;
@@ -93,13 +94,30 @@ let run_cmd =
     List.iter
       (fun (t, msg) -> Printf.printf "[%8.3f] %s\n" t msg)
       (V.State.events car.Car.state);
+    (match metrics_out with
+    | None -> ()
+    | Some file ->
+        let json = Secpol.Policy.Obs_json.to_string obs in
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc json;
+            output_char oc '\n');
+        Printf.printf "metrics written to %s\n" file);
     0
   in
   let seconds =
     Arg.(value & opt float 2.0 & info [ "t"; "seconds" ] ~docv:"S" ~doc:"Duration.")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the run's telemetry registry (counters, gauges, \
+                   latency histograms, event trace) to $(docv) as JSON.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Drive the car and print what happened.")
-    Term.(const run $ enforcement $ seed $ seconds)
+    Term.(const run $ enforcement $ seed $ seconds $ metrics_out)
 
 (* ---------- attack ---------- *)
 

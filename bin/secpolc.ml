@@ -327,6 +327,21 @@ let bench_cmd =
               in
               let interpreted = time `Interpreted in
               let compiled = time `Compiled in
+              (* separate instrumented pass: the timing loops above stay
+                 free of per-decision clock reads *)
+              let histogram mode =
+                let obs = Secpol.Obs.Registry.create () in
+                let engine =
+                  Policy.Engine.create ~strategy ~mode ~cache:false ~obs db
+                in
+                let n = Array.length workload in
+                for k = 0 to min iters 10_000 - 1 do
+                  ignore (Policy.Engine.decide engine workload.(k mod n))
+                done;
+                Secpol.Obs.Registry.histogram obs "policy.engine.decide_ns"
+              in
+              let h_interpreted = histogram `Interpreted in
+              let h_compiled = histogram `Compiled in
               let speedup =
                 if compiled > 0.0 then interpreted /. compiled else 0.0
               in
@@ -338,7 +353,10 @@ let bench_cmd =
                      %8.1f ns/op\nspeedup:     %8.2fx\n"
                     db.Policy.Ir.name db.Policy.Ir.version
                     (List.length db.Policy.Ir.rules)
-                    (Array.length workload) iters interpreted compiled speedup
+                    (Array.length workload) iters interpreted compiled speedup;
+                  Format.printf "interpreted latency: %a@.compiled latency:    %a@."
+                    Secpol.Obs.Histogram.pp_summary h_interpreted
+                    Secpol.Obs.Histogram.pp_summary h_compiled
               | true ->
                   print_endline
                     (Policy.Json.to_string
@@ -351,6 +369,10 @@ let bench_cmd =
                             ("interpreted_ns_per_op", Policy.Json.Float interpreted);
                             ("compiled_ns_per_op", Policy.Json.Float compiled);
                             ("speedup", Policy.Json.Float speedup);
+                            ( "interpreted_latency_ns",
+                              Policy.Obs_json.histogram h_interpreted );
+                            ( "compiled_latency_ns",
+                              Policy.Obs_json.histogram h_compiled );
                           ])));
               match min_speedup with
               | Some m when speedup < m ->

@@ -1,5 +1,6 @@
 module Engine = Secpol_sim.Engine
 module Rng = Secpol_sim.Rng
+module Obs = Secpol_obs
 
 type tx_outcome = Sent | Retried of int | Abandoned
 
@@ -14,6 +15,7 @@ type pending = {
   frame : Frame.t;
   attempts : int;
   seq : int;
+  enqueued : float; (* sim time the frame first entered the queue *)
   on_outcome : tx_outcome -> unit;
 }
 
@@ -28,8 +30,12 @@ type t = {
   mutable queue : pending list;
   mutable busy : bool;
   mutable seq : int;
-  mutable frames_sent : int;
   mutable busy_time : float;
+  c_frames : Obs.Counter.t;
+  c_retries : Obs.Counter.t;
+  c_abandoned : Obs.Counter.t;
+  c_wire_errors : Obs.Counter.t;
+  tx_latency : Obs.Histogram.t; (* queue-to-delivery, sim milliseconds *)
 }
 
 let create ?(corrupt_prob = 0.0) ?(max_retries = 16) ~bitrate sim =
@@ -47,8 +53,15 @@ let create ?(corrupt_prob = 0.0) ?(max_retries = 16) ~bitrate sim =
     queue = [];
     busy = false;
     seq = 0;
-    frames_sent = 0;
     busy_time = 0.0;
+    c_frames = Obs.Counter.create ();
+    c_retries = Obs.Counter.create ();
+    c_abandoned = Obs.Counter.create ();
+    c_wire_errors = Obs.Counter.create ();
+    (* 10 us first bucket: a minimal classic-CAN frame at 1 Mbit/s is
+       ~50 us of wire time, so arbitration queueing shows up as growth
+       across buckets rather than saturating the first one *)
+    tx_latency = Obs.Histogram.create ~lo:0.01 ~ratio:2.0 ~buckets:32 ();
   }
 
 let sim t = t.sim
@@ -66,13 +79,33 @@ let stations t = List.map (fun s -> s.name) t.stations
 
 let pending t = List.length t.queue
 
-let frames_sent t = t.frames_sent
+let frames_sent t = Obs.Counter.value t.c_frames
+
+let retries t = Obs.Counter.value t.c_retries
+
+let abandoned t = Obs.Counter.value t.c_abandoned
+
+let wire_errors t = Obs.Counter.value t.c_wire_errors
 
 let busy_time t = t.busy_time
 
 let utilisation t =
   let now = Engine.now t.sim in
   if now <= 0.0 then 0.0 else t.busy_time /. now
+
+let tx_latency t = t.tx_latency
+
+let attach_obs t reg =
+  Obs.Registry.register_counter reg "can.bus.frames_sent" t.c_frames;
+  Obs.Registry.register_counter reg "can.bus.tx_retries" t.c_retries;
+  Obs.Registry.register_counter reg "can.bus.tx_abandoned" t.c_abandoned;
+  Obs.Registry.register_counter reg "can.bus.wire_errors" t.c_wire_errors;
+  Obs.Registry.register_histogram reg "can.bus.tx_latency_ms" t.tx_latency;
+  Obs.Registry.register_gauge reg "can.bus.utilisation" (fun () ->
+      utilisation t);
+  Obs.Registry.register_gauge reg "can.bus.busy_time_s" (fun () -> t.busy_time);
+  Obs.Registry.register_gauge reg "can.bus.pending" (fun () ->
+      float_of_int (List.length t.queue))
 
 (* Arbitration: dominant identifier wins; FIFO (by seq) among equal ids,
    which models a node's internal queue order. *)
@@ -102,23 +135,28 @@ let rec start_transmission t =
           let now = Engine.now sim in
           let corrupted = Rng.chance t.rng t.corrupt_prob in
           if corrupted then begin
+            Obs.Counter.incr t.c_wire_errors;
             Trace.record t.trace ~time:now ~node:winner.sender winner.frame
               Trace.Tx_error;
             List.iter
               (fun s -> if s.name <> winner.sender then s.on_wire_error ())
               t.stations;
             if winner.attempts + 1 > t.max_retries then begin
+              Obs.Counter.incr t.c_abandoned;
               Trace.record t.trace ~time:now ~node:winner.sender winner.frame
                 Trace.Tx_abandoned;
               winner.on_outcome Abandoned
             end
             else begin
+              Obs.Counter.incr t.c_retries;
               winner.on_outcome (Retried (winner.attempts + 1));
               t.queue <- t.queue @ [ { winner with attempts = winner.attempts + 1 } ]
             end
           end
           else begin
-            t.frames_sent <- t.frames_sent + 1;
+            Obs.Counter.incr t.c_frames;
+            Obs.Histogram.observe t.tx_latency
+              ((now -. winner.enqueued) *. 1e3);
             Trace.record t.trace ~time:now ~node:winner.sender winner.frame
               Trace.Tx_ok;
             let wire = Transceiver.transmit winner.frame in
@@ -132,7 +170,16 @@ let rec start_transmission t =
           start_transmission t)
 
 let transmit t ~sender ?(on_outcome = fun _ -> ()) frame =
-  let p = { sender; frame; attempts = 0; seq = t.seq; on_outcome } in
+  let p =
+    {
+      sender;
+      frame;
+      attempts = 0;
+      seq = t.seq;
+      enqueued = Engine.now t.sim;
+      on_outcome;
+    }
+  in
   t.seq <- t.seq + 1;
   t.queue <- t.queue @ [ p ];
   if not t.busy then start_transmission t

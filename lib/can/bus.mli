@@ -51,8 +51,28 @@ val pending : t -> int
 
 val frames_sent : t -> int
 
+val retries : t -> int
+(** Retransmissions after a wire error (the frame lost arbitration to
+    noise, not to a dominant id). *)
+
+val abandoned : t -> int
+(** Frames given up after [max_retries] consecutive wire errors. *)
+
+val wire_errors : t -> int
+(** Corrupted transmissions observed on the wire. *)
+
 val busy_time : t -> float
 (** Cumulative seconds the bus spent transmitting (for utilisation). *)
 
 val utilisation : t -> float
 (** [busy_time / now]; 0. at time 0. *)
+
+val tx_latency : t -> Secpol_obs.Histogram.t
+(** Queue-to-delivery latency per successfully sent frame, in simulated
+    milliseconds — arbitration and retransmission delay included. *)
+
+val attach_obs : t -> Secpol_obs.Registry.t -> unit
+(** Export the bus counters, the [can.bus.tx_latency_ms] histogram and the
+    load gauges ([utilisation], [busy_time_s], [pending]) under
+    [can.bus.*].  The bus always maintains these instruments; attaching
+    merely names them in the registry. *)

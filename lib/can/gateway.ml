@@ -1,9 +1,11 @@
+module Obs = Secpol_obs
+
 type t = {
   name : string;
   a : Bus.t;
   b : Bus.t;
-  mutable forwarded : int;
-  mutable dropped : int;
+  forwarded : Obs.Counter.t;
+  dropped : Obs.Counter.t;
 }
 
 let bridge t ~dst ~predicate wire =
@@ -11,14 +13,22 @@ let bridge t ~dst ~predicate wire =
   | Transceiver.Line_error _ -> ()
   | Transceiver.Frame frame ->
       if predicate frame then begin
-        t.forwarded <- t.forwarded + 1;
+        Obs.Counter.incr t.forwarded;
         Bus.transmit dst ~sender:t.name frame
       end
-      else t.dropped <- t.dropped + 1
+      else Obs.Counter.incr t.dropped
 
 let connect ~name ~a ~b ~forward_a_to_b ~forward_b_to_a =
   if a == b then invalid_arg "Gateway.connect: both sides are the same bus";
-  let t = { name; a; b; forwarded = 0; dropped = 0 } in
+  let t =
+    {
+      name;
+      a;
+      b;
+      forwarded = Obs.Counter.create ();
+      dropped = Obs.Counter.create ();
+    }
+  in
   Bus.attach a ~name
     ~deliver:(fun ~time:_ ~sender:_ wire ->
       bridge t ~dst:b ~predicate:forward_a_to_b wire)
@@ -35,9 +45,17 @@ let connect ~name ~a ~b ~forward_a_to_b ~forward_b_to_a =
 
 let name t = t.name
 
-let forwarded t = t.forwarded
+let forwarded t = Obs.Counter.value t.forwarded
 
-let dropped t = t.dropped
+let dropped t = Obs.Counter.value t.dropped
+
+let attach_obs t reg =
+  Obs.Registry.register_counter reg
+    (Printf.sprintf "can.gateway.%s.forwarded" t.name)
+    t.forwarded;
+  Obs.Registry.register_counter reg
+    (Printf.sprintf "can.gateway.%s.dropped" t.name)
+    t.dropped
 
 let disconnect t =
   Bus.detach t.a t.name;

@@ -31,4 +31,7 @@ val forwarded : t -> int
 val dropped : t -> int
 (** Frames the predicates refused. *)
 
+val attach_obs : t -> Secpol_obs.Registry.t -> unit
+(** Export the forwarded/dropped counters under [can.gateway.<name>.*]. *)
+
 val disconnect : t -> unit

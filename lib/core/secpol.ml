@@ -4,6 +4,7 @@
     Reproduction of Hagan, Siddiqui & Sezer, IEEE SOCC 2018.  One umbrella
     namespace over the constituent libraries:
 
+    - {!Obs}: zero-dependency telemetry (counters, histograms, traces).
     - {!Sim}: deterministic discrete-event simulation substrate.
     - {!Threat}: STRIDE/DREAD application threat modelling.
     - {!Policy}: the policy DSL, compiler, engine, derivation and updates.
@@ -15,6 +16,7 @@
     - {!Lifecycle}: product life-cycle and response-time models.
     - {!Pipeline}: the end-to-end modelling -> policy -> deployment flow. *)
 
+module Obs = Secpol_obs
 module Sim = Secpol_sim
 module Threat = Secpol_threat
 module Policy = Secpol_policy

@@ -1,3 +1,5 @@
+module Counter = Secpol_obs.Counter
+
 type direction = Reading | Writing
 
 type verdict = Grant | Block
@@ -5,31 +7,39 @@ type verdict = Grant | Block
 type t = {
   direction : direction;
   approved : Approved_list.t;
-  mutable grants : int;
-  mutable blocks : int;
+  grants : Counter.t;
+  blocks : Counter.t;
 }
 
-let create direction approved = { direction; approved; grants = 0; blocks = 0 }
+let create direction approved =
+  {
+    direction;
+    approved;
+    grants = Counter.create ();
+    blocks = Counter.create ();
+  }
 
 let direction t = t.direction
 
 let decide t (frame : Secpol_can.Frame.t) =
   if Approved_list.mem t.approved frame.id then begin
-    t.grants <- t.grants + 1;
+    Counter.incr t.grants;
     Grant
   end
   else begin
-    t.blocks <- t.blocks + 1;
+    Counter.incr t.blocks;
     Block
   end
 
-let grants t = t.grants
+let grants t = Counter.value t.grants
 
-let blocks t = t.blocks
+let blocks t = Counter.value t.blocks
+
+let counters t = (t.grants, t.blocks)
 
 let reset_counters t =
-  t.grants <- 0;
-  t.blocks <- 0
+  Counter.reset t.grants;
+  Counter.reset t.blocks
 
 let direction_name = function Reading -> "reading" | Writing -> "writing"
 

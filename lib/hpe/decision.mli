@@ -20,6 +20,10 @@ val grants : t -> int
 
 val blocks : t -> int
 
+val counters : t -> Secpol_obs.Counter.t * Secpol_obs.Counter.t
+(** The (grants, blocks) counter instances, so an engine can register them
+    with a telemetry registry. *)
+
 val reset_counters : t -> unit
 
 val direction_name : direction -> string

@@ -1,4 +1,30 @@
 module Node = Secpol_can.Node
+module Obs = Secpol_obs
+
+(* Coarse message-id classes for per-node telemetry: the CAN identifier's
+   priority page, named after the traffic that lives there in automotive
+   layouts (dominant ids are safety-critical).  Classification is purely
+   range-based so the HPE needs no knowledge of a concrete message map. *)
+let class_names =
+  [|
+    "safety"; "powertrain"; "body"; "telematics"; "infotainment";
+    "diagnostic"; "other"; "extended";
+  |]
+
+let class_of_id = function
+  | Secpol_can.Identifier.Extended _ -> 7
+  | Secpol_can.Identifier.Standard id ->
+      if id < 0x100 then 0
+      else if id < 0x200 then 1
+      else if id < 0x300 then 2
+      else if id < 0x400 then 3
+      else if id < 0x500 then 4
+      else if id < 0x600 then 5
+      else 6
+
+let event_names = [| "rx.accept"; "rx.drop"; "tx.accept"; "tx.drop" |]
+
+let n_classes = Array.length class_names
 
 type t = {
   node : Node.t;
@@ -6,21 +32,67 @@ type t = {
   read_block : Decision.t;
   write_block : Decision.t;
   rates : Rate_limiter.t;
-  mutable rate_blocks : int;
+  rate_blocks : Obs.Counter.t;
   own_ids : (int, unit) Hashtbl.t;
-  mutable spoof_alerts : int;
+  spoof_alerts : Obs.Counter.t;
+  obs : Obs.Registry.t option;
+  (* event * class -> counter, created on first frame of that kind so an
+     export only shows classes the node actually saw *)
+  class_counters : Obs.Counter.t option array;
 }
 
 let gate_name = "hpe"
 
-let install node =
+let node_name t = Node.name t.node
+
+(* per-frame class accounting: array-indexed, no allocation after a
+   (event, class) pair's first occurrence; nothing at all without obs *)
+let bump_class t event id =
+  match t.obs with
+  | None -> ()
+  | Some reg ->
+      let slot = (event * n_classes) + class_of_id id in
+      let c =
+        match t.class_counters.(slot) with
+        | Some c -> c
+        | None ->
+            let c =
+              Obs.Registry.counter reg
+                (Printf.sprintf "hpe.%s.%s.%s" (node_name t)
+                   event_names.(event)
+                   class_names.(class_of_id id))
+            in
+            t.class_counters.(slot) <- Some c;
+            c
+      in
+      Obs.Counter.incr c
+
+let install ?obs node =
   let regs = Registers.create () in
   let read_block = Decision.create Decision.Reading (Registers.read_list regs) in
   let write_block = Decision.create Decision.Writing (Registers.write_list regs) in
   let t =
     { node; regs; read_block; write_block; rates = Rate_limiter.create ();
-      rate_blocks = 0; own_ids = Hashtbl.create 8; spoof_alerts = 0 }
+      rate_blocks = Obs.Counter.create (); own_ids = Hashtbl.create 8;
+      spoof_alerts = Obs.Counter.create (); obs;
+      class_counters = Array.make (Array.length event_names * n_classes) None }
   in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      let name = Node.name node in
+      let register suffix c =
+        Obs.Registry.register_counter reg
+          (Printf.sprintf "hpe.%s.%s" name suffix) c
+      in
+      let rg, rb = Decision.counters read_block in
+      let wg, wb = Decision.counters write_block in
+      register "read.grants" rg;
+      register "read.blocks" rb;
+      register "write.grants" wg;
+      register "write.blocks" wb;
+      register "rate_blocks" t.rate_blocks;
+      register "spoof_alerts" t.spoof_alerts);
   let now () = Secpol_sim.Engine.now (Secpol_can.Bus.sim (Node.bus node)) in
   Node.set_rx_gate node ~name:gate_name (fun frame ->
       (* impersonation detection: a frame arriving with an ID this node is
@@ -29,25 +101,31 @@ let install node =
          by the approved reading list. *)
       (match frame.Secpol_can.Frame.id with
       | Secpol_can.Identifier.Standard id when Hashtbl.mem t.own_ids id ->
-          t.spoof_alerts <- t.spoof_alerts + 1
+          Obs.Counter.incr t.spoof_alerts
       | Secpol_can.Identifier.Standard _ | Secpol_can.Identifier.Extended _ ->
           ());
-      (not (Registers.read_filter_enabled regs))
-      || Decision.decide read_block frame = Decision.Grant);
+      let accept =
+        (not (Registers.read_filter_enabled regs))
+        || Decision.decide read_block frame = Decision.Grant
+      in
+      bump_class t (if accept then 0 else 1) frame.Secpol_can.Frame.id;
+      accept);
   Node.set_tx_gate node ~name:gate_name (fun frame ->
-      (not (Registers.write_filter_enabled regs))
-      ||
-      if Decision.decide write_block frame <> Decision.Grant then false
-      else
-        match frame.Secpol_can.Frame.id with
-        | Secpol_can.Identifier.Standard id ->
-            let ok = Rate_limiter.admit t.rates ~now:(now ()) ~msg_id:id in
-            if not ok then t.rate_blocks <- t.rate_blocks + 1;
-            ok
-        | Secpol_can.Identifier.Extended _ -> true);
+      let accept =
+        (not (Registers.write_filter_enabled regs))
+        ||
+        if Decision.decide write_block frame <> Decision.Grant then false
+        else
+          match frame.Secpol_can.Frame.id with
+          | Secpol_can.Identifier.Standard id ->
+              let ok = Rate_limiter.admit t.rates ~now:(now ()) ~msg_id:id in
+              if not ok then Obs.Counter.incr t.rate_blocks;
+              ok
+          | Secpol_can.Identifier.Extended _ -> true
+      in
+      bump_class t (if accept then 2 else 3) frame.Secpol_can.Frame.id;
+      accept);
   t
-
-let node_name t = Node.name t.node
 
 let registers t = t.regs
 
@@ -84,9 +162,9 @@ let write_grants t = Decision.grants t.write_block
 
 let write_blocks t = Decision.blocks t.write_block
 
-let rate_blocks t = t.rate_blocks
+let rate_blocks t = Obs.Counter.value t.rate_blocks
 
-let spoof_alerts t = t.spoof_alerts
+let spoof_alerts t = Obs.Counter.value t.spoof_alerts
 
 let uninstall t = Node.clear_gates t.node
 

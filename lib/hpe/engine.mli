@@ -9,9 +9,17 @@
 
 type t
 
-val install : Secpol_can.Node.t -> t
+val install : ?obs:Secpol_obs.Registry.t -> Secpol_can.Node.t -> t
 (** Create an HPE with a reset register file and attach its gates to the
-    node.  Until filters are enabled by provisioning, everything passes. *)
+    node.  Until filters are enabled by provisioning, everything passes.
+
+    [obs] exports the engine's counters under [hpe.<node>.*]: the decision
+    blocks' [read/write.grants/blocks], the behavioural [rate_blocks] and
+    the impersonation [spoof_alerts], plus per-frame accept/drop tallies
+    keyed by message-id class ([hpe.<node>.rx.accept.safety], ...).  The
+    class counters materialise lazily on the first frame of that class, so
+    a snapshot only lists traffic the node actually saw; without [obs] the
+    gates do no per-class work at all. *)
 
 val node_name : t -> string
 

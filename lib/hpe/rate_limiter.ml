@@ -1,13 +1,13 @@
-type entry = {
-  rate : Secpol_policy.Ast.rate;
-  mutable grants : float list; (* timestamps within the window, newest first *)
-}
+module Rate_window = Secpol_policy.Rate_window
+
+type entry = { rate : Secpol_policy.Ast.rate; win : Rate_window.t }
 
 type t = (int, entry) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 
-let set t ~msg_id rate = Hashtbl.replace t msg_id { rate; grants = [] }
+let set t ~msg_id rate =
+  Hashtbl.replace t msg_id { rate; win = Rate_window.of_rate rate }
 
 let remove t ~msg_id = Hashtbl.remove t msg_id
 
@@ -18,18 +18,11 @@ let limit t ~msg_id =
 
 let limits t =
   Hashtbl.fold (fun id e acc -> (id, e.rate) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let admit t ~now ~msg_id =
   match Hashtbl.find_opt t msg_id with
   | None -> true
-  | Some e ->
-      let horizon = now -. (float_of_int e.rate.window_ms /. 1000.0) in
-      e.grants <- List.filter (fun ts -> ts > horizon) e.grants;
-      if List.length e.grants < e.rate.count then begin
-        e.grants <- now :: e.grants;
-        true
-      end
-      else false
+  | Some e -> Rate_window.admit e.win ~now
 
-let reset_state t = Hashtbl.iter (fun _ e -> e.grants <- []) t
+let reset_state t = Hashtbl.iter (fun _ e -> Rate_window.reset e.win) t

@@ -5,7 +5,12 @@
     where a legitimate writer is compromised — the forged traffic is shaped
     down to the designed rate (e.g. a lock-command replay storm).  The
     table is provisioned together with the approved lists and is frozen by
-    the same lock bit. *)
+    the same lock bit.
+
+    Window edge semantics (grant expiry at exactly [grant + window]) are
+    those of {!Secpol_policy.Rate_window}, the same implementation the
+    software policy engine uses — hardware and software budgets cannot
+    drift apart. *)
 
 type t
 

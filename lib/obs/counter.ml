@@ -1,0 +1,13 @@
+type t = { mutable v : int }
+
+let create () = { v = 0 }
+
+let incr t = t.v <- t.v + 1
+
+let add t n =
+  if n < 0 then invalid_arg "Counter.add: counters are monotonic";
+  t.v <- t.v + n
+
+let value t = t.v
+
+let reset t = t.v <- 0

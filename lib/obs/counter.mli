@@ -1,0 +1,23 @@
+(** A monotonic event counter.
+
+    One mutable machine word: incrementing allocates nothing, so counters
+    can sit directly on enforcement hot paths.  Counters only go up —
+    deltas and rates are derived by the consumer from successive
+    snapshots. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** @raise Invalid_argument on a negative increment. *)
+
+val value : t -> int
+
+val reset : t -> unit
+(** Restart the counter at zero — for the owning component's lifecycle
+    events (e.g. a hardware re-provisioning), not for consumers.  As with
+    any monotonic metric, a snapshot reader must treat a value regression
+    as a restart. *)

@@ -1,0 +1,89 @@
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+let finite f = if Float.is_finite f then Float f else Null
+
+let histogram h =
+  let quantiles =
+    if Histogram.count h = 0 then []
+    else
+      [
+        ("min", finite (Histogram.min h));
+        ("p50", finite (Histogram.percentile h 50.0));
+        ("p90", finite (Histogram.percentile h 90.0));
+        ("p99", finite (Histogram.percentile h 99.0));
+        ("max", finite (Histogram.max h));
+      ]
+  in
+  let buckets =
+    Histogram.buckets h |> Array.to_list
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (le, n) -> Obj [ ("le", finite le); ("n", Int n) ])
+  in
+  Obj
+    ([
+       ("count", Int (Histogram.count h));
+       ("sum", finite (Histogram.sum h));
+       ("mean", finite (Histogram.mean h));
+     ]
+    @ quantiles
+    @ [ ("invalid", Int (Histogram.invalid h)); ("buckets", List buckets) ])
+
+let event (e : Ring.event) =
+  Obj
+    ([
+       ("seq", Int e.seq);
+       ("time", finite e.time);
+       ("name", String e.name);
+       ("kind", String (Ring.kind_name e.kind));
+     ]
+    @ (if e.span = 0 then [] else [ ("span", Int e.span) ])
+    @
+    match e.attrs with
+    | [] -> []
+    | attrs ->
+        [ ("attrs", Obj (List.map (fun (k, v) -> (k, String v)) attrs)) ])
+
+let registry reg =
+  Obj
+    [
+      ("schema", Int 1);
+      ( "counters",
+        Obj
+          (List.map
+             (fun (n, c) -> (n, Int (Counter.value c)))
+             (Registry.counters reg)) );
+      ( "gauges",
+        Obj (List.map (fun (n, v) -> (n, finite v)) (Registry.gauges reg)) );
+      ( "histograms",
+        Obj
+          (List.map (fun (n, h) -> (n, histogram h)) (Registry.histograms reg))
+      );
+      ( "trace",
+        Obj
+          [
+            ("dropped", Int (Ring.dropped (Registry.trace reg)));
+            ("events", List (List.map event (Ring.events (Registry.trace reg))));
+          ] );
+    ]
+
+let to_text reg =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (n, c) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Counter.value c)))
+    (Registry.counters reg);
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "%s %g\n" n v))
+    (Registry.gauges reg);
+  List.iter
+    (fun (n, h) ->
+      Buffer.add_string buf
+        (Format.asprintf "%s %a\n" n Histogram.pp_summary h))
+    (Registry.histograms reg);
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Snapshot a registry into a neutral, serialiser-agnostic tree.
+
+    [Secpol_obs] stays dependency-free, so it cannot name a concrete JSON
+    library; {!value} mirrors the shape of any JSON document and a
+    serialiser (e.g. [Secpol_policy.Obs_json]) maps it 1:1 onto its own
+    representation.  Non-finite floats export as [Null] so the tree is
+    always representable as strict JSON. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+val histogram : Histogram.t -> value
+(** [count/sum/mean], [min/p50/p90/p99/max] when non-empty, the [invalid]
+    tally, and the non-empty buckets as [{le, n}] pairs. *)
+
+val event : Ring.event -> value
+
+val registry : Registry.t -> value
+(** The full snapshot: counters, sampled gauges, histograms and the trace
+    ring, each namespace sorted by metric name. *)
+
+val to_text : Registry.t -> string
+(** One metric per line, human-oriented. *)

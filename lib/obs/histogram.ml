@@ -1,0 +1,130 @@
+type t = {
+  lo : float;
+  ratio : float;
+  bounds : float array; (* upper bound of bucket i; length buckets - 1 *)
+  counts : int array; (* length buckets; last is the overflow bucket *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable invalid : int;
+}
+
+let create ?(lo = 1.0) ?(ratio = 2.0) ?(buckets = 32) () =
+  if lo <= 0.0 then invalid_arg "Histogram.create: lo must be positive";
+  if ratio <= 1.0 then invalid_arg "Histogram.create: ratio must exceed 1";
+  if buckets < 2 then invalid_arg "Histogram.create: need at least 2 buckets";
+  let bounds = Array.make (buckets - 1) 0.0 in
+  bounds.(0) <- lo;
+  for i = 1 to buckets - 2 do
+    bounds.(i) <- bounds.(i - 1) *. ratio
+  done;
+  {
+    lo;
+    ratio;
+    bounds;
+    counts = Array.make buckets 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    invalid = 0;
+  }
+
+let bucket_count t = Array.length t.counts
+
+(* smallest bucket whose upper bound covers [x]; the last bucket is a
+   catch-all so the search cannot fall off the end *)
+let index_of t x =
+  let n = Array.length t.bounds in
+  if x <= t.lo then 0
+  else if x > t.bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if x <= t.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe t x =
+  if Float.is_nan x || x < 0.0 then t.invalid <- t.invalid + 1
+  else begin
+    let i = index_of t x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+  end
+
+let count t = t.count
+
+let sum t = t.sum
+
+let invalid t = t.invalid
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let min t =
+  if t.count = 0 then invalid_arg "Histogram.min: empty histogram";
+  t.min_v
+
+let max t =
+  if t.count = 0 then invalid_arg "Histogram.max: empty histogram";
+  t.max_v
+
+let percentile t p =
+  if t.count = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  if p < 0.0 || p > 100.0 || Float.is_nan p then
+    invalid_arg "Histogram.percentile: p out of range";
+  if p = 0.0 then t.min_v
+  else if p = 100.0 then t.max_v
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.count)))
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen + t.counts.(!i) < rank do
+      seen := !seen + t.counts.(!i);
+      incr i
+    done;
+    (* report the bucket's upper bound, clamped to the observed range: the
+       true sample lies within one [ratio] factor below it *)
+    let upper =
+      if !i < Array.length t.bounds then t.bounds.(!i) else t.max_v
+    in
+    Stdlib.max t.min_v (Stdlib.min t.max_v upper)
+  end
+
+let compatible a b =
+  a.lo = b.lo && a.ratio = b.ratio
+  && Array.length a.counts = Array.length b.counts
+
+let merge a b =
+  if not (compatible a b) then
+    invalid_arg "Histogram.merge: incompatible bucket layouts";
+  let m = create ~lo:a.lo ~ratio:a.ratio ~buckets:(Array.length a.counts) () in
+  Array.iteri (fun i n -> m.counts.(i) <- n + b.counts.(i)) a.counts;
+  m.count <- a.count + b.count;
+  m.sum <- a.sum +. b.sum;
+  m.min_v <- Stdlib.min a.min_v b.min_v;
+  m.max_v <- Stdlib.max a.max_v b.max_v;
+  m.invalid <- a.invalid + b.invalid;
+  m
+
+let buckets t =
+  Array.mapi
+    (fun i n ->
+      let upper =
+        if i < Array.length t.bounds then t.bounds.(i) else infinity
+      in
+      (upper, n))
+    t.counts
+
+let pp_summary ppf t =
+  if t.count = 0 then Format.fprintf ppf "n=0"
+  else
+    Format.fprintf ppf "n=%d mean=%.1f min=%.1f p50=%.1f p99=%.1f max=%.1f"
+      t.count (mean t) t.min_v (percentile t 50.0) (percentile t 99.0) t.max_v

@@ -1,0 +1,58 @@
+(** Log-bucketed latency histogram.
+
+    Memory is O(buckets) and independent of the number of observations: a
+    fixed array of geometric buckets ([lo], [lo*ratio], [lo*ratio^2], ...,
+    overflow) plus exact count / sum / min / max.  Quantiles are read off
+    the cumulative bucket counts, so a reported percentile is the bucket
+    upper bound — within one [ratio] factor of the exact sample value —
+    clamped to the observed [min, max] range.  Two histograms with the same
+    layout merge bucket-wise, which is what makes per-shard telemetry
+    aggregatable.
+
+    Non-finite and negative observations are never mixed into the
+    distribution; they are tallied separately in {!invalid}. *)
+
+type t
+
+val create : ?lo:float -> ?ratio:float -> ?buckets:int -> unit -> t
+(** [lo] (default 1.0) is the upper bound of the first bucket, [ratio]
+    (default 2.0) the geometric growth factor, [buckets] (default 32) the
+    total bucket count including the overflow bucket.
+    @raise Invalid_argument on [lo <= 0], [ratio <= 1] or [buckets < 2]. *)
+
+val observe : t -> float -> unit
+
+val count : t -> int
+(** Valid (finite, non-negative) observations. *)
+
+val sum : t -> float
+
+val mean : t -> float
+(** 0. on an empty histogram. *)
+
+val min : t -> float
+(** Exact. @raise Invalid_argument on an empty histogram. *)
+
+val max : t -> float
+(** Exact. @raise Invalid_argument on an empty histogram. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in \[0,100\], nearest-rank over the bucket
+    counts.  [p = 0] and [p = 100] return the exact minimum and maximum.
+    @raise Invalid_argument on an empty histogram or out-of-range [p]. *)
+
+val invalid : t -> int
+(** Observations dropped for being NaN or negative. *)
+
+val merge : t -> t -> t
+(** Bucket-wise sum; the inputs are unchanged.
+    @raise Invalid_argument when the bucket layouts differ. *)
+
+val bucket_count : t -> int
+(** Constant for the histogram's lifetime, whatever [count] grows to. *)
+
+val buckets : t -> (float * int) array
+(** [(upper_bound, count)] per bucket; the overflow bucket reports
+    [infinity]. *)
+
+val pp_summary : Format.formatter -> t -> unit

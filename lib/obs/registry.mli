@@ -1,0 +1,45 @@
+(** The telemetry registry: one namespace of counters, histograms, gauges
+    and an event-trace ring, shared by every instrumented layer.
+
+    Components either ask the registry for a metric by name (find or
+    create) or register instruments they already own — the latter lets a
+    component keep counting with zero overhead when no registry is
+    attached, then expose the same counter instance once one is.
+
+    Gauges are sampled lazily: a gauge is a closure evaluated only at
+    snapshot time, so derived values (cache occupancy, bus utilisation)
+    cost nothing between exports. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?trace_capacity:int -> unit -> t
+(** [clock] (default [Sys.time]) timestamps trace events and latency
+    spans; inject a simulation clock to trace in sim time. *)
+
+val clock : t -> unit -> float
+
+val now : t -> float
+
+val counter : t -> string -> Counter.t
+(** Find or create. *)
+
+val histogram :
+  ?lo:float -> ?ratio:float -> ?buckets:int -> t -> string -> Histogram.t
+(** Find or create; the layout arguments only apply on creation. *)
+
+val trace : t -> Ring.t
+
+val register_counter : t -> string -> Counter.t -> unit
+(** Expose an existing counter under [name] (replaces any previous). *)
+
+val register_histogram : t -> string -> Histogram.t -> unit
+
+val register_gauge : t -> string -> (unit -> float) -> unit
+
+val counters : t -> (string * Counter.t) list
+(** Sorted by name. *)
+
+val histograms : t -> (string * Histogram.t) list
+
+val gauges : t -> (string * float) list
+(** Sampled now, sorted by name. *)

@@ -1,0 +1,75 @@
+type kind = Point | Span_begin | Span_end
+
+type event = {
+  seq : int;
+  time : float;
+  name : string;
+  kind : kind;
+  span : int;
+  attrs : (string * string) list;
+}
+
+type t = {
+  capacity : int;
+  buf : event option array;
+  mutable length : int;
+  mutable next : int; (* slot the next event lands in *)
+  mutable seq : int;
+  mutable next_span : int;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  {
+    capacity;
+    buf = Array.make capacity None;
+    length = 0;
+    next = 0;
+    seq = 0;
+    next_span = 1;
+    dropped = 0;
+  }
+
+let capacity t = t.capacity
+
+let length t = t.length
+
+let dropped t = t.dropped
+
+let push t ~time ~kind ~span ~attrs name =
+  if t.length = t.capacity then t.dropped <- t.dropped + 1
+  else t.length <- t.length + 1;
+  t.buf.(t.next) <- Some { seq = t.seq; time; name; kind; span; attrs };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.seq <- t.seq + 1
+
+let record t ~time ?(attrs = []) name =
+  push t ~time ~kind:Point ~span:0 ~attrs name
+
+let span_begin t ~time ?(attrs = []) name =
+  let id = t.next_span in
+  t.next_span <- t.next_span + 1;
+  push t ~time ~kind:Span_begin ~span:id ~attrs name;
+  id
+
+let span_end t ~time ?(attrs = []) id name =
+  push t ~time ~kind:Span_end ~span:id ~attrs name
+
+let events t =
+  (* oldest first: slots [next .. next+length) modulo capacity *)
+  let start = (t.next - t.length + t.capacity) mod t.capacity in
+  List.init t.length (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.length <- 0;
+  t.next <- 0
+
+let kind_name = function
+  | Point -> "point"
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"

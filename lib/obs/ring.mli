@@ -1,0 +1,49 @@
+(** Fixed-capacity event-trace ring buffer.
+
+    The newest [capacity] events are retained; older ones are overwritten
+    and counted in {!dropped}.  Every event carries a monotonic sequence
+    number, so a consumer can detect the gap.  Spans are matched pairs of
+    [Span_begin]/[Span_end] events sharing a span id — recording both ends
+    as plain events keeps the hot path allocation-light and lets a span
+    survive even when only one end is still inside the window. *)
+
+type kind = Point | Span_begin | Span_end
+
+type event = {
+  seq : int;  (** monotonic, never reused *)
+  time : float;
+  name : string;
+  kind : kind;
+  span : int;  (** 0 for points; matching begin/end share an id *)
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val record : t -> time:float -> ?attrs:(string * string) list -> string -> unit
+
+val span_begin :
+  t -> time:float -> ?attrs:(string * string) list -> string -> int
+(** Returns the fresh span id to pass to {!span_end}. *)
+
+val span_end :
+  t -> time:float -> ?attrs:(string * string) list -> int -> string -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val capacity : t -> int
+
+val length : t -> int
+
+val dropped : t -> int
+(** Events overwritten since creation. *)
+
+val clear : t -> unit
+(** Forget buffered events; sequence and span counters keep running. *)
+
+val kind_name : kind -> string

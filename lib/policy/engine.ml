@@ -1,3 +1,5 @@
+module Obs = Secpol_obs
+
 type strategy = Table.strategy =
   | Deny_overrides
   | Allow_overrides
@@ -31,25 +33,34 @@ type t = {
   mutable table : Table.t option;  (* compiled path *)
   cache : (Ast.decision * Ir.rule option) Cache.t option;
   cache_capacity : int;
-  (* sliding-window grant timestamps per (rate-limited rule, subject) *)
-  buckets : (int * string, float list ref) Hashtbl.t;
+  (* sliding-window grant budgets per (rate-limited rule, subject) *)
+  buckets : (int * string, Rate_window.t) Hashtbl.t;
   mutable rated_assets : string list;
-  mutable decisions : int;
-  mutable allows : int;
-  mutable denies : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
-  mutable cache_flushes : int;
+  (* one consistent registry instead of ad-hoc mutable stat fields; the
+     counters exist (and cost one word each) even without a registry, so
+     the hot path never branches on whether telemetry is attached *)
+  c_decisions : Obs.Counter.t;
+  c_allows : Obs.Counter.t;
+  c_denies : Obs.Counter.t;
+  c_cache_hits : Obs.Counter.t;
+  c_cache_misses : Obs.Counter.t;
+  c_cache_flushes : Obs.Counter.t;
+  latency : Obs.Histogram.t option; (* per-decision, ns; None when no obs *)
+  clock : unit -> float;
+  events : Obs.Ring.t option;
 }
 
 let index_by_asset (db : Ir.db) =
   let tbl = Hashtbl.create 32 in
-  (* keep source order within each asset bucket *)
+  (* keep source order within each asset bucket: cons (O(1)) while
+     scanning, then reverse each bucket once — appending with [@] here is
+     quadratic in rules per asset *)
   List.iter
     (fun (r : Ir.rule) ->
       let existing = Option.value ~default:[] (Hashtbl.find_opt tbl r.asset) in
-      Hashtbl.replace tbl r.asset (existing @ [ r ]))
+      Hashtbl.replace tbl r.asset (r :: existing))
     db.rules;
+  Hashtbl.filter_map_inplace (fun _ rules -> Some (List.rev rules)) tbl;
   tbl
 
 let rated_assets_of (db : Ir.db) =
@@ -61,9 +72,16 @@ let rated_assets_of (db : Ir.db) =
 let default_cache_capacity = 8192
 
 let create ?(strategy = Deny_overrides) ?(cache = true)
-    ?(cache_capacity = default_cache_capacity) ?(mode = `Compiled) db =
+    ?(cache_capacity = default_cache_capacity) ?(mode = `Compiled) ?obs db =
   if cache_capacity <= 0 then
     invalid_arg "Engine.create: cache_capacity must be positive";
+  let counter name =
+    let c = Obs.Counter.create () in
+    Option.iter
+      (fun reg -> Obs.Registry.register_counter reg ("policy.engine." ^ name) c)
+      obs;
+    c
+  in
   {
     db;
     strategy;
@@ -77,12 +95,21 @@ let create ?(strategy = Deny_overrides) ?(cache = true)
     cache_capacity;
     buckets = Hashtbl.create 32;
     rated_assets = rated_assets_of db;
-    decisions = 0;
-    allows = 0;
-    denies = 0;
-    cache_hits = 0;
-    cache_misses = 0;
-    cache_flushes = 0;
+    c_decisions = counter "decisions";
+    c_allows = counter "allows";
+    c_denies = counter "denies";
+    c_cache_hits = counter "cache.hits";
+    c_cache_misses = counter "cache.misses";
+    c_cache_flushes = counter "cache.flushes";
+    latency =
+      Option.map
+        (fun reg ->
+          Obs.Registry.histogram ~lo:50.0 ~ratio:2.0 ~buckets:32 reg
+            "policy.engine.decide_ns")
+        obs;
+    clock =
+      (match obs with Some reg -> Obs.Registry.clock reg | None -> Sys.time);
+    events = Option.map Obs.Registry.trace obs;
   }
 
 let strategy t = t.strategy
@@ -97,30 +124,26 @@ let table_stats t = Option.map Table.stats t.table
    sliding window has room, and its budget is consumed only when the rule
    actually produces the Allow decision — matching alongside a winning deny
    costs nothing.  Deny rules never carry rates (the compiler refuses
-   them). *)
-let bucket_of t (r : Ir.rule) subject =
-  let key = (r.idx, subject) in
+   them).  Window semantics live in {!Rate_window}, shared with the HPE's
+   hardware shaper. *)
+let bucket_of t (r : Ir.rule) rate subject =
+  let key = (r.Ir.idx, subject) in
   match Hashtbl.find_opt t.buckets key with
-  | Some b -> b
+  | Some w -> w
   | None ->
-      let b = ref [] in
-      Hashtbl.replace t.buckets key b;
-      b
+      let w = Rate_window.of_rate rate in
+      Hashtbl.replace t.buckets key w;
+      w
 
 let rate_available t ~now (r : Ir.rule) subject =
   match r.rate with
   | None -> true
-  | Some { Ast.count; window_ms } ->
-      let bucket = bucket_of t r subject in
-      let horizon = now -. (float_of_int window_ms /. 1000.0) in
-      bucket := List.filter (fun ts -> ts > horizon) !bucket;
-      List.length !bucket < count
+  | Some rate -> Rate_window.available (bucket_of t r rate subject) ~now
 
 let rate_consume t ~now (r : Ir.rule) subject =
-  if r.rate <> None then begin
-    let bucket = bucket_of t r subject in
-    bucket := now :: !bucket
-  end
+  match r.rate with
+  | None -> ()
+  | Some rate -> Rate_window.consume (bucket_of t r rate subject) ~now
 
 let matching_rules t (req : Ir.request) =
   let candidates =
@@ -187,32 +210,38 @@ let resolve t ~now (req : Ir.request) =
   | None -> resolve_interpreted t ~now req
 
 let record t decision =
-  t.decisions <- t.decisions + 1;
+  Obs.Counter.incr t.c_decisions;
   match decision with
-  | Ast.Allow -> t.allows <- t.allows + 1
-  | Ast.Deny -> t.denies <- t.denies + 1
+  | Ast.Allow -> Obs.Counter.incr t.c_allows
+  | Ast.Deny -> Obs.Counter.incr t.c_denies
 
 let cache_insert t cache req entry =
   (* bounded: a full flush beats per-entry eviction bookkeeping on the hot
      path, and the compiled table repopulates a flushed cache in one pass
      over the working set *)
   if Cache.length cache >= t.cache_capacity then begin
+    (match t.events with
+    | None -> ()
+    | Some ring ->
+        Obs.Ring.record ring ~time:(t.clock ())
+          ~attrs:[ ("entries", string_of_int (Cache.length cache)) ]
+          "policy.cache.flush");
     Cache.reset cache;
-    t.cache_flushes <- t.cache_flushes + 1
+    Obs.Counter.incr t.c_cache_flushes
   end;
   Cache.replace cache req entry
 
-let decide ?(now = 0.0) t (req : Ir.request) =
+let decide_untimed t ~now (req : Ir.request) =
   let cacheable = not (List.mem req.Ir.asset t.rated_assets) in
   match t.cache with
   | Some cache when cacheable -> (
       match Cache.find_opt cache req with
       | Some (decision, matched) ->
-          t.cache_hits <- t.cache_hits + 1;
+          Obs.Counter.incr t.c_cache_hits;
           record t decision;
           { decision; matched; from_cache = true }
       | None ->
-          t.cache_misses <- t.cache_misses + 1;
+          Obs.Counter.incr t.c_cache_misses;
           let decision, matched = resolve t ~now req in
           cache_insert t cache req (decision, matched);
           record t decision;
@@ -221,6 +250,15 @@ let decide ?(now = 0.0) t (req : Ir.request) =
       let decision, matched = resolve t ~now req in
       record t decision;
       { decision; matched; from_cache = false }
+
+let decide ?(now = 0.0) t (req : Ir.request) =
+  match t.latency with
+  | None -> decide_untimed t ~now req
+  | Some h ->
+      let t0 = t.clock () in
+      let outcome = decide_untimed t ~now req in
+      Obs.Histogram.observe h ((t.clock () -. t0) *. 1e9);
+      outcome
 
 let permitted ?now t req = (decide ?now t req).decision = Ast.Allow
 
@@ -234,16 +272,25 @@ let swap_db t db =
   | `Interpreted -> ());
   t.rated_assets <- rated_assets_of db;
   Hashtbl.reset t.buckets;
+  (match t.events with
+  | None -> ()
+  | Some ring ->
+      Obs.Ring.record ring ~time:(t.clock ())
+        ~attrs:
+          [
+            ("policy", db.Ir.name); ("version", string_of_int db.Ir.version);
+          ]
+        "policy.engine.swap_db");
   flush_cache t
 
 let stats t =
   {
-    decisions = t.decisions;
-    allows = t.allows;
-    denies = t.denies;
-    cache_hits = t.cache_hits;
-    cache_misses = t.cache_misses;
-    cache_flushes = t.cache_flushes;
+    decisions = Obs.Counter.value t.c_decisions;
+    allows = Obs.Counter.value t.c_allows;
+    denies = Obs.Counter.value t.c_denies;
+    cache_hits = Obs.Counter.value t.c_cache_hits;
+    cache_misses = Obs.Counter.value t.c_cache_misses;
+    cache_flushes = Obs.Counter.value t.c_cache_flushes;
   }
 
 let pp_outcome ppf o =

@@ -28,6 +28,7 @@ val create :
   ?cache:bool ->
   ?cache_capacity:int ->
   ?mode:mode ->
+  ?obs:Secpol_obs.Registry.t ->
   Ir.db ->
   t
 (** [cache] (default [true]) memoises decisions per distinct request in a
@@ -35,6 +36,14 @@ val create :
     [cache_capacity] entries (default 8192) it is flushed in full and the
     flush is counted in {!stats}, so unbounded request diversity (fuzzing,
     long simulations) cannot grow it without limit.
+
+    [obs] attaches the engine to a telemetry registry: the decision and
+    cache counters are exported under [policy.engine.*], every decision's
+    latency is observed into the [policy.engine.decide_ns] histogram
+    (timed with the registry clock), and cache flushes / database swaps
+    land in the registry's event trace.  Without [obs] the engine keeps
+    counting — counters are single mutable words — but takes no clock
+    readings and allocates nothing for telemetry on the decision path.
     @raise Invalid_argument if [cache_capacity <= 0]. *)
 
 val strategy : t -> strategy

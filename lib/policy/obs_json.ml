@@ -1,0 +1,17 @@
+module Obs = Secpol_obs
+
+let rec of_value : Obs.Export.value -> Json.t = function
+  | Obs.Export.Null -> Json.Null
+  | Obs.Export.Bool b -> Json.Bool b
+  | Obs.Export.Int i -> Json.Int i
+  | Obs.Export.Float f -> Json.Float f
+  | Obs.Export.String s -> Json.String s
+  | Obs.Export.List l -> Json.List (List.map of_value l)
+  | Obs.Export.Obj fields ->
+      Json.Obj (List.map (fun (k, v) -> (k, of_value v)) fields)
+
+let histogram h = of_value (Obs.Export.histogram h)
+
+let registry reg = of_value (Obs.Export.registry reg)
+
+let to_string reg = Json.to_string (registry reg)

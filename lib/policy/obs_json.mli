@@ -1,0 +1,15 @@
+(** JSON serialisation of {!Secpol_obs} telemetry.
+
+    [Secpol_obs] exports a neutral {!Secpol_obs.Export.value} tree so it
+    can stay dependency-free; this module maps that tree 1:1 onto
+    {!Json.t}, making registry snapshots printable and re-parsable with
+    the same hand-rolled JSON used everywhere else in the toolchain. *)
+
+val of_value : Secpol_obs.Export.value -> Json.t
+
+val histogram : Secpol_obs.Histogram.t -> Json.t
+
+val registry : Secpol_obs.Registry.t -> Json.t
+
+val to_string : Secpol_obs.Registry.t -> string
+(** [Json.to_string] of {!registry}. *)

@@ -1,0 +1,42 @@
+type t = { count : int; window_s : float; grants : float Queue.t }
+
+let create ~count ~window_ms =
+  if count < 0 then invalid_arg "Rate_window.create: negative count";
+  if window_ms <= 0 then
+    invalid_arg "Rate_window.create: window must be positive";
+  {
+    count;
+    window_s = float_of_int window_ms /. 1000.0;
+    grants = Queue.create ();
+  }
+
+let of_rate (r : Ast.rate) = create ~count:r.count ~window_ms:r.window_ms
+
+(* A grant at [g] is live while [now -. g < window_s]: it counts against
+   the budget up to, but excluding, the instant exactly one window later.
+   Grants are consumed in time order, so expiry only ever removes from the
+   front — each timestamp is pushed and popped once, O(1) amortised. *)
+let prune t ~now =
+  let horizon = now -. t.window_s in
+  while (not (Queue.is_empty t.grants)) && Queue.peek t.grants <= horizon do
+    ignore (Queue.pop t.grants)
+  done
+
+let available t ~now =
+  prune t ~now;
+  Queue.length t.grants < t.count
+
+let consume t ~now = Queue.push now t.grants
+
+let admit t ~now =
+  if available t ~now then begin
+    consume t ~now;
+    true
+  end
+  else false
+
+let in_window t ~now =
+  prune t ~now;
+  Queue.length t.grants
+
+let reset t = Queue.clear t.grants

@@ -1,0 +1,41 @@
+(** Sliding-window admission budget: at most [count] grants within any
+    [window_ms]-millisecond window.
+
+    This is the one implementation behind every behavioural rate limit —
+    the policy engine's per-(rule, subject) budgets and the HPE's
+    per-message-id hardware shaper — so the edge semantics are defined
+    once:
+
+    - a grant at time [g] occupies the budget for [now - g < window],
+      i.e. it expires at exactly [g + window] ({e inclusive} expiry: an
+      admit attempted precisely one window after a grant no longer sees
+      it);
+    - admission at a given [now] first expires old grants, then admits
+      iff fewer than [count] live grants remain, consuming one slot.
+
+    Timestamps must be non-decreasing across calls (simulation or
+    monotonic time); expiry then only removes from the front of the
+    grant queue, making every operation O(1) amortised — not O(live
+    grants) per admit. *)
+
+type t
+
+val create : count:int -> window_ms:int -> t
+(** @raise Invalid_argument on a negative count or non-positive window. *)
+
+val of_rate : Ast.rate -> t
+
+val admit : t -> now:float -> bool
+(** [available] and, when true, [consume] in one step. *)
+
+val available : t -> now:float -> bool
+(** Room in the window at [now]?  Does not consume. *)
+
+val consume : t -> now:float -> unit
+(** Record a grant at [now] unconditionally. *)
+
+val in_window : t -> now:float -> int
+(** Live grants at [now]. *)
+
+val reset : t -> unit
+(** Forget consumption history; the budget itself is immutable. *)

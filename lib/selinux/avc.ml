@@ -1,3 +1,5 @@
+module Obs = Secpol_obs
+
 type key = { source : string; target : string; cls : string }
 
 type t = {
@@ -5,9 +7,9 @@ type t = {
   table : (key, string list) Hashtbl.t;
   mutable generation : int;
   mutable table_generation : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable flushes : int;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  flushes : Obs.Counter.t;
 }
 
 let create ?(capacity = 512) () =
@@ -17,14 +19,14 @@ let create ?(capacity = 512) () =
     table = Hashtbl.create 64;
     generation = 0;
     table_generation = 0;
-    hits = 0;
-    misses = 0;
-    flushes = 0;
+    hits = Obs.Counter.create ();
+    misses = Obs.Counter.create ();
+    flushes = Obs.Counter.create ();
   }
 
 let flush t =
   Hashtbl.reset t.table;
-  t.flushes <- t.flushes + 1
+  Obs.Counter.incr t.flushes
 
 let lookup t db ~source ~target ~cls =
   if t.table_generation <> t.generation then begin
@@ -34,10 +36,10 @@ let lookup t db ~source ~target ~cls =
   let key = { source; target; cls } in
   match Hashtbl.find_opt t.table key with
   | Some av ->
-      t.hits <- t.hits + 1;
+      Obs.Counter.incr t.hits;
       av
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.Counter.incr t.misses;
       let av = Policy_db.compute_av db ~source ~target ~cls in
       if Hashtbl.length t.table >= t.capacity then flush t;
       Hashtbl.replace t.table key av;
@@ -47,8 +49,25 @@ let invalidate t = t.generation <- t.generation + 1
 
 type stats = { hits : int; misses : int; flushes : int }
 
-let stats (t : t) = { hits = t.hits; misses = t.misses; flushes = t.flushes }
+let stats (t : t) =
+  {
+    hits = Obs.Counter.value t.hits;
+    misses = Obs.Counter.value t.misses;
+    flushes = Obs.Counter.value t.flushes;
+  }
+
+let attach_obs (t : t) reg =
+  Obs.Registry.register_counter reg "selinux.avc.hits" t.hits;
+  Obs.Registry.register_counter reg "selinux.avc.misses" t.misses;
+  Obs.Registry.register_counter reg "selinux.avc.flushes" t.flushes;
+  Obs.Registry.register_gauge reg "selinux.avc.occupancy" (fun () ->
+      float_of_int (Hashtbl.length t.table));
+  Obs.Registry.register_gauge reg "selinux.avc.hit_rate" (fun () ->
+      let total = Obs.Counter.value t.hits + Obs.Counter.value t.misses in
+      if total = 0 then 0.0
+      else float_of_int (Obs.Counter.value t.hits) /. float_of_int total)
 
 let hit_rate (t : t) =
-  let total = t.hits + t.misses in
-  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+  let hits = Obs.Counter.value t.hits in
+  let total = hits + Obs.Counter.value t.misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total

@@ -3,7 +3,11 @@
     The security server's rule walk is slow; the AVC memoises the computed
     permission vector per (source type, target type, class).  A policy
     reload bumps the generation counter, logically invalidating every
-    cached entry at once. *)
+    cached entry at once.
+
+    Hit/miss/flush counts are kept in {!Secpol_obs.Counter} cells so the
+    same instruments back both the legacy {!stats} record and a shared
+    telemetry registry (see {!attach_obs}). *)
 
 type t
 
@@ -21,6 +25,10 @@ val invalidate : t -> unit
 type stats = { hits : int; misses : int; flushes : int }
 
 val stats : t -> stats
+
+val attach_obs : t -> Secpol_obs.Registry.t -> unit
+(** Export the hit/miss/flush counters plus [occupancy] and [hit_rate]
+    gauges under [selinux.avc.*]. *)
 
 val hit_rate : t -> float
 (** hits / (hits + misses); 0. before any lookup. *)

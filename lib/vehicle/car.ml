@@ -41,9 +41,10 @@ let provision_hpes hpes policy_engine mode =
     hpes
 
 let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(corrupt_prob = 0.0)
-    ?(enforcement = Software_filters) ?(driving = true) () =
+    ?(enforcement = Software_filters) ?(driving = true) ?obs () =
   let sim = Engine.create ~seed () in
   let bus = Bus.create ~corrupt_prob ~bitrate sim in
+  Option.iter (Bus.attach_obs bus) obs;
   let state = if driving then State.driving () else State.create () in
   let nodes = List.map (fun (name, build) -> (name, build sim bus state)) builders in
   (match enforcement with
@@ -55,9 +56,11 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(corrupt_prob = 0.0)
   let hpes, policy_engine =
     match enforcement with
     | Hpe policy ->
-        let engine = Policy_map.engine policy in
+        let engine = Policy_map.engine ?obs policy in
         let hpes =
-          List.map (fun (name, node) -> (name, Secpol_hpe.Engine.install node)) nodes
+          List.map
+            (fun (name, node) -> (name, Secpol_hpe.Engine.install ?obs node))
+            nodes
         in
         provision_hpes hpes engine state.State.mode;
         (hpes, Some engine)

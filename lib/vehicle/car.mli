@@ -31,12 +31,15 @@ val create :
   ?corrupt_prob:float ->
   ?enforcement:enforcement ->
   ?driving:bool ->
+  ?obs:Secpol_obs.Registry.t ->
   unit ->
   t
 (** Build the car at simulation time 0.  [enforcement] defaults to
     [Software_filters]; [driving] (default [true]) starts in normal mode at
     speed, engine running.  With [Hpe p] every node's HPE is provisioned
-    for the initial mode and locked. *)
+    for the initial mode and locked.  [obs] wires the bus, the policy
+    engine and every HPE into one telemetry registry; omit it and no
+    telemetry work happens beyond each component's own counters. *)
 
 val node : t -> string -> Secpol_can.Node.t
 (** @raise Invalid_argument on unknown node names; use {!Names}. *)

@@ -29,9 +29,11 @@ val hardened : ?version:int -> unit -> Secpol_policy.Ast.policy
 
 val engine :
   ?strategy:Secpol_policy.Engine.strategy ->
+  ?obs:Secpol_obs.Registry.t ->
   Secpol_policy.Ast.policy ->
   Secpol_policy.Engine.t
-(** Compile and wrap in an evaluation engine.
+(** Compile and wrap in an evaluation engine, optionally instrumented
+    (see {!Secpol_policy.Engine.create}).
     @raise Invalid_argument if the policy does not compile. *)
 
 val hpe_config_for :

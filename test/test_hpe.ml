@@ -247,6 +247,18 @@ let test_rate_limiter_window () =
   Alcotest.(check bool) "3rd blocked" false (Rate_limiter.admit rl ~now:0.9 ~msg_id:0x200);
   Alcotest.(check bool) "window slides" true (Rate_limiter.admit rl ~now:1.1 ~msg_id:0x200)
 
+let test_rate_limiter_boundary () =
+  (* the shared window semantics: a grant at time g stops counting at
+     exactly g + window (inclusive expiry) *)
+  let rl = Rate_limiter.create () in
+  Rate_limiter.set rl ~msg_id:0x200 (rate 1 1000);
+  Alcotest.(check bool) "grant at 0" true
+    (Rate_limiter.admit rl ~now:0.0 ~msg_id:0x200);
+  Alcotest.(check bool) "blocked just inside" false
+    (Rate_limiter.admit rl ~now:0.9999 ~msg_id:0x200);
+  Alcotest.(check bool) "admitted exactly at the boundary" true
+    (Rate_limiter.admit rl ~now:1.0 ~msg_id:0x200)
+
 let test_rate_limiter_config () =
   let rl = Rate_limiter.create () in
   Rate_limiter.set rl ~msg_id:1 (rate 1 100);
@@ -443,6 +455,7 @@ let () =
       ( "rate-limiter",
         [
           quick "sliding window" test_rate_limiter_window;
+          quick "window boundary" test_rate_limiter_boundary;
           quick "configuration" test_rate_limiter_config;
           quick "write shaping on a node" test_hpe_write_rate_shaping;
         ] );

@@ -1,0 +1,264 @@
+(* Tests for the telemetry subsystem: counters, log-bucketed histograms,
+   the event-trace ring, the registry and its JSON export. *)
+
+module Obs = Secpol_obs
+module Counter = Obs.Counter
+module Histogram = Obs.Histogram
+module Ring = Obs.Ring
+module Registry = Obs.Registry
+module Stats = Secpol_sim.Stats
+module Json = Secpol_policy.Json
+module Obs_json = Secpol_policy.Obs_json
+
+let check = Alcotest.check
+
+(* ---------- Counter ---------- *)
+
+let test_counter_basic () =
+  let c = Counter.create () in
+  check Alcotest.int "zero" 0 (Counter.value c);
+  Counter.incr c;
+  Counter.incr c;
+  Counter.add c 5;
+  check Alcotest.int "accumulated" 7 (Counter.value c);
+  Counter.reset c;
+  check Alcotest.int "reset" 0 (Counter.value c);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Counter.add: counters are monotonic") (fun () ->
+      Counter.add c (-1))
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_basic () =
+  let h = Histogram.create ~lo:1.0 ~ratio:2.0 ~buckets:8 () in
+  check Alcotest.int "empty" 0 (Histogram.count h);
+  List.iter (Histogram.observe h) [ 0.5; 1.5; 3.0; 100.0 ];
+  check Alcotest.int "count" 4 (Histogram.count h);
+  check Alcotest.(float 1e-9) "sum" 105.0 (Histogram.sum h);
+  check Alcotest.(float 1e-9) "min" 0.5 (Histogram.min h);
+  check Alcotest.(float 1e-9) "max" 100.0 (Histogram.max h);
+  check Alcotest.int "no invalid" 0 (Histogram.invalid h)
+
+let test_histogram_invalid () =
+  let h = Histogram.create () in
+  Histogram.observe h Float.nan;
+  Histogram.observe h (-3.0);
+  Histogram.observe h 2.0;
+  check Alcotest.int "count excludes invalid" 1 (Histogram.count h);
+  check Alcotest.int "invalid tallied" 2 (Histogram.invalid h);
+  check Alcotest.(float 1e-9) "min unaffected" 2.0 (Histogram.min h)
+
+let test_histogram_percentile_edges () =
+  let h = Histogram.create ~lo:1.0 ~ratio:2.0 ~buckets:8 () in
+  List.iter (Histogram.observe h) [ 0.7; 3.0; 9.0 ];
+  (* exact extrema at the edges, bucket bounds in between *)
+  check Alcotest.(float 1e-9) "p0 = min" 0.7 (Histogram.percentile h 0.0);
+  check Alcotest.(float 1e-9) "p100 = max" 9.0 (Histogram.percentile h 100.0);
+  let p50 = Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "p50 within range" true (p50 >= 0.7 && p50 <= 9.0);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Histogram.percentile: empty histogram") (fun () ->
+      ignore (Histogram.percentile (Histogram.create ()) 50.0))
+
+(* A log-bucketed percentile can overshoot the true value by at most the
+   bucket ratio: compare against the exact Stats implementation. *)
+let test_histogram_percentile_vs_exact () =
+  let ratio = 2.0 in
+  let h = Histogram.create ~lo:1.0 ~ratio ~buckets:32 () in
+  let s = Stats.create () in
+  let seed = ref 123456789 in
+  for _ = 1 to 5_000 do
+    (* deterministic pseudo-random latencies spanning several decades *)
+    seed := (!seed * 1103515245) + 12345;
+    let u = float_of_int (abs !seed mod 1_000_000) /. 1_000_000.0 in
+    let x = 10.0 ** (4.0 *. u) in
+    Histogram.observe h x;
+    Stats.add s x
+  done;
+  List.iter
+    (fun p ->
+      let approx = Histogram.percentile h p in
+      let exact = Stats.percentile s p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f: %.2f within a bucket of exact %.2f" p approx
+           exact)
+        true
+        (approx >= exact /. ratio && approx <= exact *. ratio))
+    [ 50.0; 90.0; 99.0 ]
+
+let test_histogram_merge () =
+  let mk () = Histogram.create ~lo:1.0 ~ratio:2.0 ~buckets:16 () in
+  let a = mk () and b = mk () in
+  let all = mk () in
+  let xs_a = [ 0.5; 2.0; 7.0; 100.0 ] and xs_b = [ 3.0; 3.5; 900.0 ] in
+  List.iter (Histogram.observe a) xs_a;
+  List.iter (Histogram.observe b) xs_b;
+  List.iter (Histogram.observe all) (xs_a @ xs_b);
+  let m = Histogram.merge a b in
+  check Alcotest.int "count" (Histogram.count all) (Histogram.count m);
+  check Alcotest.(float 1e-9) "sum" (Histogram.sum all) (Histogram.sum m);
+  check Alcotest.(float 1e-9) "min" (Histogram.min all) (Histogram.min m);
+  check Alcotest.(float 1e-9) "max" (Histogram.max all) (Histogram.max m);
+  (* merged percentiles agree exactly with observing everything in one
+     histogram: same buckets, same counts *)
+  List.iter
+    (fun p ->
+      check
+        Alcotest.(float 1e-9)
+        (Printf.sprintf "p%.0f" p)
+        (Histogram.percentile all p)
+        (Histogram.percentile m p))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ];
+  Alcotest.check_raises "incompatible layouts"
+    (Invalid_argument "Histogram.merge: incompatible bucket layouts")
+    (fun () ->
+      ignore (Histogram.merge a (Histogram.create ~lo:1.0 ~ratio:3.0 ())))
+
+let test_histogram_bounded_memory () =
+  let h = Histogram.create ~buckets:16 () in
+  let before = Obj.reachable_words (Obj.repr h) in
+  for i = 1 to 100_000 do
+    Histogram.observe h (float_of_int i)
+  done;
+  let after = Obj.reachable_words (Obj.repr h) in
+  check Alcotest.int "no growth after 100k observations" before after
+
+(* ---------- Ring trace ---------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 () in
+  Ring.record r ~time:0.0 "a";
+  Ring.record r ~time:1.0 "b";
+  check Alcotest.int "length" 2 (Ring.length r);
+  check Alcotest.(list string) "oldest first" [ "a"; "b" ]
+    (List.map (fun (e : Ring.event) -> e.name) (Ring.events r));
+  check Alcotest.int "no drops yet" 0 (Ring.dropped r)
+
+let test_ring_wraps () =
+  let r = Ring.create ~capacity:3 () in
+  List.iteri
+    (fun i n -> Ring.record r ~time:(float_of_int i) n)
+    [ "a"; "b"; "c"; "d"; "e" ];
+  check Alcotest.int "capped" 3 (Ring.length r);
+  check Alcotest.int "dropped" 2 (Ring.dropped r);
+  check Alcotest.(list string) "keeps the newest" [ "c"; "d"; "e" ]
+    (List.map (fun (e : Ring.event) -> e.name) (Ring.events r));
+  let seqs = List.map (fun (e : Ring.event) -> e.seq) (Ring.events r) in
+  check Alcotest.(list int) "monotonic seq" [ 2; 3; 4 ] seqs
+
+let test_ring_spans () =
+  let r = Ring.create ~capacity:8 () in
+  let s1 = Ring.span_begin r ~time:0.0 "load" in
+  let s2 = Ring.span_begin r ~time:0.1 "decide" in
+  Ring.span_end r ~time:0.2 s2 "decide";
+  Ring.span_end r ~time:0.3 s1 "load";
+  Alcotest.(check bool) "distinct span ids" true (s1 <> s2);
+  match Ring.events r with
+  | [ b1; b2; e2; e1 ] ->
+      check Alcotest.int "begin carries id" s1 b1.Ring.span;
+      check Alcotest.int "end matches begin" s2 e2.Ring.span;
+      Alcotest.(check bool) "kinds" true
+        (b2.Ring.kind = Ring.Span_begin && e1.Ring.kind = Ring.Span_end)
+  | es -> Alcotest.failf "expected 4 events, got %d" (List.length es)
+
+(* ---------- Registry ---------- *)
+
+let test_registry_find_or_create () =
+  let reg = Registry.create () in
+  let c = Registry.counter reg "x.count" in
+  Counter.incr c;
+  Alcotest.(check bool) "same instance" true (c == Registry.counter reg "x.count");
+  let h = Registry.histogram reg "x.lat" in
+  Alcotest.(check bool) "same histogram" true (h == Registry.histogram reg "x.lat");
+  Registry.register_gauge reg "x.g" (fun () -> 42.0);
+  check
+    Alcotest.(list (pair string (float 0.0)))
+    "gauges sampled" [ ("x.g", 42.0) ] (Registry.gauges reg);
+  check Alcotest.(list string) "sorted counters" [ "x.count" ]
+    (List.map fst (Registry.counters reg))
+
+let test_registry_clock () =
+  let t = ref 5.0 in
+  let reg = Registry.create ~clock:(fun () -> !t) () in
+  check Alcotest.(float 0.0) "injected clock" 5.0 (Registry.now reg)
+
+(* ---------- JSON round trip ---------- *)
+
+let test_export_json_round_trip () =
+  let reg = Registry.create ~clock:(fun () -> 1.5) () in
+  Counter.add (Registry.counter reg "layer.hits") 3;
+  let h = Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:8 reg "layer.lat" in
+  List.iter (Histogram.observe h) [ 1.0; 2.0; 4.0; 8.0; 1000.0 ];
+  Registry.register_gauge reg "layer.load" (fun () -> 0.25);
+  ignore (Ring.span_begin (Registry.trace reg) ~time:1.0 "op");
+  let text = Obs_json.to_string reg in
+  match Json.of_string text with
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  | Ok json ->
+      let member path =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Json.member k))
+          (Some json) path
+      in
+      check
+        Alcotest.(option int)
+        "counter survives" (Some 3)
+        (Option.bind (member [ "counters"; "layer.hits" ]) Json.to_int);
+      check
+        Alcotest.(option int)
+        "histogram count survives" (Some 5)
+        (Option.bind (member [ "histograms"; "layer.lat"; "count" ]) Json.to_int);
+      Alcotest.(check bool) "p99 present" true
+        (member [ "histograms"; "layer.lat"; "p99" ] <> None);
+      Alcotest.(check bool) "gauge present" true
+        (member [ "gauges"; "layer.load" ] <> None);
+      check
+        Alcotest.(option int)
+        "trace event survives" (Some 1)
+        (Option.map List.length
+           (Option.bind (member [ "trace"; "events" ]) Json.to_list))
+
+let test_export_non_finite_is_null () =
+  (* gauges can legitimately return inf/NaN; the export must stay valid *)
+  let reg = Registry.create () in
+  Registry.register_gauge reg "bad.inf" (fun () -> infinity);
+  Registry.register_gauge reg "bad.nan" (fun () -> Float.nan);
+  match Json.of_string (Obs_json.to_string reg) with
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e
+  | Ok json ->
+      Alcotest.(check bool) "inf exported as null" true
+        (Option.bind (Json.member "gauges" json) (Json.member "bad.inf")
+        = Some Json.Null)
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "secpol_obs"
+    [
+      ("counter", [ quick "basics" test_counter_basic ]);
+      ( "histogram",
+        [
+          quick "basics" test_histogram_basic;
+          quick "invalid observations" test_histogram_invalid;
+          quick "percentile edges" test_histogram_percentile_edges;
+          quick "percentile vs exact" test_histogram_percentile_vs_exact;
+          quick "merge" test_histogram_merge;
+          quick "bounded memory" test_histogram_bounded_memory;
+        ] );
+      ( "ring",
+        [
+          quick "basics" test_ring_basic;
+          quick "wraps" test_ring_wraps;
+          quick "spans" test_ring_spans;
+        ] );
+      ( "registry",
+        [
+          quick "find or create" test_registry_find_or_create;
+          quick "injected clock" test_registry_clock;
+        ] );
+      ( "export",
+        [
+          quick "JSON round trip" test_export_json_round_trip;
+          quick "non-finite gauges" test_export_non_finite_is_null;
+        ] );
+    ]

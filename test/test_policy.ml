@@ -790,6 +790,23 @@ let test_rate_sliding_window () =
   Alcotest.(check bool) "then the budget binds again" false
     (Engine.permitted ~now:1.06 e rated_req)
 
+let test_rate_window_boundary () =
+  let e =
+    Engine.create
+      (compile_ok
+         "policy \"r\" version 1 { default deny; asset lock { allow write \
+          from telematics rate 1 per 1000; } }")
+  in
+  Alcotest.(check bool) "grant at 0" true
+    (Engine.permitted ~now:0.0 e rated_req);
+  Alcotest.(check bool) "denied inside the window" false
+    (Engine.permitted ~now:0.5 e rated_req);
+  Alcotest.(check bool) "denied just inside" false
+    (Engine.permitted ~now:0.9999 e rated_req);
+  (* the grant at 0 expires at exactly 0 + window *)
+  Alcotest.(check bool) "allowed exactly at the boundary" true
+    (Engine.permitted ~now:1.0 e rated_req)
+
 let test_rate_per_subject () =
   let e =
     Engine.create
@@ -1238,6 +1255,7 @@ let () =
           quick "parse + print" test_rate_parses_and_prints;
           quick "validation" test_rate_rejects_bad;
           quick "sliding window" test_rate_sliding_window;
+          quick "window boundary" test_rate_window_boundary;
           quick "per subject" test_rate_per_subject;
           quick "cache bypass" test_rate_bypasses_cache;
           quick "reset on update" test_rate_reset_on_swap;

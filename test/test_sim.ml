@@ -253,6 +253,63 @@ let test_stats_percentile () =
   check Alcotest.(float 0.0) "p100" 100.0 (Stats.percentile s 100.0);
   check Alcotest.(float 0.0) "median" 50.0 (Stats.median s)
 
+let test_stats_nan_excluded () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; Float.nan; 2.0; Float.nan; 3.0 ];
+  check Alcotest.int "count ignores NaN" 3 (Stats.count s);
+  check Alcotest.int "nan_count" 2 (Stats.nan_count s);
+  check Alcotest.(float 1e-9) "mean unaffected" 2.0 (Stats.mean s);
+  check Alcotest.(float 1e-9) "min unaffected" 1.0 (Stats.min s);
+  check Alcotest.(float 1e-9) "max unaffected" 3.0 (Stats.max s);
+  check Alcotest.(float 1e-9) "median unaffected" 2.0 (Stats.median s);
+  Alcotest.(check bool)
+    "p99 is a number" false
+    (Float.is_nan (Stats.percentile s 99.0))
+
+let test_stats_all_nan_is_empty () =
+  let s = Stats.create () in
+  Stats.add s Float.nan;
+  check Alcotest.int "count" 0 (Stats.count s);
+  check Alcotest.int "nan_count" 1 (Stats.nan_count s);
+  Alcotest.check_raises "min still empty"
+    (Invalid_argument "Stats.min: empty sample") (fun () ->
+      ignore (Stats.min s))
+
+let test_stats_single_sample () =
+  let s = Stats.create () in
+  Stats.add s 7.5;
+  check Alcotest.(float 0.0) "p0" 7.5 (Stats.percentile s 0.0);
+  check Alcotest.(float 0.0) "p50" 7.5 (Stats.percentile s 50.0);
+  check Alcotest.(float 0.0) "p100" 7.5 (Stats.percentile s 100.0);
+  check Alcotest.(float 0.0) "variance" 0.0 (Stats.variance s)
+
+let test_stats_p0_p100_exact () =
+  let s = Stats.create ~reservoir:16 () in
+  (* overflow the reservoir: extremes must stay exact regardless *)
+  for i = 1 to 10_000 do
+    Stats.add s (float_of_int i)
+  done;
+  check Alcotest.(float 0.0) "p0 = exact min" 1.0 (Stats.percentile s 0.0);
+  check Alcotest.(float 0.0) "p100 = exact max" 10_000.0
+    (Stats.percentile s 100.0);
+  check Alcotest.int "count keeps the true n" 10_000 (Stats.count s)
+
+let test_stats_bounded_memory () =
+  let s = Stats.create ~reservoir:64 () in
+  for i = 1 to 100_000 do
+    Stats.add s (float_of_int i)
+  done;
+  ignore (Stats.percentile s 50.0);
+  let words = Obj.reachable_words (Obj.repr s) in
+  (* reservoir (64) + sorted cache (64) + a fixed record: far below the
+     100k floats an unbounded sample list would hold *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reachable words bounded (%d)" words)
+    true (words < 2_000);
+  (* the estimated median still lands inside the sample range *)
+  let p50 = Stats.percentile s 50.0 in
+  Alcotest.(check bool) "median in range" true (p50 >= 1.0 && p50 <= 100_000.0)
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_inclusive 100.0))
@@ -330,6 +387,11 @@ let () =
           quick "basic moments" test_stats_basic;
           quick "empty sample" test_stats_empty;
           quick "percentiles" test_stats_percentile;
+          quick "NaN excluded" test_stats_nan_excluded;
+          quick "all-NaN sample is empty" test_stats_all_nan_is_empty;
+          quick "single sample" test_stats_single_sample;
+          quick "p0/p100 exact past capacity" test_stats_p0_p100_exact;
+          quick "bounded memory" test_stats_bounded_memory;
           quick "counters" test_counter;
           QCheck_alcotest.to_alcotest prop_percentile_bounded;
           QCheck_alcotest.to_alcotest prop_mean_welford_matches_naive;
