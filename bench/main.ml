@@ -11,6 +11,7 @@
      q3          firmware-compromise sweep: software filters vs HPE
      q4          false-block rate of derived policies on benign traffic
      perf        bechamel micro-benchmarks of the engines
+     parscale    shard-per-domain scaling of the decision server
      ablation    design-choice ablations from DESIGN.md §7
 
    Run all with `dune exec bench/main.exe`, or name the targets. *)
@@ -27,6 +28,7 @@ module Hpe = Secpol_hpe
 module Campaign = Secpol_attack.Campaign
 module Scenarios = Secpol_attack.Scenarios
 module Lifecycle = Secpol_lifecycle
+module Par = Secpol_par
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -432,6 +434,39 @@ let run_bechamel tests =
       Printf.printf "%-58s %14.1f %14.1f\n" r.bench r.ns_per_op r.minor_per_op)
     rows
 
+(* the connected-car decision workload: every designed producer write and
+   consumer read, plus the Table-I spoofed writes the policy denies *)
+let car_workload () =
+  let designed =
+    List.concat_map
+      (fun (m : V.Messages.t) ->
+        let req subject op =
+          {
+            Policy.Ir.mode = "normal";
+            subject = V.Names.asset_of_node subject;
+            asset = m.asset;
+            op;
+            msg_id = Some m.id;
+          }
+        in
+        List.map (fun p -> req p Policy.Ir.Write) m.producers
+        @ List.map (fun c -> req c Policy.Ir.Read) m.consumers)
+      V.Messages.all
+  in
+  let attacks =
+    List.map
+      (fun (m : V.Messages.t) ->
+        {
+          Policy.Ir.mode = "normal";
+          subject = V.Names.asset_of_node V.Names.infotainment;
+          asset = m.asset;
+          op = Policy.Ir.Write;
+          msg_id = Some m.id;
+        })
+      V.Messages.all
+  in
+  Array.of_list (designed @ attacks)
+
 let perf () =
   section "Micro-benchmarks (Bechamel, OLS ns/op)";
   let open Bechamel in
@@ -459,37 +494,7 @@ let perf () =
      over the connected-car workload (every designed producer write and
      consumer read, plus the Table-I spoofed writes the policy denies) *)
   let db = Policy.Compile.compile_exn (V.Policy_map.baseline ()) in
-  let workload =
-    let designed =
-      List.concat_map
-        (fun (m : V.Messages.t) ->
-          let req subject op =
-            {
-              Policy.Ir.mode = "normal";
-              subject = V.Names.asset_of_node subject;
-              asset = m.asset;
-              op;
-              msg_id = Some m.id;
-            }
-          in
-          List.map (fun p -> req p Policy.Ir.Write) m.producers
-          @ List.map (fun c -> req c Policy.Ir.Read) m.consumers)
-        V.Messages.all
-    in
-    let attacks =
-      List.map
-        (fun (m : V.Messages.t) ->
-          {
-            Policy.Ir.mode = "normal";
-            subject = V.Names.asset_of_node V.Names.infotainment;
-            asset = m.asset;
-            op = Policy.Ir.Write;
-            msg_id = Some m.id;
-          })
-        V.Messages.all
-    in
-    Array.of_list (designed @ attacks)
-  in
+  let workload = car_workload () in
   let bench_engine name engine =
     let n = Array.length workload in
     let i = ref 0 in
@@ -604,6 +609,105 @@ let perf () =
   Format.printf "compiled decide latency: %a@." Secpol_obs.Histogram.pp_summary
     (Secpol_obs.Registry.histogram obs "policy.engine.decide_ns");
   telemetry := Some (Policy.Obs_json.registry obs)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type par_row = {
+  domains : int;
+  served : int;
+  elapsed_s : float;
+  throughput : float;
+}
+
+let par_rows : par_row list ref = ref []
+
+let parallel_json_file : string option ref = ref None
+
+let parscale () =
+  section "Parallel scaling: shard-per-domain decision serving (car workload)";
+  let db = Policy.Compile.compile_exn (V.Policy_map.baseline ()) in
+  let reqs = car_workload () in
+  let n = Array.length reqs in
+  let total = if !quick_mode then 50_000 else 400_000 in
+  (* strictly increasing timestamps so rate-limited rules are exercised
+     identically across runs *)
+  let work =
+    Array.init total (fun k -> (float_of_int k *. 1e-3, reqs.(k mod n)))
+  in
+  Printf.printf
+    "%d requests per run over %d distinct request shapes, partitioned by \
+     subject (host has %d core(s))\n"
+    total n (Domain.recommended_domain_count ());
+  Printf.printf "%-14s %12s %14s   %s\n" "configuration" "elapsed s" "req/s"
+    "per-shard";
+  let report name (s : Par.Serve.stats) =
+    Printf.printf "%-14s %12.4f %14.0f   %s\n" name s.elapsed_s s.throughput
+      (String.concat "+"
+         (Array.to_list (Array.map string_of_int s.per_shard)))
+  in
+  let seq = Par.Serve.run_sequential db work in
+  report "sequential" seq.Par.Serve.stats;
+  List.iter
+    (fun domains ->
+      let r = Par.Serve.run ~domains db work in
+      let s = r.Par.Serve.stats in
+      report (Printf.sprintf "%d domain(s)" domains) s;
+      if r.Par.Serve.outcomes <> seq.Par.Serve.outcomes then
+        Printf.printf
+          "  WARNING: %d-domain outcomes diverge from the sequential \
+           engine\n"
+          domains;
+      par_rows :=
+        !par_rows
+        @ [
+            {
+              domains;
+              served = s.served;
+              elapsed_s = s.elapsed_s;
+              throughput = s.throughput;
+            };
+          ])
+    [ 1; 2; 4 ]
+
+let par_scaling () =
+  match
+    ( List.find_opt (fun r -> r.domains = 1) !par_rows,
+      List.fold_left
+        (fun acc r -> match acc with
+          | Some b when b.domains >= r.domains -> acc
+          | _ -> Some r)
+        None !par_rows )
+  with
+  | Some base, Some top when base.throughput > 0.0 ->
+      Some (base, top, top.throughput /. base.throughput)
+  | _ -> None
+
+let par_report () =
+  Policy.Json.Obj
+    [
+      ("schema", Policy.Json.Int 1);
+      ("suite", Policy.Json.String "secpol-parscale");
+      ("quick", Policy.Json.Bool !quick_mode);
+      ("partition_key", Policy.Json.String "subject");
+      ( "runs",
+        Policy.Json.List
+          (List.map
+             (fun r ->
+               Policy.Json.Obj
+                 [
+                   ("domains", Policy.Json.Int r.domains);
+                   ("served", Policy.Json.Int r.served);
+                   ("elapsed_s", Policy.Json.Float r.elapsed_s);
+                   ("throughput_per_s", Policy.Json.Float r.throughput);
+                 ])
+             !par_rows) );
+      ( "scaling",
+        match par_scaling () with
+        | Some (_, _, s) -> Policy.Json.Float s
+        | None -> Policy.Json.Null );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -830,6 +934,7 @@ let targets =
     ("q3", q3);
     ("q4", q4);
     ("perf", perf);
+    ("parscale", parscale);
     ("ablation", ablation);
     ("extension", extension);
   ]
@@ -837,7 +942,8 @@ let targets =
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (*                                                                     *)
-(*   main.exe [TARGET...] [--quick] [--json FILE] [--check-speedup X]  *)
+(*   main.exe [TARGET...] [--quick] [--json FILE]                      *)
+(*            [--parallel-json FILE] [--check-speedup X]               *)
 (*                                                                     *)
 (* Exit codes: 0 ok; 1 unknown target / bad flag; 4 the compiled       *)
 (* engine's speedup over the interpreted path fell below the           *)
@@ -900,8 +1006,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let usage () =
     Printf.eprintf
-      "usage: main.exe [TARGET...] [--quick] [--json FILE] [--check-speedup \
-       X]\nknown targets: %s\n"
+      "usage: main.exe [TARGET...] [--quick] [--json FILE] [--parallel-json \
+       FILE] [--check-speedup X]\nknown targets: %s\n"
       (String.concat ", " (List.map fst targets));
     exit 1
   in
@@ -913,13 +1019,16 @@ let () =
     | "--json" :: file :: rest ->
         json_file := Some file;
         parse names rest
+    | "--parallel-json" :: file :: rest ->
+        parallel_json_file := Some file;
+        parse names rest
     | "--check-speedup" :: x :: rest -> (
         match float_of_string_opt x with
         | Some v ->
             check_speedup := Some v;
             parse names rest
         | None -> usage ())
-    | ("--json" | "--check-speedup") :: [] -> usage ()
+    | ("--json" | "--parallel-json" | "--check-speedup") :: [] -> usage ()
     | name :: rest ->
         if String.length name >= 2 && String.sub name 0 2 = "--" then usage ();
         parse (name :: names) rest
@@ -945,6 +1054,15 @@ let () =
       close_out oc;
       Printf.printf "\nwrote %s (%d benchmark results)\n" file
         (List.length !perf_rows));
+  (match !parallel_json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Policy.Json.to_string (par_report ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (%d parallel scaling runs)\n" file
+        (List.length !par_rows));
   match !check_speedup with
   | None -> ()
   | Some threshold -> (

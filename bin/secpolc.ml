@@ -250,13 +250,63 @@ let eval_cmd =
 
 (* ---------- bench ---------- *)
 
-(* Exit codes: 0 measured (and above --min-speedup when given); 1 the
-   compiled fast path fell below --min-speedup; 3 unreadable / unparsable /
+(* Exit codes: 0 measured (and above --min-speedup / --check-scaling when
+   given); 1 the compiled fast path fell below --min-speedup or parallel
+   scaling fell below --check-scaling; 3 unreadable / unparsable /
    uncompilable policy.  Coarse CPU-clock timing on purpose: this is the
    CI-friendly smoke check, bench/main.exe perf is the precise harness. *)
 
+let write_file path text =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc text)
+
+(* Shard-per-domain scaling on the same synthesised workload: one
+   Serve.run per requested domain count, timestamps strictly increasing so
+   rate-limited rules behave identically across runs. *)
+let bench_parallel ~strategy ~iters ~domains db workload =
+  let n = Array.length workload in
+  let work =
+    Array.init iters (fun k -> (float_of_int k *. 1e-3, workload.(k mod n)))
+  in
+  List.map
+    (fun d ->
+      let r = Secpol.Par.Serve.run ~domains:d ~strategy db work in
+      (d, r.Secpol.Par.Serve.stats))
+    domains
+
+let parallel_json ~name ~version ~iters runs scaling =
+  Policy.Json.Obj
+    [
+      ("policy", Policy.Json.String name);
+      ("version", Policy.Json.Int version);
+      ("iterations", Policy.Json.Int iters);
+      ("partition_key", Policy.Json.String "subject");
+      ( "runs",
+        Policy.Json.List
+          (List.map
+             (fun (d, (s : Secpol.Par.Serve.stats)) ->
+               Policy.Json.Obj
+                 [
+                   ("domains", Policy.Json.Int d);
+                   ("served", Policy.Json.Int s.served);
+                   ("elapsed_s", Policy.Json.Float s.elapsed_s);
+                   ("throughput_per_s", Policy.Json.Float s.throughput);
+                   ( "per_shard",
+                     Policy.Json.List
+                       (Array.to_list
+                          (Array.map
+                             (fun c -> Policy.Json.Int c)
+                             s.per_shard)) );
+                 ])
+             runs) );
+      ("scaling", Policy.Json.Float scaling);
+    ]
+
 let bench_cmd =
-  let run file strategy iters min_speedup json =
+  let run file strategy iters min_speedup json domains check_scaling
+      parallel_out =
     match load file with
     | Error e ->
         prerr_endline e;
@@ -374,12 +424,63 @@ let bench_cmd =
                             ( "compiled_latency_ns",
                               Policy.Obs_json.histogram h_compiled );
                           ])));
-              match min_speedup with
-              | Some m when speedup < m ->
-                  Printf.eprintf
-                    "speedup %.2fx below required minimum %.2fx\n" speedup m;
-                  1
-              | Some _ | None -> 0
+              let speedup_rc =
+                match min_speedup with
+                | Some m when speedup < m ->
+                    Printf.eprintf
+                      "speedup %.2fx below required minimum %.2fx\n" speedup m;
+                    1
+                | Some _ | None -> 0
+              in
+              let parallel_rc =
+                match domains with
+                | [] -> 0
+                | domains ->
+                    let runs =
+                      bench_parallel ~strategy ~iters ~domains db workload
+                      |> List.sort (fun (a, _) (b, _) -> compare a b)
+                    in
+                    let base_d, (base : Secpol.Par.Serve.stats) =
+                      List.hd runs
+                    in
+                    let top_d, (top : Secpol.Par.Serve.stats) =
+                      List.hd (List.rev runs)
+                    in
+                    let scaling =
+                      if base.throughput > 0.0 then
+                        top.throughput /. base.throughput
+                      else 0.0
+                    in
+                    if not json then begin
+                      List.iter
+                        (fun (d, (s : Secpol.Par.Serve.stats)) ->
+                          Printf.printf
+                            "parallel %d domain(s): %10.0f decisions/s\n" d
+                            s.throughput)
+                        runs;
+                      Printf.printf
+                        "scaling %d -> %d domains: %.2fx throughput\n" base_d
+                        top_d scaling
+                    end;
+                    (match parallel_out with
+                    | Some path ->
+                        write_file path
+                          (Policy.Json.to_string
+                             (parallel_json ~name:db.Policy.Ir.name
+                                ~version:db.Policy.Ir.version ~iters runs
+                                scaling)
+                          ^ "\n")
+                    | None -> ());
+                    (match check_scaling with
+                    | Some m when scaling < m ->
+                        Printf.eprintf
+                          "parallel scaling %.2fx below required minimum \
+                           %.2fx\n"
+                          scaling m;
+                        1
+                    | Some _ | None -> 0)
+              in
+              if speedup_rc <> 0 then speedup_rc else parallel_rc
             end)
   in
   let iters =
@@ -396,6 +497,25 @@ let bench_cmd =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the measurements as a JSON object.")
   in
+  let domains =
+    Arg.(value & opt (list int) []
+         & info [ "domains" ] ~docv:"N1,N2"
+             ~doc:"Also serve the workload through the shard-per-domain \
+                   parallel layer at each given domain count and report \
+                   throughput.")
+  in
+  let check_scaling =
+    Arg.(value & opt (some float) None
+         & info [ "check-scaling" ] ~docv:"X"
+             ~doc:"Exit 1 when the highest $(b,--domains) count's \
+                   throughput over the lowest count's is below $(docv).")
+  in
+  let parallel_out =
+    Arg.(value & opt (some string) None
+         & info [ "parallel-out" ] ~docv:"FILE"
+             ~doc:"Write the $(b,--domains) scaling measurements as JSON \
+                   to $(docv).")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Micro-benchmark the interpreted vs compiled engine on a policy."
@@ -410,7 +530,9 @@ let bench_cmd =
                given); 1 below the minimum; 3 when the policy cannot be \
                read, parsed or compiled.";
          ])
-    Term.(const run $ policy_file $ strategy_arg $ iters $ min_speedup $ json)
+    Term.(
+      const run $ policy_file $ strategy_arg $ iters $ min_speedup $ json
+      $ domains $ check_scaling $ parallel_out)
 
 (* ---------- diff ---------- *)
 

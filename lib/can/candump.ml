@@ -17,21 +17,50 @@ let line_of ?(interface = "can0") ~time (frame : Frame.t) =
   in
   Printf.sprintf "(%.6f) %s %s#%s" time interface (id_text frame.id) body
 
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
 let parse_hex_byte s i =
-  let digit c =
-    match c with
-    | '0' .. '9' -> Some (Char.code c - Char.code '0')
-    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
-    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
-    | _ -> None
-  in
-  match (digit s.[i], digit s.[i + 1]) with
+  match (hex_digit s.[i], hex_digit s.[i + 1]) with
   | Some hi, Some lo -> Some ((hi lsl 4) lor lo)
   | _ -> None
 
+(* Strict digit-by-digit parses: [int_of_string_opt] accepts OCaml literal
+   syntax — underscores ("1_2"), base prefixes, signs — none of which is
+   valid candump, so underscore-laced garbage must not slip through. *)
+let parse_hex_id s =
+  let n = String.length s in
+  if n = 0 || n > 8 then None
+  else
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        match hex_digit s.[i] with
+        | Some d -> go (i + 1) ((acc lsl 4) lor d)
+        | None -> None
+    in
+    go 0 0
+
+let parse_decimal s =
+  let n = String.length s in
+  if n = 0 || n > 3 then None
+  else
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        match s.[i] with
+        | '0' .. '9' -> go (i + 1) ((acc * 10) + Char.code s.[i] - Char.code '0')
+        | _ -> None
+    in
+    go 0 0
+
 let parse_frame_body id_part body =
   let id_value =
-    match int_of_string_opt ("0x" ^ id_part) with
+    match parse_hex_id id_part with
     | Some v -> Ok v
     | None -> Error (Printf.sprintf "bad identifier %S" id_part)
   in
@@ -48,8 +77,8 @@ let parse_frame_body id_part body =
       | id ->
           if body = "R" then Ok (Frame.remote id ~dlc:0)
           else if String.length body > 0 && body.[0] = 'R' then
-            match int_of_string_opt (String.sub body 1 (String.length body - 1)) with
-            | Some dlc when dlc >= 0 && dlc <= 8 -> Ok (Frame.remote id ~dlc)
+            match parse_decimal (String.sub body 1 (String.length body - 1)) with
+            | Some dlc when dlc <= 8 -> Ok (Frame.remote id ~dlc)
             | Some _ | None -> Error (Printf.sprintf "bad remote dlc %S" body)
           else begin
             let n = String.length body in

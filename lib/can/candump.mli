@@ -13,6 +13,10 @@ val line_of : ?interface:string -> time:float -> Frame.t -> string
 (** One log line (no trailing newline).  [interface] defaults to ["can0"]. *)
 
 val parse_line : string -> (record, string) result
+(** Strict: identifiers must be 1–8 raw hex digits and a remote DLC raw
+    decimal digits — OCaml integer-literal extras ([_], [0x]/[0o]
+    prefixes, signs) are rejected, so a line like [1_2#DE] or [12#R0_8]
+    never parses. *)
 
 val export : ?interface:string -> Trace.t -> string
 (** Every successful transmission ([Tx_ok]) of the trace, one line each,

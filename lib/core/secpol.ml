@@ -11,6 +11,8 @@
     - {!Can}: the CAN bus simulator (ISO 11898 classic frames).
     - {!Hpe}: the hardware policy engine (paper Fig. 4).
     - {!Selinux}: the SELinux-style software policy engine.
+    - {!Par}: shard-per-domain parallel serving of policy decisions and
+      HPE frame gating (one engine per domain, merged telemetry).
     - {!Vehicle}: the connected-car case study (paper §V).
     - {!Attack}: Table-I attack scenarios and campaigns.
     - {!Lifecycle}: product life-cycle and response-time models.
@@ -22,6 +24,7 @@ module Threat = Secpol_threat
 module Policy = Secpol_policy
 module Can = Secpol_can
 module Hpe = Secpol_hpe
+module Par = Secpol_par
 module Selinux = Secpol_selinux
 module Vehicle = Secpol_vehicle
 module Attack = Secpol_attack

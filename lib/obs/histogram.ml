@@ -114,6 +114,16 @@ let merge a b =
   m.invalid <- a.invalid + b.invalid;
   m
 
+let copy t =
+  let c = create ~lo:t.lo ~ratio:t.ratio ~buckets:(Array.length t.counts) () in
+  Array.blit t.counts 0 c.counts 0 (Array.length t.counts);
+  c.count <- t.count;
+  c.sum <- t.sum;
+  c.min_v <- t.min_v;
+  c.max_v <- t.max_v;
+  c.invalid <- t.invalid;
+  c
+
 let buckets t =
   Array.mapi
     (fun i n ->

@@ -48,6 +48,10 @@ val merge : t -> t -> t
 (** Bucket-wise sum; the inputs are unchanged.
     @raise Invalid_argument when the bucket layouts differ. *)
 
+val copy : t -> t
+(** Independent snapshot with the same layout and contents; further
+    observations into either histogram leave the other unchanged. *)
+
 val bucket_count : t -> int
 (** Constant for the histogram's lifetime, whatever [count] grows to. *)
 

@@ -43,6 +43,18 @@ let register_histogram t name h = Hashtbl.replace t.histograms name h
 
 let register_gauge t name f = Hashtbl.replace t.gauges name f
 
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name c -> Counter.add (counter into name) (Counter.value c))
+    src.counters;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt into.histograms name with
+      | None -> Hashtbl.replace into.histograms name (Histogram.copy h)
+      | Some existing ->
+          Hashtbl.replace into.histograms name (Histogram.merge existing h))
+    src.histograms
+
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -36,6 +36,23 @@ val register_histogram : t -> string -> Histogram.t -> unit
 
 val register_gauge : t -> string -> (unit -> float) -> unit
 
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s instruments into [into], name-wise: counter values are
+    added into [into]'s counters (created when absent), histograms are
+    bucket-merged ({!Histogram.merge}) into fresh instances — [src] is
+    never aliased, so the source registry (e.g. one owned by a worker
+    domain) can keep being written afterwards without corrupting the
+    merged view.  This is how per-shard registries aggregate into one
+    run-level registry after a parallel run.  Gauges and the event-trace
+    ring are {e not} merged: a gauge is a closure over its owner's state,
+    and trace entries are only meaningful on their own timeline — export
+    those per shard instead.  Merging replaces [into]'s histogram
+    {e bindings}; components holding direct references to a previously
+    registered histogram keep their instance, but the registry now reports
+    the merged copy.
+    @raise Invalid_argument when same-named histograms have different
+    bucket layouts. *)
+
 val counters : t -> (string * Counter.t) list
 (** Sorted by name. *)
 

@@ -1,0 +1,61 @@
+(** Sharded per-node HPE frame gating.
+
+    The paper's HPE is one enforcement point {e per CAN node}: each node's
+    hardware holds its own approved lists and rate-limiter state.  That
+    slicing is exactly shard-per-domain — gate state for a node lives in
+    precisely one shard ({!Partition.assign_by} on the node name), so
+    domains never contend and the sharded evaluation is verdict-for-verdict
+    identical to {!run_sequential}.
+
+    Each event is a frame crossing one node's gate: [Tx] (the node wants
+    the frame on the bus — checked against its write approvals and write
+    budgets) or [Rx] (a bus frame arriving — checked against its read
+    approvals, and against its exclusively-owned IDs for impersonation).
+    Nodes without a configured gate pass traffic through untouched, as an
+    unprotected ECU on a mixed bus would. *)
+
+type dir = Rx | Tx
+
+type event = {
+  time : float;  (** seconds; non-decreasing per node *)
+  node : string;
+  dir : dir;
+  id : Secpol_can.Identifier.t;
+}
+
+type verdict =
+  | Grant
+  | Block  (** not on the relevant approved list, or an Rx spoof *)
+  | Rate_block  (** write-approved but its sliding-window budget is spent *)
+
+type stats = {
+  domains : int;
+  served : int;
+  per_shard : int array;
+  elapsed_s : float;  (** wall-clock seconds *)
+  throughput : float;  (** events gated per wall-clock second *)
+  granted : int;
+  blocked : int;
+  rate_blocked : int;
+}
+
+type result = {
+  verdicts : verdict array;  (** one per event, in input order *)
+  registry : Secpol_obs.Registry.t;
+      (** merged [hpe.gate.*] counters from every shard *)
+  stats : stats;
+}
+
+val run :
+  ?domains:int ->
+  (string * Secpol_hpe.Config.t) list ->
+  event array ->
+  result
+(** [run configs events] gates every event through its node's configuration
+    (commonly built with {!Secpol_hpe.Config.of_policy}), sharding nodes
+    across [domains] (default 1) worker domains.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val run_sequential :
+  (string * Secpol_hpe.Config.t) list -> event array -> result
+(** Single-domain, no-spawn baseline; reference semantics for {!run}. *)

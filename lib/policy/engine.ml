@@ -71,8 +71,7 @@ let rated_assets_of (db : Ir.db) =
 
 let default_cache_capacity = 8192
 
-let create ?(strategy = Deny_overrides) ?(cache = true)
-    ?(cache_capacity = default_cache_capacity) ?(mode = `Compiled) ?obs db =
+let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
   if cache_capacity <= 0 then
     invalid_arg "Engine.create: cache_capacity must be positive";
   let counter name =
@@ -87,10 +86,7 @@ let create ?(strategy = Deny_overrides) ?(cache = true)
     strategy;
     mode;
     by_asset = index_by_asset db;
-    table =
-      (match mode with
-      | `Compiled -> Some (Table.compile ~strategy db)
-      | `Interpreted -> None);
+    table;
     cache = (if cache then Some (Cache.create 256) else None);
     cache_capacity;
     buckets = Hashtbl.create 32;
@@ -111,6 +107,20 @@ let create ?(strategy = Deny_overrides) ?(cache = true)
       (match obs with Some reg -> Obs.Registry.clock reg | None -> Sys.time);
     events = Option.map Obs.Registry.trace obs;
   }
+
+let create ?(strategy = Deny_overrides) ?(cache = true)
+    ?(cache_capacity = default_cache_capacity) ?(mode = `Compiled) ?obs db =
+  let table =
+    match mode with
+    | `Compiled -> Some (Table.compile ~strategy db)
+    | `Interpreted -> None
+  in
+  make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db
+
+let of_table ?(cache = true) ?(cache_capacity = default_cache_capacity) ?obs
+    table db =
+  make ~strategy:(Table.strategy table) ~cache ~cache_capacity ~mode:`Compiled
+    ~obs ~table:(Some table) db
 
 let strategy t = t.strategy
 

@@ -46,6 +46,27 @@ val create :
     readings and allocates nothing for telemetry on the decision path.
     @raise Invalid_argument if [cache_capacity <= 0]. *)
 
+val of_table :
+  ?cache:bool ->
+  ?cache_capacity:int ->
+  ?obs:Secpol_obs.Registry.t ->
+  Table.t ->
+  Ir.db ->
+  t
+(** An engine over a {e pre-compiled, shared} decision table, skipping the
+    per-engine compile.  [db] must be the database [table] was compiled
+    from (it backs introspection and the interpreted index); the strategy
+    is taken from the table.  The table is never mutated — it is frozen
+    after {!Table.compile} — so one table can back many engines at once,
+    including engines in different OCaml domains: all mutable state (the
+    decision cache, rate-limit budgets, counters) is private to each
+    engine.  This is the constructor the shard-per-domain layer
+    ({!Secpol_par}) uses: compile once, then hand every shard the same
+    table.  {!swap_db} on such an engine compiles a fresh private table
+    and detaches from the shared one (which other engines keep using
+    unaffected).
+    @raise Invalid_argument if [cache_capacity <= 0]. *)
+
 val strategy : t -> strategy
 
 val mode : t -> mode

@@ -1,4 +1,11 @@
-type t = { count : int; window_s : float; grants : float Queue.t }
+type t = {
+  count : int;
+  window_s : float;
+  grants : float Queue.t;
+  mutable newest : float;
+      (* newest recorded grant; pushes are clamped to it so the queue stays
+         sorted even if the caller's clock steps backwards *)
+}
 
 let create ~count ~window_ms =
   if count < 0 then invalid_arg "Rate_window.create: negative count";
@@ -8,14 +15,16 @@ let create ~count ~window_ms =
     count;
     window_s = float_of_int window_ms /. 1000.0;
     grants = Queue.create ();
+    newest = neg_infinity;
   }
 
 let of_rate (r : Ast.rate) = create ~count:r.count ~window_ms:r.window_ms
 
 (* A grant at [g] is live while [now -. g < window_s]: it counts against
    the budget up to, but excluding, the instant exactly one window later.
-   Grants are consumed in time order, so expiry only ever removes from the
-   front — each timestamp is pushed and popped once, O(1) amortised. *)
+   Grants are recorded in non-decreasing time order ([consume] clamps), so
+   expiry only ever removes from the front — each timestamp is pushed and
+   popped once, O(1) amortised. *)
 let prune t ~now =
   let horizon = now -. t.window_s in
   while (not (Queue.is_empty t.grants)) && Queue.peek t.grants <= horizon do
@@ -26,7 +35,14 @@ let available t ~now =
   prune t ~now;
   Queue.length t.grants < t.count
 
-let consume t ~now = Queue.push now t.grants
+(* Clamp a backwards clock step to the newest grant already recorded: the
+   queue must stay sorted for [prune]'s front-only expiry to be exact.  A
+   regressed grant therefore expires no earlier than the grants issued
+   before it — the conservative reading of a clock fault. *)
+let consume t ~now =
+  let stamp = if now > t.newest then now else t.newest in
+  t.newest <- stamp;
+  Queue.push stamp t.grants
 
 let admit t ~now =
   if available t ~now then begin
@@ -39,4 +55,6 @@ let in_window t ~now =
   prune t ~now;
   Queue.length t.grants
 
-let reset t = Queue.clear t.grants
+let reset t =
+  Queue.clear t.grants;
+  t.newest <- neg_infinity

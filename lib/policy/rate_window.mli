@@ -13,10 +13,18 @@
     - admission at a given [now] first expires old grants, then admits
       iff fewer than [count] live grants remain, consuming one slot.
 
-    Timestamps must be non-decreasing across calls (simulation or
-    monotonic time); expiry then only removes from the front of the
-    grant queue, making every operation O(1) amortised — not O(live
-    grants) per admit. *)
+    {b Clock assumption.}  Timestamps are expected to be non-decreasing
+    across calls (simulation or monotonic time); expiry then only removes
+    from the front of the grant queue, making every operation O(1)
+    amortised — not O(live grants) per admit.  The window is defensive
+    about violations: a grant recorded at a [now] earlier than the newest
+    recorded grant is clamped {e up} to that newest timestamp, so the
+    queue stays sorted and front-only pruning remains exact.  A backwards
+    clock step therefore never lets stale grants linger past their
+    blocker's expiry, and never lets a regressed grant expire earlier than
+    the grants issued before it.  [prune]/[available]/[in_window] at a
+    regressed [now] simply see a smaller horizon and expire nothing — the
+    conservative (fail-closed) reading of a clock fault. *)
 
 type t
 
@@ -32,10 +40,14 @@ val available : t -> now:float -> bool
 (** Room in the window at [now]?  Does not consume. *)
 
 val consume : t -> now:float -> unit
-(** Record a grant at [now] unconditionally. *)
+(** Record a grant at [now] unconditionally.  When [now] is earlier than
+    the newest recorded grant (a backwards clock step), the grant is
+    stamped with that newest timestamp instead — see the clock assumption
+    above. *)
 
 val in_window : t -> now:float -> int
 (** Live grants at [now]. *)
 
 val reset : t -> unit
-(** Forget consumption history; the budget itself is immutable. *)
+(** Forget consumption history (including the clock-clamp watermark); the
+    budget itself is immutable. *)

@@ -69,12 +69,19 @@ type verdict =
       (** head rule matches unconditionally: precomputed decision *)
   | Scan of crule array
 
+(* Frozen after [compile]: every field (including the hashtables) is
+   populated during compilation and only ever read afterwards, which is
+   what makes a compiled table safe to share read-only across domains
+   (see {!Secpol_par}). *)
 type t = {
+  strategy : strategy;
   default : Ast.decision;
   exact : verdict SH.t;
   wildcard : verdict AH.t;
   mode_ids : int Mode_tbl.t;
 }
+
+let strategy t = t.strategy
 
 let default t = t.default
 
@@ -193,7 +200,7 @@ let compile ~strategy (db : Ir.db) =
       | [] -> ()
       | any_rules -> AH.replace wildcard key (to_verdict any_rules))
     (List.rev !group_order);
-  { default = db.default; exact; wildcard; mode_ids }
+  { strategy; default = db.default; exact; wildcard; mode_ids }
 
 (* ------------------------------------------------------------------ *)
 (* The fast path                                                       *)

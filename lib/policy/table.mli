@@ -25,7 +25,14 @@
 
     Rate-limited rules cannot be folded (their outcome is time-dependent);
     buckets containing one keep the scan form and consult the engine's
-    budget through the callbacks passed to {!decide}. *)
+    budget through the callbacks passed to {!decide}.
+
+    {b Immutability.}  A table is frozen once {!compile} returns: no
+    operation in this interface (or in the implementation) mutates it, so
+    one compiled table can be shared {e read-only} by any number of
+    engines — including engines running in different OCaml domains
+    ({!Secpol_par} relies on this; per-engine mutable state such as decision
+    caches and rate budgets lives in {!Engine}, never here). *)
 
 type strategy = Deny_overrides | Allow_overrides | First_match
 (** Re-exported by {!Engine.strategy}; defined here so compilation does not
@@ -36,6 +43,10 @@ type t
 val compile : strategy:strategy -> Ir.db -> t
 (** Lower [db] for [strategy].  Observable semantics of {!decide} are
     identical to the interpreted scan for the same strategy. *)
+
+val strategy : t -> strategy
+(** The strategy the table was compiled for (folded into bucket order at
+    compile time, so it cannot be changed afterwards). *)
 
 val default : t -> Ast.decision
 

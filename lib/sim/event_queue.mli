@@ -21,9 +21,12 @@ val peek_time : 'a t -> float option
 (** Earliest scheduled time, if any. *)
 
 val pop : 'a t -> (float * 'a) option
-(** Remove and return the earliest event. *)
+(** Remove and return the earliest event.  The queue drops its reference
+    to the popped payload immediately — long-running simulations cannot
+    leak popped payloads through vacated heap slots. *)
 
 val clear : 'a t -> unit
+(** Empty the queue, releasing every pending payload. *)
 
 val drain : 'a t -> (float * 'a) list
 (** Pop everything, in firing order. *)

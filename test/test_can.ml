@@ -559,6 +559,37 @@ let test_candump_parse () =
       "(1.0) can0 123#001122334455667788";
     ]
 
+let test_candump_parse_strict_digits () =
+  (* int_of_string's literal extras (underscores, base prefixes, signs)
+     are not valid candump and must not slip through *)
+  List.iter
+    (fun bad ->
+      match Candump.parse_line bad with
+      | Ok _ -> Alcotest.fail ("accepted " ^ bad)
+      | Error _ -> ())
+    [
+      "(1.0) can0 1_2#DE";
+      "(1.0) can0 0x12#DE";
+      "(1.0) can0 +12#DE";
+      "(1.0) can0 #DE";
+      "(1.0) can0 123456789#DE";
+      "(1.0) can0 12#R0_8";
+      "(1.0) can0 12#R0x2";
+      "(1.0) can0 12#R-1";
+      "(1.0) can0 12#R12345";
+    ];
+  (* the strict parsers still take the full legitimate range *)
+  (match Candump.parse_line "(1.0) can0 1FFFFFFF#DE" with
+  | Ok r ->
+      Alcotest.(check bool) "max extended id" true
+        (Frame.equal r.Candump.frame (Frame.data_ext 0x1FFFFFFF "\xDE"))
+  | Error e -> Alcotest.fail e);
+  match Candump.parse_line "(1.0) can0 12#R8" with
+  | Ok r ->
+      Alcotest.(check bool) "remote dlc 8" true
+        (Frame.equal r.Candump.frame (Frame.remote (Identifier.standard 0x12) ~dlc:8))
+  | Error e -> Alcotest.fail e
+
 let prop_candump_roundtrip =
   QCheck.Test.make ~name:"candump line round trip" ~count:300
     QCheck.(make Gen.(pair frame_gen (float_bound_inclusive 1e6)))
@@ -664,6 +695,7 @@ let () =
         [
           quick "line format" test_candump_line_format;
           quick "parsing" test_candump_parse;
+          quick "strict digit parsing" test_candump_parse_strict_digits;
           quick "export/import/replay" test_candump_export_import_replay;
           QCheck_alcotest.to_alcotest prop_candump_roundtrip;
         ] );

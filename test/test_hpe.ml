@@ -259,6 +259,20 @@ let test_rate_limiter_boundary () =
   Alcotest.(check bool) "admitted exactly at the boundary" true
     (Rate_limiter.admit rl ~now:1.0 ~msg_id:0x200)
 
+let test_rate_limiter_backwards_clock () =
+  (* hardware budgets inherit Rate_window's clamp: a backwards clock step
+     keeps live grants blocking until their original expiry *)
+  let rl = Rate_limiter.create () in
+  Rate_limiter.set rl ~msg_id:0x200 (rate 1 1000);
+  Alcotest.(check bool) "grant at 5" true
+    (Rate_limiter.admit rl ~now:5.0 ~msg_id:0x200);
+  Alcotest.(check bool) "blocked at the regressed clock" false
+    (Rate_limiter.admit rl ~now:0.0 ~msg_id:0x200);
+  Alcotest.(check bool) "blocked just before expiry" false
+    (Rate_limiter.admit rl ~now:5.999 ~msg_id:0x200);
+  Alcotest.(check bool) "admitted once the grant expires" true
+    (Rate_limiter.admit rl ~now:6.0 ~msg_id:0x200)
+
 let test_rate_limiter_config () =
   let rl = Rate_limiter.create () in
   Rate_limiter.set rl ~msg_id:1 (rate 1 100);
@@ -456,6 +470,7 @@ let () =
         [
           quick "sliding window" test_rate_limiter_window;
           quick "window boundary" test_rate_limiter_boundary;
+          quick "backwards clock" test_rate_limiter_backwards_clock;
           quick "configuration" test_rate_limiter_config;
           quick "write shaping on a node" test_hpe_write_rate_shaping;
         ] );

@@ -182,6 +182,43 @@ let test_registry_clock () =
   let reg = Registry.create ~clock:(fun () -> !t) () in
   check Alcotest.(float 0.0) "injected clock" 5.0 (Registry.now reg)
 
+let test_registry_merge_into () =
+  let into = Registry.create () in
+  Counter.add (Registry.counter into "shared.count") 2;
+  let src = Registry.create () in
+  Counter.add (Registry.counter src "shared.count") 3;
+  Counter.add (Registry.counter src "src.only") 1;
+  ignore (Registry.counter src "src.zero");
+  let h = Registry.histogram src "src.lat" in
+  List.iter (Histogram.observe h) [ 1.0; 2.0 ];
+  Registry.merge_into ~into src;
+  check
+    Alcotest.(list (pair string int))
+    "counters summed, zero-valued names kept"
+    [ ("shared.count", 5); ("src.only", 1); ("src.zero", 0) ]
+    (List.map
+       (fun (n, c) -> (n, Counter.value c))
+       (Registry.counters into));
+  (* the merged histogram is a copy: the source stays independent *)
+  let merged = Registry.histogram into "src.lat" in
+  check Alcotest.int "histogram merged" 2 (Histogram.count merged);
+  Histogram.observe h 3.0;
+  check Alcotest.int "source writes stay out of the merge" 2
+    (Histogram.count merged);
+  (* merging again folds the new state in *)
+  Registry.merge_into ~into src;
+  check Alcotest.int "second merge accumulates" 5
+    (Histogram.count (Registry.histogram into "src.lat"))
+
+let test_registry_merge_layout_mismatch () =
+  let into = Registry.create () in
+  ignore (Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:8 into "h");
+  let src = Registry.create () in
+  ignore (Registry.histogram ~lo:1.0 ~ratio:2.0 ~buckets:16 src "h");
+  match Registry.merge_into ~into src with
+  | () -> Alcotest.fail "merged histograms with different layouts"
+  | exception Invalid_argument _ -> ()
+
 (* ---------- JSON round trip ---------- *)
 
 let test_export_json_round_trip () =
@@ -255,6 +292,8 @@ let () =
         [
           quick "find or create" test_registry_find_or_create;
           quick "injected clock" test_registry_clock;
+          quick "merge_into" test_registry_merge_into;
+          quick "merge layout mismatch" test_registry_merge_layout_mismatch;
         ] );
       ( "export",
         [

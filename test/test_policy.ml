@@ -807,6 +807,37 @@ let test_rate_window_boundary () =
   Alcotest.(check bool) "allowed exactly at the boundary" true
     (Engine.permitted ~now:1.0 e rated_req)
 
+let test_rate_backwards_clock () =
+  let e =
+    Engine.create
+      (compile_ok
+         "policy \"r\" version 1 { default deny; asset lock { allow write \
+          from telematics rate 1 per 1000; } }")
+  in
+  Alcotest.(check bool) "grant at 5" true
+    (Engine.permitted ~now:5.0 e rated_req);
+  (* the caller's clock steps backwards: the live grant must keep blocking
+     (fail-closed), not linger forever nor vanish early *)
+  Alcotest.(check bool) "denied at the regressed clock" false
+    (Engine.permitted ~now:0.0 e rated_req);
+  Alcotest.(check bool) "still denied just before expiry" false
+    (Engine.permitted ~now:5.999 e rated_req);
+  Alcotest.(check bool) "allowed once the grant expires" true
+    (Engine.permitted ~now:6.0 e rated_req)
+
+let test_rate_window_clamp () =
+  let module W = Secpol_policy.Rate_window in
+  let w = W.create ~count:2 ~window_ms:1000 in
+  W.consume w ~now:5.0;
+  (* a regressed consume is stamped at the newest recorded grant (5.0),
+     keeping the queue sorted for front-only pruning *)
+  W.consume w ~now:3.0;
+  check Alcotest.int "both live at 5.5" 2 (W.in_window w ~now:5.5);
+  check Alcotest.int "both expire together at 6" 0 (W.in_window w ~now:6.0);
+  W.reset w;
+  (* reset clears the watermark too: early timestamps are usable again *)
+  Alcotest.(check bool) "fresh window after reset" true (W.admit w ~now:0.0)
+
 let test_rate_per_subject () =
   let e =
     Engine.create
@@ -1256,6 +1287,8 @@ let () =
           quick "validation" test_rate_rejects_bad;
           quick "sliding window" test_rate_sliding_window;
           quick "window boundary" test_rate_window_boundary;
+          quick "backwards clock" test_rate_backwards_clock;
+          quick "backwards-clock clamp" test_rate_window_clamp;
           quick "per subject" test_rate_per_subject;
           quick "cache bypass" test_rate_bypasses_cache;
           quick "reset on update" test_rate_reset_on_swap;

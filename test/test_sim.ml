@@ -160,6 +160,34 @@ let prop_queue_sorted =
       List.length drained = List.length events
       && List.sort compare times = times)
 
+(* Regression: a popped entry must not linger in the heap's vacated slot,
+   or long-lived queues pin every payload ever scheduled (a space leak).
+   Weak pointers observe collectability directly. *)
+let test_queue_pop_releases_payload () =
+  let q = Event_queue.create () in
+  let weak = Weak.create 1 in
+  (let payload = Bytes.make 64 'x' in
+   Weak.set weak 0 (Some payload);
+   Event_queue.add q ~time:1.0 payload;
+   Event_queue.add q ~time:2.0 (Bytes.make 64 'y'));
+  (match Event_queue.pop q with
+  | Some (_, p) -> ignore (Sys.opaque_identity p)
+  | None -> Alcotest.fail "expected event");
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payload collected" false (Weak.check weak 0);
+  (* the queue itself stays alive and intact *)
+  check Alcotest.int "remaining entry" 1 (Event_queue.length q)
+
+let test_queue_clear_releases_payloads () =
+  let q = Event_queue.create () in
+  let weak = Weak.create 1 in
+  (let payload = Bytes.make 64 'z' in
+   Weak.set weak 0 (Some payload);
+   Event_queue.add q ~time:1.0 payload);
+  Event_queue.clear q;
+  Gc.full_major ();
+  Alcotest.(check bool) "cleared payload collected" false (Weak.check weak 0)
+
 (* ---------- Engine ---------- *)
 
 let test_engine_schedule_order () =
@@ -369,6 +397,8 @@ let () =
           quick "peek/pop" test_queue_peek_pop;
           quick "NaN rejected" test_queue_nan_rejected;
           quick "clear" test_queue_clear;
+          quick "pop releases payload" test_queue_pop_releases_payload;
+          quick "clear releases payloads" test_queue_clear_releases_payloads;
           QCheck_alcotest.to_alcotest prop_queue_sorted;
         ] );
       ( "engine",
