@@ -307,6 +307,78 @@ let replay_cmd =
        ~doc:"Replay a candump log onto the car's bus from an alien station.")
     Term.(const run $ enforcement $ seed $ file)
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let module F = Secpol.Faults in
+  let run seed plan_name seconds report_out =
+    match F.Plan.of_name ~seed ~horizon:seconds plan_name with
+    | None ->
+        Printf.eprintf "unknown plan %S (one of: %s)\n" plan_name
+          (String.concat ", " F.Plan.named);
+        1
+    | Some plan ->
+        Format.printf "%a" F.Plan.pp plan;
+        let outcome = F.Chaos.run ~seed ~plan () in
+        (match report_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () ->
+                output_string oc (F.Report.to_string outcome.F.Chaos.report);
+                output_char oc '\n');
+            Printf.printf "fault report written to %s\n" file);
+        let car = F.Harness.car outcome.F.Chaos.harness in
+        Format.printf "final state: %a@." V.State.pp car.Car.state;
+        (match F.Harness.failsafe_entered outcome.F.Chaos.harness with
+        | None -> ()
+        | Some at -> Printf.printf "entered fail-safe at %.4fs\n" at);
+        List.iter
+          (fun (v : F.Invariant.violation) ->
+            Printf.printf "VIOLATION [%8.4f] %s: %s\n" v.F.Invariant.time
+              v.F.Invariant.check v.F.Invariant.detail)
+          (F.Invariant.violations outcome.F.Chaos.checker);
+        if outcome.F.Chaos.passed then begin
+          Printf.printf "chaos %s: all invariants held\n" plan.F.Plan.name;
+          0
+        end
+        else begin
+          Printf.printf "chaos %s: INVARIANT VIOLATIONS\n" plan.F.Plan.name;
+          4
+        end
+  in
+  let plan_name =
+    Arg.(
+      value
+      & opt string "stall"
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:
+            "Fault plan: stall, storm, partition, crash, hpe-corruption, \
+             skewed-stall, or mixed (seed-generated).")
+  in
+  let seconds =
+    Arg.(
+      value & opt float 4.0
+      & info [ "t"; "seconds" ] ~docv:"S" ~doc:"Campaign horizon.")
+  in
+  let report_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the fault report (per-fault MTTR, watchdog MTTD, \
+             fail-safe latency, violations, telemetry) to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a fault-injection campaign against the HPE-enforced car. \
+          Exit 0 when every safety invariant held, 4 on violations.")
+    Term.(const run $ seed $ plan_name $ seconds $ report_out)
+
 let () =
   let info =
     Cmd.info "carsim" ~version:"1.0.0"
@@ -317,5 +389,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; table1_cmd; run_cmd; attack_cmd; campaign_cmd; policy_cmd;
-            sniff_cmd; replay_cmd;
+            sniff_cmd; replay_cmd; chaos_cmd;
           ]))

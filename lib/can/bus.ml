@@ -22,7 +22,7 @@ type pending = {
 type t = {
   sim : Engine.t;
   bitrate : float;
-  corrupt_prob : float;
+  mutable corrupt_prob : float;
   max_retries : int;
   rng : Rng.t;
   trace : Trace.t;
@@ -73,7 +73,32 @@ let attach t ~name ~deliver ~on_wire_error =
     invalid_arg (Printf.sprintf "Bus.attach: duplicate station %S" name);
   t.stations <- t.stations @ [ { name; deliver; on_wire_error } ]
 
-let detach t name = t.stations <- List.filter (fun s -> s.name <> name) t.stations
+(* Detaching a station takes its queued frames out of arbitration: the
+   hardware is gone, so nothing can clock them onto the wire.  Each dropped
+   frame is accounted as abandoned (traced, counted, outcome reported) so
+   [pending]/[frames_sent]/[abandoned] stay consistent across a detach.  A
+   frame of the detached station that is already mid-transmission is left
+   alone — it is on the wire and completes physically. *)
+let detach t name =
+  t.stations <- List.filter (fun s -> s.name <> name) t.stations;
+  let dropped, kept =
+    List.partition (fun (p : pending) -> p.sender = name) t.queue
+  in
+  t.queue <- kept;
+  let now = Engine.now t.sim in
+  List.iter
+    (fun (p : pending) ->
+      Obs.Counter.incr t.c_abandoned;
+      Trace.record t.trace ~time:now ~node:p.sender p.frame Trace.Tx_abandoned;
+      p.on_outcome Abandoned)
+    dropped
+
+let corrupt_prob t = t.corrupt_prob
+
+let set_corrupt_prob t p =
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Bus.set_corrupt_prob: probability outside [0,1]";
+  t.corrupt_prob <- p
 
 let stations t = List.map (fun s -> s.name) t.stations
 

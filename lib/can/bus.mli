@@ -39,6 +39,19 @@ val attach :
     @raise Invalid_argument on a duplicate station name. *)
 
 val detach : t -> string -> unit
+(** Remove a station.  Frames the station still had queued for arbitration
+    are dropped and accounted as abandoned ([Tx_abandoned] trace entries,
+    the [abandoned] counter, and each frame's [on_outcome]); a frame of the
+    station already on the wire completes normally.  Unknown names are
+    ignored. *)
+
+val corrupt_prob : t -> float
+
+val set_corrupt_prob : t -> float -> unit
+(** Change the per-transmission line-error probability at run time — the
+    injection point for frame-corruption bursts (fault campaigns raise it
+    for a bounded window, then restore it).
+    @raise Invalid_argument outside [0,1]. *)
 
 val stations : t -> string list
 

@@ -1,32 +1,94 @@
 module Obs = Secpol_obs
+module Engine = Secpol_sim.Engine
 
 type t = {
   name : string;
   a : Bus.t;
   b : Bus.t;
+  max_in_flight : int;
+  retry_backoff : float;
+  max_retries : int;
+  forward_timeout : float;
+  mutable in_flight : int;
   forwarded : Obs.Counter.t;
   dropped : Obs.Counter.t;
+  shed : Obs.Counter.t;
+  retries : Obs.Counter.t;
 }
+
+(* One forwarding attempt.  The bus reports the frame's final fate through
+   [on_outcome]; on [Abandoned] (the destination segment is saturated or
+   storming with errors) the gateway retries with exponential backoff until
+   its retry budget or the forwarding deadline runs out, then sheds the
+   frame.  Bounded retries + a deadline are what keep a partitioned or
+   jammed segment from queueing the gateway's memory without limit. *)
+let rec submit t ~dst ~attempt ~deadline frame =
+  Bus.transmit dst ~sender:t.name frame ~on_outcome:(function
+    | Bus.Sent ->
+        t.in_flight <- t.in_flight - 1;
+        Obs.Counter.incr t.forwarded
+    | Bus.Retried _ -> (* bus-level retransmission; final fate still due *) ()
+    | Bus.Abandoned ->
+        let sim = Bus.sim dst in
+        let backoff =
+          t.retry_backoff *. Float.of_int (1 lsl Stdlib.min attempt 16)
+        in
+        if attempt < t.max_retries && Engine.now sim +. backoff <= deadline
+        then begin
+          Obs.Counter.incr t.retries;
+          Engine.schedule_in sim ~delay:backoff (fun sim ->
+              if Engine.now sim <= deadline then
+                submit t ~dst ~attempt:(attempt + 1) ~deadline frame
+              else begin
+                t.in_flight <- t.in_flight - 1;
+                Obs.Counter.incr t.shed
+              end)
+        end
+        else begin
+          t.in_flight <- t.in_flight - 1;
+          Obs.Counter.incr t.shed
+        end)
 
 let bridge t ~dst ~predicate wire =
   match Transceiver.receive wire with
   | Transceiver.Line_error _ -> ()
   | Transceiver.Frame frame ->
-      if predicate frame then begin
-        Obs.Counter.incr t.forwarded;
-        Bus.transmit dst ~sender:t.name frame
+      if not (predicate frame) then Obs.Counter.incr t.dropped
+      else if t.in_flight >= t.max_in_flight then
+        (* shed at admission: the gateway is already carrying its limit,
+           so new load is dropped instead of queued *)
+        Obs.Counter.incr t.shed
+      else begin
+        t.in_flight <- t.in_flight + 1;
+        let deadline = Engine.now (Bus.sim dst) +. t.forward_timeout in
+        submit t ~dst ~attempt:0 ~deadline frame
       end
-      else Obs.Counter.incr t.dropped
 
-let connect ~name ~a ~b ~forward_a_to_b ~forward_b_to_a =
+let connect ?(max_in_flight = 64) ?(retry_backoff = 0.002) ?(max_retries = 3)
+    ?(forward_timeout = 0.25) ~name ~a ~b ~forward_a_to_b ~forward_b_to_a () =
   if a == b then invalid_arg "Gateway.connect: both sides are the same bus";
+  if max_in_flight <= 0 then
+    invalid_arg "Gateway.connect: max_in_flight must be positive";
+  if retry_backoff <= 0.0 then
+    invalid_arg "Gateway.connect: retry_backoff must be positive";
+  if max_retries < 0 then
+    invalid_arg "Gateway.connect: max_retries must be non-negative";
+  if forward_timeout <= 0.0 then
+    invalid_arg "Gateway.connect: forward_timeout must be positive";
   let t =
     {
       name;
       a;
       b;
+      max_in_flight;
+      retry_backoff;
+      max_retries;
+      forward_timeout;
+      in_flight = 0;
       forwarded = Obs.Counter.create ();
       dropped = Obs.Counter.create ();
+      shed = Obs.Counter.create ();
+      retries = Obs.Counter.create ();
     }
   in
   Bus.attach a ~name
@@ -49,13 +111,25 @@ let forwarded t = Obs.Counter.value t.forwarded
 
 let dropped t = Obs.Counter.value t.dropped
 
+let shed t = Obs.Counter.value t.shed
+
+let retries t = Obs.Counter.value t.retries
+
+let in_flight t = t.in_flight
+
 let attach_obs t reg =
-  Obs.Registry.register_counter reg
-    (Printf.sprintf "can.gateway.%s.forwarded" t.name)
-    t.forwarded;
-  Obs.Registry.register_counter reg
-    (Printf.sprintf "can.gateway.%s.dropped" t.name)
-    t.dropped
+  let register suffix c =
+    Obs.Registry.register_counter reg
+      (Printf.sprintf "can.gateway.%s.%s" t.name suffix)
+      c
+  in
+  register "forwarded" t.forwarded;
+  register "dropped" t.dropped;
+  register "shed" t.shed;
+  register "retries" t.retries;
+  Obs.Registry.register_gauge reg
+    (Printf.sprintf "can.gateway.%s.in_flight" t.name)
+    (fun () -> float_of_int t.in_flight)
 
 let disconnect t =
   Bus.detach t.a t.name;

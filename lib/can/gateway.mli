@@ -7,31 +7,64 @@
     store-and-forward semantics; it is deliberately ID-granular, not
     sender-granular — a frame whose ID legitimately crosses is forwarded
     regardless of who injected it, which is exactly the residual weakness
-    the per-node HPE addresses (shown in the ablation bench). *)
+    the per-node HPE addresses (shown in the ablation bench).
+
+    Forwarding is bounded on purpose: at most [max_in_flight] frames are in
+    forwarding at once, a frame the destination bus abandons is retried
+    with exponential backoff at most [max_retries] times, and every frame
+    carries a forwarding deadline ([forward_timeout] from admission).  When
+    any bound is exceeded the frame is {e shed} — dropped and counted —
+    so a partitioned or error-storming destination segment degrades the
+    gateway's throughput instead of growing its queue without limit. *)
 
 type t
 
 val connect :
+  ?max_in_flight:int ->
+  ?retry_backoff:float ->
+  ?max_retries:int ->
+  ?forward_timeout:float ->
   name:string ->
   a:Bus.t ->
   b:Bus.t ->
   forward_a_to_b:(Frame.t -> bool) ->
   forward_b_to_a:(Frame.t -> bool) ->
+  unit ->
   t
 (** Attach a station named [name] to both buses.  Every decodable frame
     seen on one side is forwarded to the other when its predicate allows.
-    @raise Invalid_argument if the name is taken on either bus, or the two
-    arguments are the same bus. *)
+
+    [max_in_flight] (default 64) bounds concurrent forwards; [retry_backoff]
+    (default 2 ms, doubling per attempt) and [max_retries] (default 3)
+    shape gateway-level retries after a bus-level abandonment;
+    [forward_timeout] (default 250 ms) is the per-frame forwarding
+    deadline.
+    @raise Invalid_argument if the name is taken on either bus, the two
+    arguments are the same bus, or a bound is non-positive. *)
 
 val name : t -> string
 
 val forwarded : t -> int
-(** Frames bridged (both directions). *)
+(** Frames bridged (both directions) — counted on confirmed delivery, not
+    on admission. *)
 
 val dropped : t -> int
 (** Frames the predicates refused. *)
 
+val shed : t -> int
+(** Whitelisted frames dropped by overload protection: admission refused at
+    the in-flight bound, retry budget exhausted, or forwarding deadline
+    passed. *)
+
+val retries : t -> int
+(** Gateway-level re-submissions after the destination bus abandoned a
+    forward (distinct from the bus's own wire-error retransmissions). *)
+
+val in_flight : t -> int
+(** Forwards currently outstanding (admitted, no final fate yet). *)
+
 val attach_obs : t -> Secpol_obs.Registry.t -> unit
-(** Export the forwarded/dropped counters under [can.gateway.<name>.*]. *)
+(** Export the forwarded/dropped/shed/retries counters and the [in_flight]
+    gauge under [can.gateway.<name>.*]. *)
 
 val disconnect : t -> unit

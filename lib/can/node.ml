@@ -9,6 +9,7 @@ type t = {
   mutable on_receive : (t -> sender:string -> Frame.t -> unit) option;
   mutable received : Frame.t list; (* newest first *)
   mutable received_count : int;
+  mutable down : bool; (* crashed: no tx, no rx until restart *)
 }
 
 let trace_now t event frame =
@@ -22,7 +23,9 @@ let trace_rx t ~sender event frame =
   Trace.record (Bus.trace t.bus) ~time ~node:sender frame event
 
 let rec deliver t ~time:_ ~sender wire =
-  match t.rx_gate with
+  if t.down then ()
+  else
+    match t.rx_gate with
   | Some gate -> (
       (* The read gate samples the wire before the controller: decode just
          for the check; line errors still reach the controller so error
@@ -58,6 +61,7 @@ let create ?(filters = []) ~name bus =
       on_receive = None;
       received = [];
       received_count = 0;
+      down = false;
     }
   in
   Bus.attach bus ~name
@@ -87,6 +91,8 @@ let send t ?(on_outcome = fun _ -> ()) frame =
     trace_now t Trace.Tx_refused frame;
     false
   in
+  if t.down then false
+  else
   match t.tx_gate with
   | Some gate when not (gate.check frame) -> refused ()
   | Some _ | None ->
@@ -108,3 +114,27 @@ let received_count t = t.received_count
 let last_received t = match t.received with [] -> None | f :: _ -> Some f
 
 let detach t = Bus.detach t.bus t.name
+
+let attached t = List.mem t.name (Bus.stations t.bus)
+
+let reattach t =
+  if not (attached t) then
+    Bus.attach t.bus ~name:t.name
+      ~deliver:(fun ~time ~sender wire -> deliver t ~time ~sender wire)
+      ~on_wire_error:(fun () -> Controller.note_wire_error t.controller)
+
+let is_down t = t.down
+
+let set_down t down = t.down <- down
+
+(* Crash: the station disappears from the bus (its queued frames are
+   dropped by [Bus.detach]) and refuses all traffic.  Restart: rejoin the
+   bus with error counters reset, as a power-cycled controller would. *)
+let crash t =
+  t.down <- true;
+  detach t
+
+let restart t =
+  t.down <- false;
+  Errors.reset (Controller.errors t.controller);
+  reattach t

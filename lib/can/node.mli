@@ -47,4 +47,28 @@ val received_count : t -> int
 val last_received : t -> Frame.t option
 
 val detach : t -> unit
-(** Remove the node from the bus (it stops receiving). *)
+(** Remove the node from the bus (it stops receiving); its frames still
+    queued for arbitration are dropped — see {!Bus.detach}. *)
+
+val reattach : t -> unit
+(** Rejoin the bus after a {!detach}; a no-op while attached. *)
+
+val attached : t -> bool
+
+val crash : t -> unit
+(** Fault injection: the node loses power.  It detaches from the bus
+    (queued frames dropped as abandoned) and both [send] and delivery are
+    inert until {!restart}. *)
+
+val restart : t -> unit
+(** Recover from {!crash}: error counters reset (power-cycled controller)
+    and the node rejoins the bus.  Gates, filters and the processor
+    callback survive — they are hardware and boot firmware, not volatile
+    state. *)
+
+val is_down : t -> bool
+
+val set_down : t -> bool -> unit
+(** Raw control over the power flag, for faults that are not full crashes
+    (e.g. a partitioned segment: the node is alive but cut off, so its
+    error counters survive the healing where {!restart} would reset them). *)

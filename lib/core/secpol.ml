@@ -14,6 +14,7 @@
     - {!Par}: shard-per-domain parallel serving of policy decisions and
       HPE frame gating (one engine per domain, merged telemetry).
     - {!Vehicle}: the connected-car case study (paper §V).
+    - {!Faults}: fault injection, fail-safe watchdogs and chaos campaigns.
     - {!Attack}: Table-I attack scenarios and campaigns.
     - {!Lifecycle}: product life-cycle and response-time models.
     - {!Pipeline}: the end-to-end modelling -> policy -> deployment flow. *)
@@ -27,6 +28,7 @@ module Hpe = Secpol_hpe
 module Par = Secpol_par
 module Selinux = Secpol_selinux
 module Vehicle = Secpol_vehicle
+module Faults = Secpol_faults
 module Attack = Secpol_attack
 module Lifecycle = Secpol_lifecycle
 module Pipeline = Pipeline

@@ -1,0 +1,25 @@
+(** A complete chaos campaign: build, fault, watch, verify, report.
+
+    [run] drives one HPE-enforced car through one fault plan in fixed
+    slices, checking the {!Invariant} suite at every slice boundary, then
+    runs a never-faulted reference car to the same horizon for the
+    convergence check and emits the {!Report} JSON.  Fully deterministic
+    in [(seed, plan)]. *)
+
+type outcome = {
+  harness : Harness.t;
+  checker : Invariant.t;
+  report : Secpol_policy.Json.t;
+  passed : bool;
+}
+
+val run :
+  ?watchdog_period:float ->
+  ?watchdog_deadline:float ->
+  ?slice:float ->
+  seed:int64 ->
+  plan:Plan.t ->
+  unit ->
+  outcome
+(** [slice] defaults to 50 ms of simulated time between invariant sweeps.
+    @raise Invalid_argument on a non-positive slice or an invalid plan. *)

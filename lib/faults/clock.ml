@@ -1,0 +1,23 @@
+module Engine = Secpol_sim.Engine
+
+type t = {
+  sim : Engine.t;
+  mutable factor : float;
+  mutable base_sim : float;
+  mutable base_local : float;
+}
+
+let create sim =
+  { sim; factor = 1.0; base_sim = Engine.now sim; base_local = Engine.now sim }
+
+let now t = t.base_local +. ((Engine.now t.sim -. t.base_sim) *. t.factor)
+
+let factor t = t.factor
+
+let set_factor t f =
+  if f <= 0.0 then invalid_arg "Clock.set_factor: factor must be positive";
+  (* rebase so local time is continuous across the rate change *)
+  let local = now t in
+  t.base_local <- local;
+  t.base_sim <- Engine.now t.sim;
+  t.factor <- f

@@ -1,0 +1,19 @@
+(** A skewable view of simulation time.
+
+    Watchdogs do not read an oracle: they read a local oscillator that can
+    drift.  [now] advances at [factor] x simulation time (continuous across
+    rate changes), so fault campaigns can check that detection deadlines
+    hold under bounded clock skew. *)
+
+type t
+
+val create : Secpol_sim.Engine.t -> t
+(** Starts synchronised with the simulation clock, factor 1. *)
+
+val now : t -> float
+
+val factor : t -> float
+
+val set_factor : t -> float -> unit
+(** Change the drift rate; local time is continuous at the switch.
+    @raise Invalid_argument unless positive. *)

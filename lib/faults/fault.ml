@@ -1,0 +1,82 @@
+type kind =
+  | Node_crash of { node : string; down_for : float }
+  | Babbling_idiot of { msg_id : int; period : float; duration : float }
+  | Corruption_burst of { prob : float; duration : float }
+  | Bus_partition of { nodes : string list; heal_after : float }
+  | Hpe_corruption of { node : string; scrub_after : float }
+  | Policy_stall of { down_for : float }
+  | Clock_skew of { factor : float; duration : float }
+
+let label = function
+  | Node_crash _ -> "node_crash"
+  | Babbling_idiot _ -> "babbling_idiot"
+  | Corruption_burst _ -> "corruption_burst"
+  | Bus_partition _ -> "bus_partition"
+  | Hpe_corruption _ -> "hpe_corruption"
+  | Policy_stall _ -> "policy_stall"
+  | Clock_skew _ -> "clock_skew"
+
+(* Sim time the fault stops acting on its own (recovery actions run then);
+   a policy stall additionally leaves the vehicle latched in fail-safe. *)
+let clears_after = function
+  | Node_crash { down_for; _ } -> down_for
+  | Babbling_idiot { duration; _ } -> duration
+  | Corruption_burst { duration; _ } -> duration
+  | Bus_partition { heal_after; _ } -> heal_after
+  | Hpe_corruption { scrub_after; _ } -> scrub_after
+  | Policy_stall { down_for } -> down_for
+  | Clock_skew { duration; _ } -> duration
+
+let validate = function
+  | Node_crash { node; down_for } ->
+      if node = "" then Error "node_crash: empty node name"
+      else if down_for <= 0.0 then Error "node_crash: down_for must be positive"
+      else Ok ()
+  | Babbling_idiot { msg_id; period; duration } ->
+      if msg_id < 0 || msg_id > 0x7FF then
+        Error "babbling_idiot: msg_id outside 11-bit range"
+      else if period <= 0.0 then Error "babbling_idiot: period must be positive"
+      else if duration <= 0.0 then
+        Error "babbling_idiot: duration must be positive"
+      else Ok ()
+  | Corruption_burst { prob; duration } ->
+      if prob < 0.0 || prob > 1.0 then
+        Error "corruption_burst: prob outside [0,1]"
+      else if duration <= 0.0 then
+        Error "corruption_burst: duration must be positive"
+      else Ok ()
+  | Bus_partition { nodes; heal_after } ->
+      if nodes = [] then Error "bus_partition: no nodes"
+      else if heal_after <= 0.0 then
+        Error "bus_partition: heal_after must be positive"
+      else Ok ()
+  | Hpe_corruption { node; scrub_after } ->
+      if node = "" then Error "hpe_corruption: empty node name"
+      else if scrub_after <= 0.0 then
+        Error "hpe_corruption: scrub_after must be positive"
+      else Ok ()
+  | Policy_stall { down_for } ->
+      if down_for <= 0.0 then Error "policy_stall: down_for must be positive"
+      else Ok ()
+  | Clock_skew { factor; duration } ->
+      if factor <= 0.0 then Error "clock_skew: factor must be positive"
+      else if duration <= 0.0 then Error "clock_skew: duration must be positive"
+      else Ok ()
+
+let pp ppf = function
+  | Node_crash { node; down_for } ->
+      Format.fprintf ppf "node_crash(%s, %.3fs)" node down_for
+  | Babbling_idiot { msg_id; period; duration } ->
+      Format.fprintf ppf "babbling_idiot(0x%x, every %.4fs for %.3fs)" msg_id
+        period duration
+  | Corruption_burst { prob; duration } ->
+      Format.fprintf ppf "corruption_burst(p=%.2f, %.3fs)" prob duration
+  | Bus_partition { nodes; heal_after } ->
+      Format.fprintf ppf "bus_partition({%s}, heal %.3fs)"
+        (String.concat "," nodes) heal_after
+  | Hpe_corruption { node; scrub_after } ->
+      Format.fprintf ppf "hpe_corruption(%s, scrub %.3fs)" node scrub_after
+  | Policy_stall { down_for } ->
+      Format.fprintf ppf "policy_stall(%.3fs)" down_for
+  | Clock_skew { factor; duration } ->
+      Format.fprintf ppf "clock_skew(x%.2f, %.3fs)" factor duration

@@ -1,0 +1,35 @@
+(** Injectable platform faults.
+
+    Each constructor names one failure class the paper's deployment story
+    has to survive: crashing ECUs, a babbling-idiot node jamming
+    arbitration, line-noise bursts, a partitioned bus segment, bit
+    corruption inside the HPE's register file, a policy engine that stops
+    answering, and watchdog clock skew.  Every fault carries its own
+    recovery horizon so campaigns can measure time-to-recover. *)
+
+type kind =
+  | Node_crash of { node : string; down_for : float }
+      (** the node loses power for [down_for] seconds, then restarts *)
+  | Babbling_idiot of { msg_id : int; period : float; duration : float }
+      (** a rogue station floods the bus with top-priority frames *)
+  | Corruption_burst of { prob : float; duration : float }
+      (** the wire's per-transmission error probability jumps to [prob] *)
+  | Bus_partition of { nodes : string list; heal_after : float }
+      (** the named stations are cut off the medium, healing later *)
+  | Hpe_corruption of { node : string; scrub_after : float }
+      (** a bit flip lands in the node's approved-list RAM; a hardware
+          scrub re-provisions the file after [scrub_after] seconds *)
+  | Policy_stall of { down_for : float }
+      (** the policy engine stops answering decisions *)
+  | Clock_skew of { factor : float; duration : float }
+      (** the watchdog's clock runs at [factor] x real time *)
+
+val label : kind -> string
+(** Stable snake_case tag, used in reports and plan names. *)
+
+val clears_after : kind -> float
+(** Seconds after injection at which the fault's recovery action runs. *)
+
+val validate : kind -> (unit, string) result
+
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,152 @@
+module Engine = Secpol_sim.Engine
+module Can = Secpol_can
+module Hpe = Secpol_hpe
+module Car = Secpol_vehicle.Car
+module Modes = Secpol_vehicle.Modes
+module State = Secpol_vehicle.State
+
+type violation = { time : float; check : string; detail : string }
+
+type t = {
+  harness : Harness.t;
+  mutable cursor : int; (* trace entries already examined *)
+  mutable last_sent : int;
+  mutable last_abandoned : int;
+  mutable violations : violation list; (* newest first *)
+}
+
+let create harness =
+  { harness; cursor = 0; last_sent = 0; last_abandoned = 0; violations = [] }
+
+let violations t = List.rev t.violations
+
+let ok t = t.violations = []
+
+let fail t ~check detail =
+  let time = Engine.now (Harness.car t.harness).Car.sim in
+  t.violations <- { time; check; detail } :: t.violations
+
+(* ---------- per-slice checks ---------- *)
+
+let check_counters t =
+  let bus = (Harness.car t.harness).Car.bus in
+  let sent = Can.Bus.frames_sent bus in
+  let abandoned = Can.Bus.abandoned bus in
+  let pending = Can.Bus.pending bus in
+  if sent < t.last_sent then
+    fail t ~check:"counters"
+      (Printf.sprintf "frames_sent went backwards (%d -> %d)" t.last_sent sent);
+  if abandoned < t.last_abandoned then
+    fail t ~check:"counters"
+      (Printf.sprintf "abandoned went backwards (%d -> %d)" t.last_abandoned
+         abandoned);
+  if pending > 10_000 then
+    fail t ~check:"counters"
+      (Printf.sprintf "%d frames pending: arbitration queue is diverging"
+         pending);
+  t.last_sent <- sent;
+  t.last_abandoned <- abandoned
+
+(* Every delivery at an HPE-guarded node must be on that node's approved
+   reading list for the operating mode in force.  Frames completing in
+   the same timestamp batch as a mode switch may have been gated under
+   the outgoing mode, so a delivery is also accepted if the mode a
+   millisecond earlier approved it. *)
+let approved t ~node ~time msg_id =
+  let approved_under mode =
+    match Harness.config_for t.harness ~mode ~node with
+    | None -> true (* no cached config: nothing to judge against *)
+    | Some config -> List.mem msg_id config.Hpe.Config.read_ids
+  in
+  approved_under (Harness.mode_at t.harness time)
+  || approved_under (Harness.mode_at t.harness (time -. 0.001))
+
+let check_deliveries t =
+  let car = Harness.car t.harness in
+  let entries = Can.Trace.entries (Car.trace car) in
+  let fresh = List.filteri (fun i _ -> i >= t.cursor) entries in
+  t.cursor <- List.length entries;
+  List.iter
+    (fun e ->
+      match e.Can.Trace.event with
+      | Can.Trace.Rx_delivered receiver when Car.hpe car receiver <> None ->
+          let id = e.Can.Trace.frame.Can.Frame.id in
+          let msg_id = Can.Identifier.raw id in
+          if
+            Can.Identifier.is_extended id
+            || not (approved t ~node:receiver ~time:e.Can.Trace.time msg_id)
+          then
+            fail t ~check:"approved_rx"
+              (Printf.sprintf "0x%03X delivered to %s at %.4fs outside its %s"
+                 msg_id receiver e.Can.Trace.time "approved reading list")
+      | _ -> ())
+    fresh
+
+let check_failsafe_deadline t =
+  match Harness.stall_started t.harness with
+  | None -> ()
+  | Some stall_at -> (
+      let now = Engine.now (Harness.car t.harness).Car.sim in
+      let bound = Harness.failsafe_bound t.harness ~stall_at in
+      match Harness.failsafe_entered t.harness with
+      | Some entered when entered <= bound -> ()
+      | Some entered ->
+          fail t ~check:"failsafe_deadline"
+            (Printf.sprintf
+               "fail-safe entered at %.4fs, after the %.4fs bound" entered
+               bound)
+      | None ->
+          if now > bound then
+            fail t ~check:"failsafe_deadline"
+              (Printf.sprintf
+                 "policy engine stalled at %.4fs; still not fail-safe at \
+                  %.4fs (bound %.4fs)"
+                 stall_at now bound))
+
+let check t =
+  check_counters t;
+  check_deliveries t;
+  check_failsafe_deadline t
+
+(* ---------- end-of-run checks ---------- *)
+
+let state_fields (s : State.t) =
+  [
+    ("mode", Modes.name s.State.mode);
+    ("ev_ecu_enabled", string_of_bool s.State.ev_ecu_enabled);
+    ("engine_running", string_of_bool s.State.engine_running);
+    ("eps_active", string_of_bool s.State.eps_active);
+    ("doors_locked", string_of_bool s.State.doors_locked);
+    ("alarm_armed", string_of_bool s.State.alarm_armed);
+    ("modem_enabled", string_of_bool s.State.modem_enabled);
+    ("tracking_enabled", string_of_bool s.State.tracking_enabled);
+    ("failsafe_latched", string_of_bool s.State.failsafe_latched);
+    ("speed_kmh", Printf.sprintf "%.3f" s.State.speed_kmh);
+    ("software_installs", string_of_int s.State.software_installs);
+    ("emergency_calls", string_of_int s.State.emergency_calls);
+  ]
+
+let finalize t ~reference =
+  check t;
+  let car = Harness.car t.harness in
+  if Plan.degrading (Harness.plan t.harness) then begin
+    if Car.mode car <> Modes.Fail_safe then
+      fail t ~check:"latched"
+        (Printf.sprintf "degrading plan ended in %s, not fail-safe"
+           (Modes.name (Car.mode car)));
+    if not car.Car.state.State.failsafe_latched then
+      fail t ~check:"latched" "fail-safe actions were never latched";
+    if Harness.failsafe_entered t.harness = None then
+      fail t ~check:"latched" "harness never recorded the fail-safe entry"
+  end
+  else
+    (* every fault recovered: the run must land on the same steady state a
+       never-faulted car reaches *)
+    List.iter2
+      (fun (name, faulted) (_, clean) ->
+        if faulted <> clean then
+          fail t ~check:"convergence"
+            (Printf.sprintf "%s diverged: %s (faulted) vs %s (clean)" name
+               faulted clean))
+      (state_fields car.Car.state)
+      (state_fields reference.Car.state)

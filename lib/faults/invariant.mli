@@ -1,0 +1,35 @@
+(** Safety invariants checked throughout a chaos run.
+
+    A checker is stateful: {!check} is called at every slice boundary and
+    examines only what changed since the last call, {!finalize} adds the
+    end-of-run obligations.  The checks:
+
+    - {b counters}: bus counters never go backwards and the arbitration
+      queue stays bounded (a partitioned segment must shed load, not
+      queue forever);
+    - {b approved_rx}: under any fault, no frame is delivered to an
+      HPE-guarded node outside its approved reading list for the mode in
+      force — faults may cost availability, never policy violations;
+    - {b failsafe_deadline}: once the policy engine stalls, the car is in
+      fail-safe no later than {!Harness.failsafe_bound};
+    - {b latched} (degrading plans): the run ends latched in fail-safe;
+    - {b convergence} (recoverable plans): the final vehicle state equals
+      a never-faulted run's steady state, field by field. *)
+
+type violation = { time : float; check : string; detail : string }
+
+type t
+
+val create : Harness.t -> t
+
+val check : t -> unit
+(** Examine everything since the previous call; record violations. *)
+
+val finalize : t -> reference:Secpol_vehicle.Car.t -> unit
+(** Run {!check} once more, then the end-of-run obligations.
+    [reference] is a never-faulted car advanced to the same horizon. *)
+
+val violations : t -> violation list
+(** Chronological. *)
+
+val ok : t -> bool

@@ -1,0 +1,207 @@
+module Rng = Secpol_sim.Rng
+module Names = Secpol_vehicle.Names
+
+type entry = { at : float; kind : Fault.kind }
+
+type t = { name : string; horizon : float; entries : entry list }
+
+let validate t =
+  if t.horizon <= 0.0 then Error "plan: horizon must be positive"
+  else
+    let rec check = function
+      | [] -> Ok ()
+      | e :: rest -> (
+          if e.at < 0.0 then Error "plan: negative injection time"
+          else if e.at >= t.horizon then
+            Error
+              (Printf.sprintf "plan: %s injected at %.3fs, past the %.3fs horizon"
+                 (Fault.label e.kind) e.at t.horizon)
+          else
+            match Fault.validate e.kind with
+            | Ok () -> check rest
+            | Error _ as err -> err)
+    in
+    check t.entries
+
+(* A plan is degrading when it is expected to end latched in Fail_safe:
+   any policy stall long enough for the watchdog to notice does that.
+   Everything else must recover to the never-faulted steady state. *)
+let degrading t =
+  List.exists
+    (fun e -> match e.kind with Fault.Policy_stall _ -> true | _ -> false)
+    t.entries
+
+let sorted entries =
+  List.stable_sort (fun a b -> Float.compare a.at b.at) entries
+
+(* ---------- named plans ---------- *)
+
+let stall ~horizon =
+  {
+    name = "stall";
+    horizon;
+    entries =
+      [ { at = horizon *. 0.25; kind = Fault.Policy_stall { down_for = horizon *. 0.25 } } ];
+  }
+
+let storm ~horizon =
+  {
+    name = "storm";
+    horizon;
+    entries =
+      sorted
+        [
+          {
+            at = horizon *. 0.15;
+            kind =
+              Fault.Babbling_idiot
+                { msg_id = 0x000; period = 0.002; duration = horizon *. 0.2 };
+          };
+          {
+            at = horizon *. 0.45;
+            kind = Fault.Corruption_burst { prob = 0.3; duration = horizon *. 0.15 };
+          };
+        ];
+  }
+
+let partition ~horizon =
+  {
+    name = "partition";
+    horizon;
+    entries =
+      [
+        {
+          at = horizon *. 0.2;
+          kind =
+            Fault.Bus_partition
+              {
+                nodes = [ Names.infotainment; Names.telematics ];
+                heal_after = horizon *. 0.3;
+              };
+        };
+      ];
+  }
+
+let crash ~horizon =
+  {
+    name = "crash";
+    horizon;
+    entries =
+      sorted
+        [
+          {
+            at = horizon *. 0.2;
+            kind =
+              Fault.Node_crash
+                { node = Names.infotainment; down_for = horizon *. 0.25 };
+          };
+          {
+            at = horizon *. 0.35;
+            kind =
+              Fault.Node_crash { node = Names.door_locks; down_for = horizon *. 0.2 };
+          };
+        ];
+  }
+
+let hpe_corruption ~horizon =
+  {
+    name = "hpe-corruption";
+    horizon;
+    entries =
+      [
+        {
+          at = horizon *. 0.3;
+          kind =
+            Fault.Hpe_corruption
+              { node = Names.ev_ecu; scrub_after = horizon *. 0.25 };
+        };
+      ];
+  }
+
+let skewed_stall ~horizon =
+  {
+    name = "skewed-stall";
+    horizon;
+    entries =
+      sorted
+        [
+          {
+            at = horizon *. 0.1;
+            kind = Fault.Clock_skew { factor = 0.5; duration = horizon *. 0.6 };
+          };
+          {
+            at = horizon *. 0.3;
+            kind = Fault.Policy_stall { down_for = horizon *. 0.25 };
+          };
+        ];
+  }
+
+(* ---------- seeded generation ---------- *)
+
+(* Recoverable faults only: generated campaigns exercise breadth, the
+   degradation path is exercised by the explicit stall plans.  Windows are
+   kept inside [0.1h, 0.7h] so every fault has cleared well before the
+   horizon and the convergence invariant is meaningful. *)
+let random_fault rng ~horizon =
+  let crashable =
+    (* the safety ECU stays up: crashing the component that latches
+       fail-safe is a different experiment (and a different paper) *)
+    [| Names.infotainment; Names.telematics; Names.door_locks; Names.eps |]
+  in
+  let dur lo hi = lo +. Rng.float rng (hi -. lo) in
+  match Rng.int rng 5 with
+  | 0 ->
+      Fault.Node_crash
+        { node = Rng.pick rng crashable; down_for = dur 0.05 (horizon *. 0.2) }
+  | 1 ->
+      Fault.Babbling_idiot
+        {
+          msg_id = 0x000;
+          period = 0.001 +. Rng.float rng 0.004;
+          duration = dur 0.05 (horizon *. 0.15);
+        }
+  | 2 ->
+      Fault.Corruption_burst
+        { prob = 0.1 +. Rng.float rng 0.4; duration = dur 0.05 (horizon *. 0.15) }
+  | 3 ->
+      Fault.Bus_partition
+        {
+          nodes = [ Rng.pick rng crashable ];
+          heal_after = dur 0.05 (horizon *. 0.2);
+        }
+  | _ ->
+      Fault.Hpe_corruption
+        { node = Rng.pick rng crashable; scrub_after = dur 0.05 (horizon *. 0.2) }
+
+let generate ?(faults = 4) ~seed ~horizon () =
+  if horizon <= 0.0 then invalid_arg "Plan.generate: horizon must be positive";
+  if faults < 0 then invalid_arg "Plan.generate: negative fault count";
+  let rng = Rng.create seed in
+  let entries =
+    List.init faults (fun _ ->
+        {
+          at = (horizon *. 0.1) +. Rng.float rng (horizon *. 0.6);
+          kind = random_fault rng ~horizon;
+        })
+  in
+  { name = Printf.sprintf "mixed-%Ld" seed; horizon; entries = sorted entries }
+
+let named = [ "stall"; "storm"; "partition"; "crash"; "hpe-corruption"; "skewed-stall"; "mixed" ]
+
+let of_name ?(seed = 42L) ?(horizon = 4.0) name =
+  match name with
+  | "stall" -> Some (stall ~horizon)
+  | "storm" -> Some (storm ~horizon)
+  | "partition" -> Some (partition ~horizon)
+  | "crash" -> Some (crash ~horizon)
+  | "hpe-corruption" -> Some (hpe_corruption ~horizon)
+  | "skewed-stall" -> Some (skewed_stall ~horizon)
+  | "mixed" -> Some (generate ~seed ~horizon ())
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "plan %s (horizon %.1fs, %d faults)@." t.name t.horizon
+    (List.length t.entries);
+  List.iter
+    (fun e -> Format.fprintf ppf "  [%6.3f] %a@." e.at Fault.pp e.kind)
+    t.entries

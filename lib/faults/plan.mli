@@ -1,0 +1,51 @@
+(** Deterministic fault schedules.
+
+    A plan is a list of (time, fault) injections against one simulated car.
+    Plans are either hand-authored (the named plans below) or generated
+    from a seed; either way the schedule is fully determined before the
+    run starts, so a campaign is reproducible from [(seed, plan name)]
+    alone. *)
+
+type entry = { at : float; kind : Fault.kind }
+
+type t = { name : string; horizon : float; entries : entry list }
+
+val validate : t -> (unit, string) result
+(** Every entry inside [0, horizon) and individually well-formed. *)
+
+val degrading : t -> bool
+(** [true] when the plan is expected to end latched in [Fail_safe] (it
+    stalls the policy engine); [false] means the run must recover to the
+    never-faulted steady state. *)
+
+val stall : horizon:float -> t
+(** Policy engine stalls mid-run; the watchdog must drive the car into
+    fail-safe within its deadline. *)
+
+val storm : horizon:float -> t
+(** Babbling-idiot flood followed by a line-noise burst. *)
+
+val partition : horizon:float -> t
+(** The connectivity-side stations drop off the bus, then heal. *)
+
+val crash : horizon:float -> t
+(** Two overlapping node crash/restart cycles. *)
+
+val hpe_corruption : horizon:float -> t
+(** A bit flip in one node's approved-list RAM; scrubbed later. *)
+
+val skewed_stall : horizon:float -> t
+(** A policy stall while the watchdog's clock runs slow — detection must
+    still happen within the skew-adjusted bound. *)
+
+val generate : ?faults:int -> seed:int64 -> horizon:float -> unit -> t
+(** [faults] (default 4) random recoverable faults at seeded times. *)
+
+val named : string list
+(** CLI plan names accepted by {!of_name}. *)
+
+val of_name : ?seed:int64 -> ?horizon:float -> string -> t option
+(** Resolve a CLI name; [seed] only shapes the ["mixed"] plan, [horizon]
+    (default 4 s) scales every plan. *)
+
+val pp : Format.formatter -> t -> unit

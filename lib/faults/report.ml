@@ -1,0 +1,100 @@
+module Json = Secpol_policy.Json
+module Obs_json = Secpol_policy.Obs_json
+module Obs = Secpol_obs
+
+let ms s = s *. 1000.0
+
+let opt_float = function None -> Json.Null | Some v -> Json.Float v
+
+let fault_json (r : Harness.record) =
+  let mttr =
+    match (r.Harness.injected_at, r.Harness.cleared_at) with
+    | Some i, Some c -> Some (ms (c -. i))
+    | _ -> None
+  in
+  ( Json.Obj
+      [
+        ("kind", Json.String (Fault.label r.Harness.entry.Plan.kind));
+        ("planned_at", Json.Float r.Harness.entry.Plan.at);
+        ("injected_at", opt_float r.Harness.injected_at);
+        ("cleared_at", opt_float r.Harness.cleared_at);
+        ("mttr_ms", opt_float mttr);
+      ],
+    mttr )
+
+let violation_json (v : Invariant.violation) =
+  Json.Obj
+    [
+      ("time", Json.Float v.Invariant.time);
+      ("check", Json.String v.Invariant.check);
+      ("detail", Json.String v.Invariant.detail);
+    ]
+
+let build ~seed ~harness ~checker =
+  let plan = Harness.plan harness in
+  let wd = Harness.watchdog harness in
+  (* MTTR: fault injection to recovery action; MTTD: first failed ping to
+     the watchdog trip.  Both live in the run's telemetry registry so the
+     export pipeline (and merges) treat them like any other histogram. *)
+  let obs = Harness.obs harness in
+  let mttr_hist = Obs.Registry.histogram ~lo:0.1 obs "faults.mttr_ms" in
+  let mttd_hist = Obs.Registry.histogram ~lo:0.1 obs "faults.mttd_ms" in
+  let faults, mttrs =
+    List.fold_left
+      (fun (js, ms_acc) r ->
+        let j, mttr = fault_json r in
+        (j :: js, match mttr with None -> ms_acc | Some m -> m :: ms_acc))
+      ([], [])
+      (Harness.records harness)
+  in
+  let faults = List.rev faults in
+  List.iter (Obs.Histogram.observe mttr_hist) (List.rev mttrs);
+  let detections = Watchdog.detections wd in
+  List.iter (fun (_, mttd) -> Obs.Histogram.observe mttd_hist (ms mttd)) detections;
+  let failsafe =
+    match Harness.stall_started harness with
+    | None -> Json.Null
+    | Some stall_at ->
+        let entered = Harness.failsafe_entered harness in
+        Json.Obj
+          [
+            ("stall_started", Json.Float stall_at);
+            ("entered", opt_float entered);
+            ( "latency_ms",
+              opt_float (Option.map (fun e -> ms (e -. stall_at)) entered) );
+            ("bound", Json.Float (Harness.failsafe_bound harness ~stall_at));
+          ]
+  in
+  let violations = Invariant.violations checker in
+  Json.Obj
+    [
+      ("plan", Json.String plan.Plan.name);
+      ("seed", Json.String (Int64.to_string seed));
+      ("horizon", Json.Float plan.Plan.horizon);
+      ("degrading", Json.Bool (Plan.degrading plan));
+      ("verdict", Json.String (if violations = [] then "pass" else "fail"));
+      ("faults", Json.List faults);
+      ( "watchdog",
+        Json.Obj
+          [
+            ("period_ms", Json.Float (ms (Watchdog.period wd)));
+            ("deadline_ms", Json.Float (ms (Watchdog.deadline wd)));
+            ("trips", Json.Int (Watchdog.trips wd));
+            ( "detections",
+              Json.List
+                (List.map
+                   (fun (at, mttd) ->
+                     Json.Obj
+                       [
+                         ("at", Json.Float at); ("mttd_ms", Json.Float (ms mttd));
+                       ])
+                   detections) );
+          ] );
+      ("failsafe", failsafe);
+      ("mttd_ms", Obs_json.histogram mttd_hist);
+      ("mttr_ms", Obs_json.histogram mttr_hist);
+      ("violations", Json.List (List.map violation_json violations));
+      ("telemetry", Obs_json.registry obs);
+    ]
+
+let to_string json = Json.to_string json

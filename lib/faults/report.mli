@@ -1,0 +1,19 @@
+(** The machine-readable fault report a chaos campaign emits.
+
+    One JSON object per run: the plan and seed (enough to reproduce it),
+    per-fault injection/recovery timestamps with MTTR, the watchdog's
+    detections with MTTD, the fail-safe entry latency against its bound,
+    every invariant violation, and the run's full telemetry snapshot.
+    MTTD/MTTR are also folded into [faults.mttd_ms] / [faults.mttr_ms]
+    histograms in the harness's registry so they ride the normal
+    telemetry export path. *)
+
+val build :
+  seed:int64 ->
+  harness:Harness.t ->
+  checker:Invariant.t ->
+  Secpol_policy.Json.t
+(** Call after the run (and {!Invariant.finalize}) completed. *)
+
+val to_string : Secpol_policy.Json.t -> string
+(** Compact JSON rendering. *)

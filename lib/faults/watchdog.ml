@@ -1,0 +1,67 @@
+module Engine = Secpol_sim.Engine
+
+type t = {
+  sim : Engine.t;
+  clock : Clock.t;
+  period : float;
+  deadline : float;
+  ping : unit -> bool;
+  on_expire : unit -> unit;
+  mutable last_ok : float; (* local-clock time of the last healthy ping *)
+  mutable failing_since : float option; (* sim time of the first failed ping *)
+  mutable tripped : bool;
+  mutable trips : int;
+  mutable detections : (float * float) list; (* (sim time, sim MTTD) newest first *)
+}
+
+let check t sim =
+  if t.ping () then begin
+    if t.tripped then t.tripped <- false;
+    t.failing_since <- None;
+    t.last_ok <- Clock.now t.clock
+  end
+  else begin
+    (match t.failing_since with
+    | None -> t.failing_since <- Some (Engine.now sim)
+    | Some _ -> ());
+    if (not t.tripped) && Clock.now t.clock -. t.last_ok >= t.deadline then begin
+      t.tripped <- true;
+      t.trips <- t.trips + 1;
+      let now = Engine.now sim in
+      let since = Option.value ~default:now t.failing_since in
+      t.detections <- (now, now -. since) :: t.detections;
+      t.on_expire ()
+    end
+  end
+
+let create ?(period = 0.01) ?(deadline = 0.05) ~clock ~ping ~on_expire sim =
+  if period <= 0.0 then invalid_arg "Watchdog.create: period must be positive";
+  if deadline <= 0.0 then
+    invalid_arg "Watchdog.create: deadline must be positive";
+  let t =
+    {
+      sim;
+      clock;
+      period;
+      deadline;
+      ping;
+      on_expire;
+      last_ok = Clock.now clock;
+      failing_since = None;
+      tripped = false;
+      trips = 0;
+      detections = [];
+    }
+  in
+  Engine.every sim ~period (check t);
+  t
+
+let period t = t.period
+
+let deadline t = t.deadline
+
+let tripped t = t.tripped
+
+let trips t = t.trips
+
+let detections t = List.rev t.detections

@@ -33,6 +33,7 @@ type t = {
   write_block : Decision.t;
   rates : Rate_limiter.t;
   rate_blocks : Obs.Counter.t;
+  integrity_blocks : Obs.Counter.t;
   own_ids : (int, unit) Hashtbl.t;
   spoof_alerts : Obs.Counter.t;
   obs : Obs.Registry.t option;
@@ -73,7 +74,9 @@ let install ?obs node =
   let write_block = Decision.create Decision.Writing (Registers.write_list regs) in
   let t =
     { node; regs; read_block; write_block; rates = Rate_limiter.create ();
-      rate_blocks = Obs.Counter.create (); own_ids = Hashtbl.create 8;
+      rate_blocks = Obs.Counter.create ();
+      integrity_blocks = Obs.Counter.create ();
+      own_ids = Hashtbl.create 8;
       spoof_alerts = Obs.Counter.create (); obs;
       class_counters = Array.make (Array.length event_names * n_classes) None }
   in
@@ -92,6 +95,7 @@ let install ?obs node =
       register "write.grants" wg;
       register "write.blocks" wb;
       register "rate_blocks" t.rate_blocks;
+      register "integrity_blocks" t.integrity_blocks;
       register "spoof_alerts" t.spoof_alerts);
   let now () = Secpol_sim.Engine.now (Secpol_can.Bus.sim (Node.bus node)) in
   Node.set_rx_gate node ~name:gate_name (fun frame ->
@@ -105,15 +109,28 @@ let install ?obs node =
       | Secpol_can.Identifier.Standard _ | Secpol_can.Identifier.Extended _ ->
           ());
       let accept =
-        (not (Registers.read_filter_enabled regs))
-        || Decision.decide read_block frame = Decision.Grant
+        (* fail closed: a register file that no longer matches its sealed
+           checksum cannot be trusted to encode the provisioned policy, so
+           the gate denies everything until re-provisioning restores it *)
+        if not (Registers.integrity_ok regs) then begin
+          Obs.Counter.incr t.integrity_blocks;
+          false
+        end
+        else
+          (not (Registers.read_filter_enabled regs))
+          || Decision.decide read_block frame = Decision.Grant
       in
       bump_class t (if accept then 0 else 1) frame.Secpol_can.Frame.id;
       accept);
   Node.set_tx_gate node ~name:gate_name (fun frame ->
       let accept =
-        (not (Registers.write_filter_enabled regs))
-        ||
+        if not (Registers.integrity_ok regs) then begin
+          Obs.Counter.incr t.integrity_blocks;
+          false
+        end
+        else
+          (not (Registers.write_filter_enabled regs))
+          ||
         if Decision.decide write_block frame <> Decision.Grant then false
         else
           match frame.Secpol_can.Frame.id with
@@ -163,6 +180,10 @@ let write_grants t = Decision.grants t.write_block
 let write_blocks t = Decision.blocks t.write_block
 
 let rate_blocks t = Obs.Counter.value t.rate_blocks
+
+let integrity_blocks t = Obs.Counter.value t.integrity_blocks
+
+let integrity_ok t = Registers.integrity_ok t.regs
 
 let spoof_alerts t = Obs.Counter.value t.spoof_alerts
 

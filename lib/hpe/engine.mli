@@ -46,6 +46,15 @@ val rate_blocks : t -> int
 (** Writes that passed the approved list but exceeded their behavioural
     budget (see {!Rate_limiter}). *)
 
+val integrity_ok : t -> bool
+(** {!Registers.integrity_ok} of this engine's register file. *)
+
+val integrity_blocks : t -> int
+(** Frames denied because the register file failed its checksum: after
+    out-of-band corruption (fault injection, bit flips) both gates fail
+    closed and every crossing frame lands here until the file is
+    re-provisioned. *)
+
 val spoof_alerts : t -> int
 (** Incoming frames carrying an ID this node exclusively produces
     ({!Config.t.own_ids}) — somebody on the bus is impersonating it.

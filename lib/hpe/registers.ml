@@ -4,6 +4,11 @@ type t = {
   mutable read_enable : bool;
   mutable write_enable : bool;
   mutable locked : bool;
+  (* checksum over the whole file, refreshed on every *programmed* write:
+     only out-of-band corruption (a bit flip in the approved-list RAM, not
+     a register-interface write) can make the stored and recomputed values
+     diverge *)
+  mutable sealed : int;
 }
 
 let ctrl = 0x00
@@ -20,14 +25,51 @@ let count_read = 0x14
 
 let count_write = 0x18
 
+(* FNV-1a over the register file contents.  Approved lists hash their
+   sorted ID sequence, so the checksum is independent of insertion order
+   and of the list backend. *)
+let checksum t =
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x2545F4914F6CDD1D in
+  let mix v =
+    h := !h lxor v;
+    h := !h * fnv_prime
+  in
+  let mix_list list tag =
+    mix tag;
+    List.iter
+      (fun id ->
+        mix
+          (match id with
+          | Secpol_can.Identifier.Standard v -> v
+          | Secpol_can.Identifier.Extended v -> v lor 0x4000_0000))
+      (Approved_list.to_ids list)
+  in
+  mix_list t.read_list 1;
+  mix_list t.write_list 2;
+  mix
+    (Bool.to_int t.read_enable
+    lor (Bool.to_int t.write_enable lsl 1)
+    lor (Bool.to_int t.locked lsl 2));
+  !h land max_int
+
+let reseal t = t.sealed <- checksum t
+
+let integrity_ok t = t.sealed = checksum t
+
 let create () =
-  {
-    read_list = Approved_list.create ();
-    write_list = Approved_list.create ();
-    read_enable = false;
-    write_enable = false;
-    locked = false;
-  }
+  let t =
+    {
+      read_list = Approved_list.create ();
+      write_list = Approved_list.create ();
+      read_enable = false;
+      write_enable = false;
+      locked = false;
+      sealed = 0;
+    }
+  in
+  reseal t;
+  t
 
 let read_list t = t.read_list
 
@@ -44,7 +86,7 @@ let ctrl_value t =
   lor (Bool.to_int t.write_enable lsl 1)
   lor (Bool.to_int t.locked lsl 2)
 
-let write_reg t ~addr value =
+let write_reg_unsealed t ~addr value =
   if t.locked && not (addr = ctrl && value = ctrl_value t) then
     Error "HPE register file is locked"
   else if addr = ctrl then begin
@@ -70,6 +112,13 @@ let write_reg t ~addr value =
     Error (Printf.sprintf "register 0x%02x is read-only" addr)
   else Error (Printf.sprintf "unknown register 0x%02x" addr)
 
+let write_reg t ~addr value =
+  match write_reg_unsealed t ~addr value with
+  | Ok () ->
+      reseal t;
+      Ok ()
+  | Error _ as e -> e
+
 let read_reg t ~addr =
   if addr = ctrl || addr = status then Ok (ctrl_value t)
   else if addr = count_read then Ok (Approved_list.cardinal t.read_list)
@@ -83,4 +132,5 @@ let hard_reset t =
   Approved_list.clear t.write_list;
   t.read_enable <- false;
   t.write_enable <- false;
-  t.locked <- false
+  t.locked <- false;
+  reseal t

@@ -55,3 +55,15 @@ val read_reg : t -> addr:int -> (int, string) result
 val hard_reset : t -> unit
 (** Clears everything including the lock — models a power cycle with
     re-provisioning, not something reachable from software. *)
+
+val checksum : t -> int
+(** Order-insensitive FNV-1a digest of the whole register file (both
+    approved lists, the enables, the lock bit). *)
+
+val integrity_ok : t -> bool
+(** The register file re-seals its stored checksum on every successful
+    {!write_reg} (the authorised programming path) and on {!hard_reset};
+    [integrity_ok] recomputes the digest and compares.  [false] therefore
+    means the file was altered out of band — a bit flip or glitch attack
+    on the approved-list RAM — and the engine's gates must fail closed
+    (deny everything) rather than enforce a corrupted policy. *)

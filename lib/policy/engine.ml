@@ -24,8 +24,11 @@ type stats = {
 
 module Cache = Hashtbl.Make (Ir.Request)
 
+exception Unavailable
+
 type t = {
   mutable db : Ir.db;
+  mutable stalled : bool;
   strategy : strategy;
   mode : mode;
   mutable by_asset : (string, Ir.rule list) Hashtbl.t;
@@ -83,6 +86,7 @@ let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
   in
   {
     db;
+    stalled = false;
     strategy;
     mode;
     by_asset = index_by_asset db;
@@ -261,7 +265,12 @@ let decide_untimed t ~now (req : Ir.request) =
       record t decision;
       { decision; matched; from_cache = false }
 
+let set_stalled t stalled = t.stalled <- stalled
+
+let stalled t = t.stalled
+
 let decide ?(now = 0.0) t (req : Ir.request) =
+  if t.stalled then raise Unavailable;
   match t.latency with
   | None -> decide_untimed t ~now req
   | Some h ->

@@ -23,6 +23,20 @@ type outcome = {
 
 type t
 
+exception Unavailable
+(** Raised by {!decide}/{!permitted} while the engine is {!stalled}: a
+    stalled engine answers nothing, and callers must treat "no answer" as
+    deny (fail closed) or escalate to their degradation path — never
+    assume allow. *)
+
+val set_stalled : t -> bool -> unit
+(** Fault injection: mark the engine stalled (crashed process, partitioned
+    service, wedged coprocessor) or recovered.  While stalled every
+    decision raises {!Unavailable}; introspection ({!db}, {!stats}) stays
+    readable, as a post-mortem would be. *)
+
+val stalled : t -> bool
+
 val create :
   ?strategy:strategy ->
   ?cache:bool ->

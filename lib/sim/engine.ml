@@ -2,10 +2,20 @@ type t = {
   mutable now : float;
   queue : (t -> unit) Event_queue.t;
   root_rng : Rng.t;
+  (* bumped by [stop]: a periodic task captures the epoch it was started
+     under and stops rescheduling itself once the epochs differ, so a
+     callback that is mid-flight when [stop] clears the queue cannot
+     resurrect itself afterwards *)
+  mutable epoch : int;
 }
 
 let create ?(seed = 42L) () =
-  { now = 0.0; queue = Event_queue.create (); root_rng = Rng.create seed }
+  {
+    now = 0.0;
+    queue = Event_queue.create ();
+    root_rng = Rng.create seed;
+    epoch = 0;
+  }
 
 let now t = t.now
 
@@ -21,11 +31,12 @@ let schedule_in t ~delay f =
 
 let every t ~period ?until f =
   if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let epoch = t.epoch in
   let within at = match until with None -> true | Some u -> at < u in
   let rec tick at sim =
     f sim;
     let next = at +. period in
-    if within next then schedule sim ~at:next (tick next)
+    if sim.epoch = epoch && within next then schedule sim ~at:next (tick next)
   in
   let first = t.now +. period in
   if within first then schedule t ~at:first (tick first)
@@ -51,4 +62,6 @@ let run_until t horizon =
   loop ();
   if horizon > t.now then t.now <- horizon
 
-let stop t = Event_queue.clear t.queue
+let stop t =
+  t.epoch <- t.epoch + 1;
+  Event_queue.clear t.queue

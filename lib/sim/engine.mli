@@ -41,4 +41,8 @@ val run_next : t -> bool
 (** Fire the single earliest event; [false] when the queue is empty. *)
 
 val stop : t -> unit
-(** Discard all pending events; periodic tasks cease. *)
+(** Discard all pending events; periodic tasks cease.  A periodic task
+    whose callback is executing when [stop] is called does not reschedule
+    itself: [stop] ends the current scheduling epoch, and [every] ticks
+    refuse to re-arm across an epoch boundary.  Tasks started after the
+    stop run normally. *)

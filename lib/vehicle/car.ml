@@ -16,6 +16,10 @@ type t = {
   nodes : (string * Node.t) list;
   hpes : (string * Secpol_hpe.Engine.t) list;
   policy_engine : Secpol_policy.Engine.t option;
+  (* fail-safe HPE configs computed at build time: entering Fail_safe must
+     not depend on the policy engine still answering — the degradation
+     path is exactly for when it does not *)
+  failsafe_configs : (string * Secpol_hpe.Config.t) list;
 }
 
 let builders =
@@ -53,7 +57,7 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(corrupt_prob = 0.0)
         (fun (_, node) -> Controller.set_filters (Node.controller node) [])
         nodes
   | Software_filters | Hpe _ -> ());
-  let hpes, policy_engine =
+  let hpes, policy_engine, failsafe_configs =
     match enforcement with
     | Hpe policy ->
         let engine = Policy_map.engine ?obs policy in
@@ -63,10 +67,18 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(corrupt_prob = 0.0)
             nodes
         in
         provision_hpes hpes engine state.State.mode;
-        (hpes, Some engine)
-    | No_enforcement | Software_filters -> ([], None)
+        let failsafe_configs =
+          List.map
+            (fun (name, _) ->
+              ( name,
+                Policy_map.hpe_config_for engine ~mode:Modes.Fail_safe
+                  ~node:name ))
+            hpes
+        in
+        (hpes, Some engine, failsafe_configs)
+    | No_enforcement | Software_filters -> ([], None, [])
   in
-  { sim; bus; state; enforcement; nodes; hpes; policy_engine }
+  { sim; bus; state; enforcement; nodes; hpes; policy_engine; failsafe_configs }
 
 let node t name =
   match List.assoc_opt name t.nodes with
@@ -86,6 +98,31 @@ let set_mode t mode =
   match t.policy_engine with
   | Some engine -> provision_hpes t.hpes engine mode
   | None -> ()
+
+(* Graceful degradation: latch Fail_safe using only state computed at
+   build time.  Unlike [set_mode] this never consults the policy engine,
+   so it works while the engine is stalled or unreachable — each HPE is
+   hard-reset and re-provisioned from the cached fail-safe config, which
+   also restores integrity after register-file corruption. *)
+let enter_fail_safe t ~reason =
+  if t.state.State.mode <> Modes.Fail_safe then begin
+    t.state.State.mode <- Modes.Fail_safe;
+    t.state.State.failsafe_latched <- true;
+    State.log t.state ~time:(Engine.now t.sim)
+      (Printf.sprintf "car: fail-safe entered (%s)" reason);
+    List.iter
+      (fun (name, hpe) ->
+        match List.assoc_opt name t.failsafe_configs with
+        | None -> ()
+        | Some config ->
+            Secpol_hpe.Registers.hard_reset (Secpol_hpe.Engine.registers hpe);
+            (match Secpol_hpe.Engine.provision hpe config with
+            | Ok () -> ()
+            | Error e ->
+                invalid_arg
+                  (Printf.sprintf "Car: fail-safe provisioning %s: %s" name e)))
+      t.hpes
+  end
 
 let total_hpe_blocks t =
   List.fold_left

@@ -23,6 +23,9 @@ type t = {
   nodes : (string * Secpol_can.Node.t) list;
   hpes : (string * Secpol_hpe.Engine.t) list;  (** empty unless [Hpe _] *)
   policy_engine : Secpol_policy.Engine.t option;
+  failsafe_configs : (string * Secpol_hpe.Config.t) list;
+      (** per-node HPE configs for [Fail_safe], derived once at build time
+          so {!enter_fail_safe} works without the policy engine *)
 }
 
 val create :
@@ -55,6 +58,15 @@ val set_mode : t -> Modes.t -> unit
 (** Change operating mode.  The mode line enters each HPE as a hardware
     input: the engines are hard-reset and re-provisioned for the new mode
     (firmware is not involved and the lock is re-applied). *)
+
+val enter_fail_safe : t -> reason:string -> unit
+(** The degradation path (paper Table I's Fail-safe operating mode): latch
+    [Fail_safe], log the reason, and re-provision every HPE from the
+    fail-safe configs cached at build time.  Never consults the policy
+    engine — this is the transition a watchdog takes precisely when the
+    engine has stopped answering — and, because each register file is
+    hard-reset and re-programmed, it also restores HPE integrity after
+    register corruption.  Idempotent once in [Fail_safe]. *)
 
 val total_hpe_blocks : t -> int
 (** All HPE blocks, read and write.  On a broadcast bus this includes the

@@ -66,7 +66,7 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(driving = true) () =
   in
   let gateway =
     Gateway.connect ~name:"gateway" ~a:powertrain ~b:comfort
-      ~forward_a_to_b:allowed ~forward_b_to_a:allowed
+      ~forward_a_to_b:allowed ~forward_b_to_a:allowed ()
   in
   { sim; powertrain; comfort; gateway; state; nodes }
 

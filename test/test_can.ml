@@ -467,7 +467,7 @@ let test_gateway_forwards_whitelisted () =
   let allow (f : Frame.t) = Identifier.raw f.id = 0x100 in
   let gw =
     Gateway.connect ~name:"gw" ~a:bus_a ~b:bus_b ~forward_a_to_b:allow
-      ~forward_b_to_a:allow
+      ~forward_b_to_a:allow ()
   in
   ignore (Node.send sender (Frame.data_std 0x100 "\x01"));
   ignore (Node.send sender (Frame.data_std 0x200 "\x02"));
@@ -489,6 +489,7 @@ let test_gateway_bidirectional_no_loop () =
     Gateway.connect ~name:"gw" ~a:bus_a ~b:bus_b
       ~forward_a_to_b:(fun _ -> true)
       ~forward_b_to_a:(fun _ -> true)
+      ()
   in
   ignore (Node.send a (Frame.data_std 0x100 ""));
   ignore (Node.send b (Frame.data_std 0x200 ""));
@@ -505,6 +506,7 @@ let test_gateway_validation_and_disconnect () =
      Gateway.connect ~name:"gw" ~a:bus_a ~b:bus_a
        ~forward_a_to_b:(fun _ -> true)
        ~forward_b_to_a:(fun _ -> true)
+       ()
    with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "accepted a self-bridge");
@@ -514,12 +516,206 @@ let test_gateway_validation_and_disconnect () =
     Gateway.connect ~name:"gw" ~a:bus_a ~b:bus_b
       ~forward_a_to_b:(fun _ -> true)
       ~forward_b_to_a:(fun _ -> true)
+      ()
   in
   Gateway.disconnect gw;
   ignore (Node.send sender (Frame.data_std 0x100 ""));
   Engine.run_until sim 0.01;
   check Alcotest.int "nothing crosses after disconnect" 0
     (Node.received_count receiver)
+
+(* ---------- fault-injection points ---------- *)
+
+let test_detach_drops_queued () =
+  let sim, bus = make_bus () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let abandoned = ref 0 in
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  for i = 0 to 2 do
+    ignore
+      (Node.send b
+         ~on_outcome:(fun o -> if o = Bus.Abandoned then incr abandoned)
+         (Frame.data_std (0x200 + i) ""))
+  done;
+  (* a's frame went straight onto the idle wire; b's three are queued *)
+  check Alcotest.int "three queued behind the wire" 3 (Bus.pending bus);
+  Node.detach b;
+  (* b's queued frames leave arbitration with it, accounted as abandoned *)
+  check Alcotest.int "queue emptied" 0 (Bus.pending bus);
+  check Alcotest.int "owner told" 3 !abandoned;
+  check Alcotest.int "bus abandonment counter" 3 (Bus.abandoned bus);
+  Engine.run_until sim 0.01;
+  check Alcotest.int "a's frame still completes" 1 (Bus.frames_sent bus);
+  check Alcotest.int "nothing ghost-delivered" 3
+    (Trace.count (Bus.trace bus) (fun e -> e.Trace.event = Trace.Tx_abandoned))
+
+let test_crash_restart_cycle () =
+  let sim, bus = make_bus () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  Node.crash b;
+  Alcotest.(check bool) "down" true (Node.is_down b);
+  Alcotest.(check bool) "off the bus" false (Node.attached b);
+  Alcotest.(check bool) "tx refused while down" false
+    (Node.send b (Frame.data_std 0x200 ""));
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "rx inert while down" 0 (Node.received_count b);
+  Node.restart b;
+  Alcotest.(check bool) "back on the bus" true (Node.attached b);
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.02;
+  check Alcotest.int "receives after restart" 1 (Node.received_count b)
+
+let test_busoff_rejoin_after_recovery () =
+  let sim, bus = make_bus () in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let errs = Controller.errors (Node.controller a) in
+  for _ = 1 to 32 do
+    Errors.on_tx_error errs
+  done;
+  Alcotest.(check bool) "driven bus-off" true (Errors.state errs = Errors.Bus_off);
+  Alcotest.(check bool) "send refused bus-off" false
+    (Node.send a (Frame.data_std 0x100 ""));
+  (* power-cycle: counters reset, station rejoins, traffic flows again *)
+  Node.crash a;
+  Node.restart a;
+  Alcotest.(check bool) "error-active again" true
+    (Errors.state errs = Errors.Error_active);
+  Alcotest.(check bool) "send accepted after recovery" true
+    (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "frame delivered after rejoin" 1 (Node.received_count b)
+
+let test_error_confinement_boundaries () =
+  (* exact ISO thresholds: passive strictly above 127, bus-off strictly
+     above 255 *)
+  let e = Errors.create () in
+  for _ = 1 to 127 do
+    Errors.on_rx_error e
+  done;
+  Alcotest.(check bool) "rec 127 still active" true
+    (Errors.state e = Errors.Error_active);
+  Errors.on_rx_error e;
+  Alcotest.(check bool) "rec 128 passive" true
+    (Errors.state e = Errors.Error_passive);
+  Alcotest.(check bool) "passive may still transmit" true (Errors.can_transmit e);
+  (* REC decays on successful receptions back under the threshold *)
+  for _ = 1 to 128 do
+    Errors.on_rx_success e
+  done;
+  check Alcotest.int "rec decayed to floor" 0 (Errors.rec_ e);
+  Alcotest.(check bool) "active after decay" true
+    (Errors.state e = Errors.Error_active);
+  (* TEC path: +8 per error, passive past 127, bus-off past 255 *)
+  for _ = 1 to 16 do
+    Errors.on_tx_error e
+  done;
+  check Alcotest.int "tec 128" 128 (Errors.tec e);
+  Alcotest.(check bool) "tec 128 passive" true
+    (Errors.state e = Errors.Error_passive);
+  for _ = 1 to 15 do
+    Errors.on_tx_error e
+  done;
+  check Alcotest.int "tec 248" 248 (Errors.tec e);
+  Alcotest.(check bool) "248 still passive" true
+    (Errors.state e = Errors.Error_passive);
+  Errors.on_tx_error e;
+  Alcotest.(check bool) "256 bus-off" true (Errors.state e = Errors.Bus_off);
+  Alcotest.(check bool) "bus-off cannot transmit" false (Errors.can_transmit e);
+  (* a bus-off controller accrues no further errors while recovering *)
+  Errors.on_tx_error e;
+  Errors.on_rx_error e;
+  check Alcotest.int "tec frozen bus-off" 256 (Errors.tec e);
+  check Alcotest.int "rec frozen bus-off" 0 (Errors.rec_ e);
+  Errors.reset e;
+  Alcotest.(check bool) "reset recovers" true (Errors.can_transmit e);
+  check Alcotest.int "counters cleared" 0 (Errors.tec e)
+
+let test_gateway_sheds_at_capacity () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  (* destination segment is two orders of magnitude slower, so one forward
+     stays in flight while more admissions arrive *)
+  let bus_b = Bus.create ~bitrate:5_000.0 sim in
+  let sender = Node.create ~name:"sender" bus_a in
+  let receiver = Node.create ~name:"receiver" bus_b in
+  let gw =
+    Gateway.connect ~max_in_flight:1 ~name:"gw" ~a:bus_a ~b:bus_b
+      ~forward_a_to_b:(fun _ -> true)
+      ~forward_b_to_a:(fun _ -> true)
+      ()
+  in
+  for i = 0 to 2 do
+    ignore (Node.send sender (Frame.data_std (0x100 + i) ""))
+  done;
+  Engine.run_until sim 1.0;
+  check Alcotest.int "one carried" 1 (Gateway.forwarded gw);
+  check Alcotest.int "excess shed at admission" 2 (Gateway.shed gw);
+  check Alcotest.int "receiver saw the survivor" 1
+    (Node.received_count receiver);
+  check Alcotest.int "no forwards outstanding" 0 (Gateway.in_flight gw)
+
+let test_gateway_retry_backoff_then_shed () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  let bus_b = Bus.create ~bitrate:500_000.0 sim in
+  let sender = Node.create ~name:"sender" bus_a in
+  let receiver = Node.create ~name:"receiver" bus_b in
+  let gw =
+    Gateway.connect ~max_retries:2 ~retry_backoff:0.002 ~name:"gw" ~a:bus_a
+      ~b:bus_b
+      ~forward_a_to_b:(fun _ -> true)
+      ~forward_b_to_a:(fun _ -> true)
+      ()
+  in
+  (* destination segment storms with errors: every submission is abandoned
+     by the bus, the gateway backs off and retries, then sheds *)
+  Bus.set_corrupt_prob bus_b 1.0;
+  ignore (Node.send sender (Frame.data_std 0x100 "\x01"));
+  Engine.run_until sim 0.5;
+  check Alcotest.int "retry budget spent" 2 (Gateway.retries gw);
+  check Alcotest.int "then shed" 1 (Gateway.shed gw);
+  check Alcotest.int "nothing crossed" 0 (Node.received_count receiver);
+  check Alcotest.int "in-flight drained" 0 (Gateway.in_flight gw);
+  (* the destination heals: forwarding resumes without reconnecting *)
+  Bus.set_corrupt_prob bus_b 0.0;
+  ignore (Node.send sender (Frame.data_std 0x101 "\x02"));
+  Engine.run_until sim 1.0;
+  check Alcotest.int "forwarding recovered" 1 (Gateway.forwarded gw);
+  check Alcotest.int "frame arrived" 1 (Node.received_count receiver)
+
+let test_gateway_deadline_sheds () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  let bus_b = Bus.create ~bitrate:500_000.0 sim in
+  let sender = Node.create ~name:"sender" bus_a in
+  let _receiver = Node.create ~name:"receiver" bus_b in
+  (* deadline shorter than one bus-level abandonment cycle: no gateway
+     retry can be scheduled, the frame is shed on first abandonment *)
+  let gw =
+    Gateway.connect ~max_retries:5 ~retry_backoff:0.01 ~forward_timeout:0.005
+      ~name:"gw" ~a:bus_a ~b:bus_b
+      ~forward_a_to_b:(fun _ -> true)
+      ~forward_b_to_a:(fun _ -> true)
+      ()
+  in
+  Bus.set_corrupt_prob bus_b 1.0;
+  ignore (Node.send sender (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.5;
+  check Alcotest.int "no retries past the deadline" 0 (Gateway.retries gw);
+  check Alcotest.int "shed once" 1 (Gateway.shed gw)
+
+let test_bus_corrupt_prob_setter () =
+  let _, bus = make_bus ~corrupt_prob:0.25 () in
+  check Alcotest.(float 0.0) "reads back" 0.25 (Bus.corrupt_prob bus);
+  Bus.set_corrupt_prob bus 0.75;
+  check Alcotest.(float 0.0) "updated" 0.75 (Bus.corrupt_prob bus);
+  Alcotest.check_raises "rejects out of range"
+    (Invalid_argument "Bus.set_corrupt_prob: probability outside [0,1]")
+    (fun () -> Bus.set_corrupt_prob bus 1.5)
 
 (* ---------- candump format ---------- *)
 
@@ -690,6 +886,17 @@ let () =
           quick "whitelist forwarding" test_gateway_forwards_whitelisted;
           quick "bidirectional, no loops" test_gateway_bidirectional_no_loop;
           quick "validation + disconnect" test_gateway_validation_and_disconnect;
+          quick "sheds at in-flight bound" test_gateway_sheds_at_capacity;
+          quick "retry backoff then shed" test_gateway_retry_backoff_then_shed;
+          quick "deadline sheds" test_gateway_deadline_sheds;
+        ] );
+      ( "fault-points",
+        [
+          quick "detach drops queued frames" test_detach_drops_queued;
+          quick "crash/restart cycle" test_crash_restart_cycle;
+          quick "bus-off rejoin after recovery" test_busoff_rejoin_after_recovery;
+          quick "confinement boundaries" test_error_confinement_boundaries;
+          quick "corrupt_prob setter" test_bus_corrupt_prob_setter;
         ] );
       ( "candump",
         [

@@ -196,6 +196,72 @@ let test_registers_hard_reset () =
   check Alcotest.int "lists cleared" 0
     (Approved_list.cardinal (Registers.write_list r))
 
+let test_registers_integrity_seal () =
+  let r = Registers.create () in
+  Alcotest.(check bool) "sealed at creation" true (Registers.integrity_ok r);
+  ignore (Registers.write_reg r ~addr:Registers.cmd_add_read 0x100);
+  ignore (Registers.write_reg r ~addr:Registers.ctrl 0b111);
+  Alcotest.(check bool) "authorised writes reseal" true
+    (Registers.integrity_ok r);
+  (* a bit flip lands in approved-list RAM behind the register interface *)
+  Approved_list.add (Registers.read_list r) (Identifier.standard 0x101);
+  Alcotest.(check bool) "corruption detected" false (Registers.integrity_ok r);
+  Registers.hard_reset r;
+  Alcotest.(check bool) "hard reset restores the seal" true
+    (Registers.integrity_ok r)
+
+let test_hpe_integrity_fails_closed () =
+  let sim = Engine.create () in
+  let bus = Bus.create ~bitrate:500_000.0 sim in
+  let a = Node.create ~name:"a" bus in
+  let b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install b in
+  (match Hpe.provision hpe (Config.make ~read_ids:[ 0x100 ] ~write_ids:[] ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Approved_list.add (Registers.read_list (Hpe.registers hpe))
+    (Identifier.standard 0x200);
+  Alcotest.(check bool) "integrity lost" false (Hpe.integrity_ok hpe);
+  (* fail closed: the corrupted engine passes nothing — not even the id the
+     genuine config approved, and certainly not the one the flip added *)
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  ignore (Node.send a (Frame.data_std 0x200 ""));
+  Engine.run_until sim 0.01;
+  check Alcotest.int "nothing delivered" 0 (Node.received_count b);
+  check Alcotest.int "both land on the integrity counter" 2
+    (Hpe.integrity_blocks hpe);
+  (* re-provisioning (the scrub path) restores service *)
+  Registers.hard_reset (Hpe.registers hpe);
+  (match Hpe.provision hpe (Config.make ~read_ids:[ 0x100 ] ~write_ids:[] ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "integrity restored" true (Hpe.integrity_ok hpe);
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.02;
+  check Alcotest.int "approved traffic flows again" 1 (Node.received_count b)
+
+let test_hpe_integrity_gates_tx () =
+  let sim = Engine.create () in
+  let bus = Bus.create ~bitrate:500_000.0 sim in
+  let a = Node.create ~name:"a" bus in
+  let _b = Node.create ~name:"b" bus in
+  let hpe = Hpe.install a in
+  (match Hpe.provision hpe (Config.make ~read_ids:[] ~write_ids:[ 0x100 ] ())
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "approved write passes" true
+    (Node.send a (Frame.data_std 0x100 ""));
+  Approved_list.add (Registers.write_list (Hpe.registers hpe))
+    (Identifier.standard 0x200);
+  Alcotest.(check bool) "corrupted engine refuses writes" false
+    (Node.send a (Frame.data_std 0x100 ""));
+  Alcotest.(check bool) "including the flipped-in id" false
+    (Node.send a (Frame.data_std 0x200 ""));
+  check Alcotest.int "tx integrity blocks" 2 (Hpe.integrity_blocks hpe)
+
 (* ---------- Policy -> config ---------- *)
 
 let policy_engine src =
@@ -459,6 +525,12 @@ let () =
           quick "lock refuses writes" test_registers_lock_refuses_writes;
           quick "validation" test_registers_validation;
           quick "hard reset" test_registers_hard_reset;
+          quick "integrity seal" test_registers_integrity_seal;
+        ] );
+      ( "integrity",
+        [
+          quick "rx fails closed" test_hpe_integrity_fails_closed;
+          quick "tx fails closed" test_hpe_integrity_gates_tx;
         ] );
       ( "config",
         [

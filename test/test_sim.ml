@@ -246,6 +246,24 @@ let test_engine_stop () =
   Engine.run_until sim 10.0;
   check Alcotest.int "stopped" 3 !count
 
+let test_engine_stop_mid_tick () =
+  (* a stop issued from inside an [every] callback must prevent that very
+     callback from re-arming itself — the queue is cleared *after* the
+     callback returns, so the reschedule must be epoch-guarded *)
+  let sim = Engine.create () in
+  let count = ref 0 in
+  Engine.every sim ~period:1.0 (fun s ->
+      incr count;
+      if !count = 2 then Engine.stop s);
+  Engine.run_until sim 10.0;
+  check Alcotest.int "no reschedule after stop" 2 !count;
+  (* the engine stays usable: periodics armed after the stop belong to the
+     new epoch and run normally *)
+  let again = ref 0 in
+  Engine.every sim ~period:1.0 (fun _ -> incr again);
+  Engine.run_until sim 15.0;
+  check Alcotest.int "fresh periodic unaffected" 5 !again
+
 let test_engine_run_next () =
   let sim = Engine.create () in
   Alcotest.(check bool) "empty" false (Engine.run_next sim);
@@ -410,6 +428,7 @@ let () =
           quick "every unbounded" test_engine_every_unbounded;
           quick "cascading events" test_engine_cascading;
           quick "stop" test_engine_stop;
+          quick "stop from inside a tick" test_engine_stop_mid_tick;
           quick "run_next" test_engine_run_next;
         ] );
       ( "stats",
