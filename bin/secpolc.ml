@@ -5,7 +5,8 @@
      check   thin alias for lint: text output, fail on errors
      fmt     pretty-print the normal form
      eval    evaluate one access request against a policy
-     diff    rule-level difference between two policy files
+     verify  semantic verification: symbolic decision-space analysis
+     diff    semantic + rule-level difference between two policy files
      bundle  seal a policy file into an update bundle (prints the checksum)
 *)
 
@@ -52,6 +53,31 @@ let strategy_arg =
 let comma_list =
   Arg.list ~sep:',' Arg.string
 
+let format_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let fail_on_arg =
+  Arg.(value
+       & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]) `Error
+       & info [ "fail-on" ] ~docv:"SEV"
+           ~doc:"Exit non-zero when findings of this severity (or worse) \
+                 exist: $(b,error), $(b,warning) or $(b,never).")
+
+let modes_arg =
+  Arg.(value & opt (some comma_list) None
+       & info [ "modes" ] ~docv:"M1,M2"
+           ~doc:"Declared mode universe; defaults to the modes the policy \
+                 names.")
+
+let subjects_arg =
+  Arg.(value & opt (some comma_list) None
+       & info [ "subjects" ] ~docv:"S1,S2" ~doc:"Subject universe.")
+
+let assets_arg =
+  Arg.(value & opt (some comma_list) None
+       & info [ "assets" ] ~docv:"A1,A2" ~doc:"Asset universe.")
+
 let lint_config ~strategy ~modes ~subjects ~assets ~vehicle =
   let default l = function Some v -> Some v | None -> l in
   if vehicle then
@@ -90,44 +116,42 @@ let exit_for ~fail_on diagnostics =
   | `Error -> if errors > 0 then 1 else 0
   | `Warning -> if errors > 0 || warnings > 0 then 1 else 0
 
+let explain code =
+  match Diagnostic.code_of_id code with
+  | None ->
+      Printf.eprintf "unknown diagnostic code %S (SP001..SP%03d)\n" code
+        (List.length Diagnostic.all_codes);
+      3
+  | Some c ->
+      Printf.printf "%s (%s), default severity %s\n\n%s\n" (Diagnostic.id c)
+        (Diagnostic.slug c)
+        (Diagnostic.severity_name (Diagnostic.default_severity c))
+        (Diagnostic.explain c);
+      0
+
 let lint_cmd =
-  let run file format strategy fail_on modes subjects assets vehicle =
-    match run_lint file ~strategy ~modes ~subjects ~assets ~vehicle with
-    | Error e ->
-        prerr_endline e;
+  let run file format strategy fail_on modes subjects assets vehicle explain_code =
+    match (explain_code, file) with
+    | Some code, _ -> explain code
+    | None, None ->
+        prerr_endline "secpolc lint: a POLICY file is required unless --explain is given";
         3
-    | Ok (db, diagnostics) ->
-        (match format with
-        | `Text -> Format.printf "%a" Lint.pp_report (db, diagnostics)
-        | `Json ->
-            print_endline
-              (Policy.Json.to_string (Lint.report_to_json db diagnostics)));
-        exit_for ~fail_on diagnostics
+    | None, Some file -> (
+        match run_lint file ~strategy ~modes ~subjects ~assets ~vehicle with
+        | Error e ->
+            prerr_endline e;
+            3
+        | Ok (db, diagnostics) ->
+            (match format with
+            | `Text -> Format.printf "%a" Lint.pp_report (db, diagnostics)
+            | `Json ->
+                print_endline
+                  (Policy.Json.to_string (Lint.report_to_json db diagnostics)));
+            exit_for ~fail_on diagnostics)
   in
-  let format =
-    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
-  in
-  let fail_on =
-    Arg.(value
-         & opt (enum [ ("error", `Error); ("warning", `Warning); ("never", `Never) ]) `Error
-         & info [ "fail-on" ] ~docv:"SEV"
-             ~doc:"Exit non-zero when findings of this severity (or worse) \
-                   exist: $(b,error), $(b,warning) or $(b,never).")
-  in
-  let modes =
-    Arg.(value & opt (some comma_list) None
-         & info [ "modes" ] ~docv:"M1,M2"
-             ~doc:"Declared mode universe; enables the mode-unknown pass and \
-                   widens the coverage grid.")
-  in
-  let subjects =
-    Arg.(value & opt (some comma_list) None
-         & info [ "subjects" ] ~docv:"S1,S2" ~doc:"Coverage subject universe.")
-  in
-  let assets =
-    Arg.(value & opt (some comma_list) None
-         & info [ "assets" ] ~docv:"A1,A2" ~doc:"Coverage asset universe.")
+  let file =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"POLICY" ~doc:"Policy source file.")
   in
   let vehicle =
     Arg.(value & flag
@@ -135,6 +159,12 @@ let lint_cmd =
              ~doc:"Lint against the built-in connected-car deployment: the \
                    car's mode/subject/asset universes plus the cross-layer \
                    HPE-consistency and threat-traceability passes.")
+  in
+  let explain_code =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"CODE"
+             ~doc:"Print the long-form description of a diagnostic code \
+                   (e.g. $(b,SP003) or $(b,coverage-gap)) and exit.")
   in
   Cmd.v
     (Cmd.info "lint"
@@ -147,14 +177,16 @@ let lint_cmd =
                unreachable rules SP004, unknown modes SP005, rate sanity \
                SP006/SP007, and with $(b,--vehicle) also HPE consistency \
                SP008 and threat traceability SP009) and reports the \
-               findings.";
+               findings.  $(b,--explain) documents any SP001..SP014 code, \
+               including the semantic-verifier codes emitted by \
+               $(b,secpolc verify) and $(b,secpolc diff).";
            `S Manpage.s_exit_status;
            `P "0 on a clean policy (or findings below $(b,--fail-on)); 1 \
                when findings at or above the threshold exist; 3 when the \
                policy cannot be read, parsed or compiled.";
          ])
-    Term.(const run $ policy_file $ format $ strategy_arg $ fail_on $ modes
-          $ subjects $ assets $ vehicle)
+    Term.(const run $ file $ format_arg $ strategy_arg $ fail_on_arg
+          $ modes_arg $ subjects_arg $ assets_arg $ vehicle $ explain_code)
 
 (* ---------- check ---------- *)
 
@@ -247,6 +279,82 @@ let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one access request. Exit 0 allow / 3 deny.")
     Term.(const run $ policy_file $ mode $ subject $ asset $ op $ msg $ strategy_arg)
+
+(* ---------- verify ---------- *)
+
+let load_db path =
+  match load path with
+  | Error e -> Error e
+  | Ok ast -> (
+      match Policy.Compile.compile ast with
+      | Error issues ->
+          Error
+            (String.concat "\n"
+               (List.map
+                  (fun i -> Format.asprintf "%a" Policy.Compile.pp_issue i)
+                  issues))
+      | Ok (db, _warnings) -> Ok (ast, db))
+
+(* Threat entry points name attack surfaces; requests arrive as the asset
+   names of the CAN nodes behind them, which is what policy rules bind. *)
+let vehicle_obligations () =
+  Secpol.Threat.Obligation.of_model
+    ~subjects_of_entry_point:(fun ep ->
+      List.map Vehicle.Names.asset_of_node (Vehicle.Names.nodes_of_entry_point ep))
+    (Vehicle.Threat_catalog.model ())
+
+let verify_cmd =
+  let run file format strategy fail_on modes subjects assets vehicle =
+    match load_db file with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok (_ast, db) ->
+        let cfg = lint_config ~strategy ~modes ~subjects ~assets ~vehicle in
+        let obligations = if vehicle then vehicle_obligations () else [] in
+        let report =
+          Policy.Verify.analyse ~strategy:cfg.Lint.strategy
+            ?modes:cfg.Lint.modes ?subjects:cfg.Lint.subjects
+            ?assets:cfg.Lint.assets ~obligations db
+        in
+        (match format with
+        | `Text -> Format.printf "%a" Policy.Verify.pp_report report
+        | `Json ->
+            print_endline
+              (Policy.Json.to_string (Policy.Verify.report_to_json report)));
+        exit_for ~fail_on report.Policy.Verify.diagnostics
+  in
+  let vehicle =
+    Arg.(value & flag
+         & info [ "vehicle" ]
+             ~doc:"Verify against the built-in connected-car deployment: \
+                   the car's mode/subject/asset universes plus the denial \
+                   obligations derived from the Table-I threat catalogue \
+                   (SP013).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Semantically verify a policy by symbolic decision-space \
+             analysis."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Computes every access cell's exact decision partition over \
+               the message-id space, measures default-decision \
+               completeness, proves that the interpreted engine, the \
+               compiled table and the symbolic partition agree on every \
+               region boundary in every reachable rate-budget state \
+               (SP014 on divergence), and reports dead rules (SP011), \
+               mergeable modes (SP010) and, with $(b,--vehicle), \
+               unmitigated threat obligations (SP013).";
+           `S Manpage.s_exit_status;
+           `P "0 when verification passes (or findings stay below \
+               $(b,--fail-on)); 1 when findings at or above the threshold \
+               exist; 3 when the policy cannot be read, parsed or \
+               compiled.";
+         ])
+    Term.(const run $ policy_file $ format_arg $ strategy_arg $ fail_on_arg
+          $ modes_arg $ subjects_arg $ assets_arg $ vehicle)
 
 (* ---------- bench ---------- *)
 
@@ -537,20 +645,30 @@ let bench_cmd =
 (* ---------- diff ---------- *)
 
 let diff_cmd =
-  let run old_file new_file =
-    match (load old_file, load new_file) with
+  let run old_file new_file strategy format json_out fail_on =
+    match (load_db old_file, load_db new_file) with
     | Error e, _ | _, Error e ->
         prerr_endline e;
-        1
-    | Ok old_p, Ok new_p ->
-        let d = Policy.Update.diff old_p new_p in
-        Format.printf "%a" Policy.Update.pp_diff d;
-        if d.Policy.Update.added = [] && d.Policy.Update.removed = []
-           && d.Policy.Update.default_changed = None
-        then begin
-          print_endline "policies are semantically identical";
-          0
-        end
+        3
+    | Ok (old_p, old_db), Ok (new_p, new_db) ->
+        let r = Policy.Verify.diff ~strategy old_db new_db in
+        (match format with
+        | `Text ->
+            Format.printf "%a" Policy.Update.pp_diff
+              (Policy.Update.diff old_p new_p);
+            Format.printf "%a" Policy.Verify.pp_diff_report r;
+            if r.Policy.Verify.deltas = [] then
+              print_endline "policies are semantically identical"
+        | `Json ->
+            print_endline (Policy.Json.to_string (Policy.Verify.diff_to_json r)));
+        (match json_out with
+        | Some path ->
+            write_file path
+              (Policy.Json.to_string (Policy.Verify.diff_to_json r) ^ "\n")
+        | None -> ());
+        if fail_on = `Widened
+           && Policy.Verify.count_direction Policy.Verify.Widened r > 0
+        then 1
         else 0
   in
   let old_file =
@@ -559,9 +677,38 @@ let diff_cmd =
   let new_file =
     Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"New policy.")
   in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Also write the semantic diff as JSON to $(docv).")
+  in
+  let fail_on =
+    Arg.(value & opt (enum [ ("widened", `Widened); ("never", `Never) ]) `Never
+         & info [ "fail-on" ] ~docv:"DIR"
+             ~doc:"Exit 1 when the update has deltas of this kind: \
+                   $(b,widened) (the new version allows requests the old \
+                   one denied, SP012) or $(b,never).")
+  in
   Cmd.v
-    (Cmd.info "diff" ~doc:"Rule-level difference between two policies.")
-    Term.(const run $ old_file $ new_file)
+    (Cmd.info "diff"
+       ~doc:"Semantic decision-space difference between two policy \
+             versions."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "Computes the exact per-cell decision-region changes between \
+               $(i,OLD) and $(i,NEW) by symbolic analysis (see $(b,secpolc \
+               verify)), classifying each delta as widened, tightened or \
+               changed, alongside the rule-level add/remove summary.  A \
+               widened delta means the update silently allows requests the \
+               old version denied (SP012).";
+           `S Manpage.s_exit_status;
+           `P "0 when the update is acceptable under $(b,--fail-on); 1 \
+               otherwise; 3 when either policy cannot be read, parsed or \
+               compiled.";
+         ])
+    Term.(const run $ old_file $ new_file $ strategy_arg $ format_arg
+          $ json_out $ fail_on)
 
 (* ---------- bundle ---------- *)
 
@@ -599,4 +746,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ lint_cmd; check_cmd; fmt_cmd; eval_cmd; bench_cmd; diff_cmd; bundle_cmd ]))
+          [
+            lint_cmd; check_cmd; fmt_cmd; eval_cmd; verify_cmd; bench_cmd;
+            diff_cmd; bundle_cmd;
+          ]))

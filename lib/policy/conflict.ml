@@ -12,14 +12,13 @@ let modes_overlap a b =
   | None, _ | _, None -> true
   | Some xs, Some ys -> intersect xs ys
 
-let ranges_overlap (a : Ast.msg_range) (b : Ast.msg_range) =
-  a.lo <= b.hi && b.lo <= a.hi
-
+(* Message clauses reduce to the shared symbolic {!Region} semantics: two
+   clauses overlap iff their regions intersect (a missing clause is the
+   full region, so it overlaps everything non-empty). *)
 let messages_overlap a b =
-  match (a, b) with
-  | None, _ | _, None -> true
-  | Some xs, Some ys ->
-      List.exists (fun x -> List.exists (ranges_overlap x) ys) xs
+  not
+    (Region.is_empty
+       (Region.inter (Region.of_messages a) (Region.of_messages b)))
 
 let overlap (a : Ir.rule) (b : Ir.rule) =
   a.asset = b.asset
@@ -42,17 +41,8 @@ let modes_covers a b =
   | Some _, None -> false
   | Some xs, Some ys -> subset ys xs
 
-(* Both range lists are normalised (sorted, merged), so a range of [b] is
-   covered iff it fits inside a single range of [a]. *)
 let messages_covers a b =
-  match (a, b) with
-  | None, _ -> true
-  | Some _, None -> false
-  | Some xs, Some ys ->
-      List.for_all
-        (fun (y : Ast.msg_range) ->
-          List.exists (fun (x : Ast.msg_range) -> x.lo <= y.lo && y.hi <= x.hi) xs)
-        ys
+  Region.subset (Region.of_messages b) (Region.of_messages a)
 
 let covers (a : Ir.rule) (b : Ir.rule) =
   (* a rate-limited rule stops matching once its budget is spent, so it

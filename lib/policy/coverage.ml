@@ -25,17 +25,22 @@ let rule_touches (r : Ir.rule) (c : cell) =
    the rule must not count as covering the whole cell. *)
 let rule_covers (r : Ir.rule) (c : cell) = rule_touches r c && r.messages = None
 
+(* The union of the touching rules' message regions (shared {!Region}
+   semantics) classifies the cell: a region including the id-less request
+   can only come from a rule with no message clause, which decides every
+   id — [Full]; an empty union means nothing touches — [Gap]; anything
+   else decides only the ids it covers — [Partial]. *)
 let classify (db : Ir.db) c =
   let touching = List.filter (fun r -> rule_touches r c) db.rules in
-  if List.exists (fun (r : Ir.rule) -> r.messages = None) touching then Full
-  else
-    match
-      List.concat_map
-        (fun (r : Ir.rule) -> Option.value ~default:[] r.messages)
-        touching
-    with
-    | [] -> Gap
-    | ranges -> Partial (Ast.normalise_ranges ranges)
+  let region =
+    List.fold_left
+      (fun acc (r : Ir.rule) ->
+        Region.union acc (Region.of_messages r.messages))
+      Region.empty touching
+  in
+  if region.Region.none then Full
+  else if Region.is_empty region then Gap
+  else Partial (Region.to_ranges region)
 
 let cell_covered (db : Ir.db) c = classify db c = Full
 

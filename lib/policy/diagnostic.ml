@@ -10,6 +10,11 @@ type code =
   | Rate_ineffective
   | Hpe_mismatch
   | Threat_untraced
+  | Mode_mergeable
+  | Region_empty
+  | Allow_widened
+  | Threat_unmitigated
+  | Semantics_divergence
 
 type t = {
   code : code;
@@ -27,6 +32,8 @@ let all_codes =
   [
     Conflict; Shadowed; Coverage_gap; Unreachable_rule; Mode_unknown;
     Rate_deny; Rate_ineffective; Hpe_mismatch; Threat_untraced;
+    Mode_mergeable; Region_empty; Allow_widened; Threat_unmitigated;
+    Semantics_divergence;
   ]
 
 let id = function
@@ -39,6 +46,11 @@ let id = function
   | Rate_ineffective -> "SP007"
   | Hpe_mismatch -> "SP008"
   | Threat_untraced -> "SP009"
+  | Mode_mergeable -> "SP010"
+  | Region_empty -> "SP011"
+  | Allow_widened -> "SP012"
+  | Threat_unmitigated -> "SP013"
+  | Semantics_divergence -> "SP014"
 
 let slug = function
   | Conflict -> "conflict"
@@ -50,6 +62,11 @@ let slug = function
   | Rate_ineffective -> "rate-ineffective"
   | Hpe_mismatch -> "hpe-mismatch"
   | Threat_untraced -> "threat-untraced"
+  | Mode_mergeable -> "mode-mergeable"
+  | Region_empty -> "region-empty"
+  | Allow_widened -> "allow-widened"
+  | Threat_unmitigated -> "threat-unmitigated"
+  | Semantics_divergence -> "semantics-divergence"
 
 let code_of_id s =
   List.find_opt (fun c -> id c = s || slug c = s) all_codes
@@ -58,10 +75,88 @@ let code_of_id s =
    rate, or hardware contradicting software are all bugs in the policy; dead
    rules and silent defaults are smells the author should review. *)
 let default_severity = function
-  | Conflict | Mode_unknown | Rate_deny | Hpe_mismatch -> Error
+  | Conflict | Mode_unknown | Rate_deny | Hpe_mismatch | Semantics_divergence
+    ->
+      Error
   | Shadowed | Coverage_gap | Unreachable_rule | Rate_ineffective
-  | Threat_untraced ->
+  | Threat_untraced | Region_empty | Allow_widened | Threat_unmitigated ->
       Warning
+  | Mode_mergeable -> Info
+
+let explain = function
+  | Conflict ->
+      "Two rules overlap — some (mode, subject, asset, operation, message \
+       id) request matches both — and they disagree on the decision.  The \
+       outcome then depends entirely on the resolution strategy, which is \
+       rarely what the author meant: make the scopes disjoint or delete \
+       one rule."
+  | Shadowed ->
+      "A rule's entire scope is covered by an earlier rule with the same \
+       decision, so it can never change any outcome.  Dead weight: delete \
+       it, or narrow the earlier rule if the later one was meant to \
+       differ."
+  | Coverage_gap ->
+      "No rule decides some (mode, subject, asset, operation) cell — or \
+       decides it only for part of the message-id space — so those \
+       requests fall silently to the policy default.  Under default deny \
+       this fails safe (informational); under default allow it is an \
+       unreviewed permission (warning)."
+  | Unreachable_rule ->
+      "Under the chosen resolution strategy a single other rule covers \
+       this rule's whole scope and always wins (a deny over an allow \
+       under deny-overrides, an unlimited allow over a deny under \
+       allow-overrides, an earlier opposite rule under first-match), so \
+       no request can ever trigger it."
+  | Mode_unknown ->
+      "The rule names a mode outside the declared mode universe.  Almost \
+       always a typo: the rule silently never matches, because the \
+       vehicle can never be in a mode that does not exist."
+  | Rate_deny ->
+      "A deny rule carries a rate limit.  A deny must be unconditional — \
+       \"deny, but only so often\" would mean the request is sometimes \
+       allowed by exhaustion, which inverts the intent.  The compiler \
+       rejects this; the lint reports it with a location."
+  | Rate_ineffective ->
+      "A rate limit can never bind because an unlimited allow rule \
+       covers the same scope: when the budget runs out, the request \
+       falls through to the unlimited rule and is allowed anyway.  \
+       Either drop the rate or narrow the unlimited rule."
+  | Hpe_mismatch ->
+      "The hardware policy engine's approved-id lists disagree with the \
+       software engine's decision for some (binding, operation): one \
+       layer grants what the other denies.  The two enforcement points \
+       must agree, or the weaker one is the real policy."
+  | Threat_untraced ->
+      "A threat in the catalogue maps to no policy rule at all: nothing \
+       in the policy even touches the threat's asset in its modes, so \
+       the countermeasure the model calls for does not exist."
+  | Mode_mergeable ->
+      "Semantic verifier: two (or more) modes decide an asset \
+       identically for every subject, operation and message id, through \
+       distinct mode-scoped rules.  The rules could merge into one rule \
+       naming all the modes — smaller policy, one place to update."
+  | Region_empty ->
+      "Semantic verifier: after strategy folding, the rule's effective \
+       decision region is empty — every request it matches is decided \
+       by earlier or overriding rules, possibly by several of them \
+       jointly.  Strictly stronger than SP004, which only detects a \
+       single covering rule."
+  | Allow_widened ->
+      "Update differ: the new policy version allows requests the old \
+       version denied (or relaxes a rate-limited allow to an unlimited \
+       one) somewhere in the decision space.  Widening may be intended, \
+       but it must be reviewed — an OTA campaign should never widen \
+       silently."
+  | Threat_unmitigated ->
+      "Threat-assertion checker: the policy allows the attack operation \
+       of a catalogued threat on its asset, in a mode the threat is \
+       live, for a subject the threat model does not exempt.  The \
+       reported region is exactly the unmitigated attack surface."
+  | Semantics_divergence ->
+      "The symbolic verifier found a request on which the interpreted \
+       engine and the compiled decision table disagree (or an engine \
+       disagrees with the symbolic decision partition).  This is a \
+       toolchain bug, never a policy bug: report it."
 
 let severity_name = function
   | Error -> "error"

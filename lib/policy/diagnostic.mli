@@ -31,6 +31,22 @@ type code =
           software engine's decision for some (binding, op) *)
   | Threat_untraced
       (** [SP009] a threat-catalogue countermeasure maps to no policy rule *)
+  | Mode_mergeable
+      (** [SP010] modes whose decision functions are identical on an asset
+          through distinct mode-scoped rules — merge candidates *)
+  | Region_empty
+      (** [SP011] a rule whose effective decision region is empty after
+          strategy folding: earlier/overriding rules jointly capture its
+          whole scope (strictly stronger than SP004) *)
+  | Allow_widened
+      (** [SP012] a policy update widens an allow region: the new version
+          allows requests the old version denied *)
+  | Threat_unmitigated
+      (** [SP013] the policy allows a catalogued threat's attack operation
+          on its asset for a non-exempt subject *)
+  | Semantics_divergence
+      (** [SP014] interpreted and compiled engines (or an engine and the
+          symbolic partition) disagree on a request — a toolchain bug *)
 
 type t = {
   code : code;
@@ -57,6 +73,10 @@ val code_of_id : string -> code option
 (** Accepts either the [SPxxx] id or the slug. *)
 
 val default_severity : code -> severity
+
+val explain : code -> string
+(** The long-form description of a code — what the finding means, why it
+    matters and what to do about it ([secpolc lint --explain]). *)
 
 val severity_name : severity -> string
 

@@ -62,6 +62,25 @@ let remove t ~lo ~hi =
   in
   normalise keep
 
+(* Normal form is unique (sorted, disjoint, non-adjacent), so structural
+   equality of the arrays is set equality. *)
+let equal a b = a.los = b.los && a.his = b.his
+
+let union a b = normalise (ranges a @ ranges b)
+
+let diff a b =
+  List.fold_left (fun acc (lo, hi) -> remove acc ~lo ~hi) a (ranges b)
+
+(* a ∩ b = a \ (a \ b): two linear passes over compile-time-sized sets beat
+   a bespoke merge walk that would need its own boundary proofs. *)
+let inter a b = diff a (diff a b)
+
+let subset a b = is_empty (diff a b)
+
+let complement t ~lo ~hi =
+  check_pair (lo, hi);
+  diff (of_ranges [ (lo, hi) ]) t
+
 let cardinal t =
   Array.to_list t.los
   |> List.mapi (fun i lo -> t.his.(i) - lo + 1)

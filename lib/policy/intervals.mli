@@ -31,6 +31,24 @@ val remove : t -> lo:int -> hi:int -> t
 
 val is_empty : t -> bool
 
+val equal : t -> t -> bool
+(** Set equality.  The normal form is unique, so this is structural. *)
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** Elements of the first set not in the second. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] when every element of [a] is in [b]. *)
+
+val complement : t -> lo:int -> hi:int -> t
+(** Elements of [lo..hi] (inclusive) not in the set.  Elements of the set
+    outside [lo..hi] are dropped, not preserved.
+    @raise Invalid_argument on a reversed pair or negative bound. *)
+
 val cardinal : t -> int
 (** Total number of integers covered (sum of range widths). *)
 

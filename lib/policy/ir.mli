@@ -45,6 +45,10 @@ val range_text : Ast.msg_range -> string
 val subject_matches : Ast.subjects -> string -> bool
 (** [Any_subject] covers everything; [Subjects l] covers members of [l]. *)
 
+val mode_matches : string list option -> string -> bool
+(** [None] (no mode scope) covers every mode; [Some l] covers members of
+    [l]. *)
+
 val rule_matches : rule -> request -> bool
 (** True when every dimension of the rule covers the request.  A
     message-constrained rule only matches requests that carry a message ID

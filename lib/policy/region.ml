@@ -1,0 +1,102 @@
+(* A decision region of the message dimension: requests carry either no
+   message id at all or one 29-bit CAN identifier, so a region is a pair of
+   "matches the id-less request" and an interval set over the id space.
+   Every symbolic analysis (verify, diff, conflict, coverage) shares this
+   one representation so there is a single message semantics. *)
+
+type t = { none : bool; ids : Intervals.t }
+
+let max_id = 0x1FFFFFFF
+
+let empty = { none = false; ids = Intervals.empty }
+
+let full = { none = true; ids = Intervals.of_ranges [ (0, max_id) ] }
+
+let all_ids = { none = false; ids = Intervals.of_ranges [ (0, max_id) ] }
+
+let none_only = { none = true; ids = Intervals.empty }
+
+let of_intervals ids = { none = false; ids }
+
+let is_empty t = (not t.none) && Intervals.is_empty t.ids
+
+let equal a b = a.none = b.none && Intervals.equal a.ids b.ids
+
+let inter a b = { none = a.none && b.none; ids = Intervals.inter a.ids b.ids }
+
+let union a b = { none = a.none || b.none; ids = Intervals.union a.ids b.ids }
+
+let diff a b =
+  { none = a.none && not b.none; ids = Intervals.diff a.ids b.ids }
+
+let subset a b = ((not a.none) || b.none) && Intervals.subset a.ids b.ids
+
+let mem t = function None -> t.none | Some id -> Intervals.mem t.ids id
+
+let cardinal t = Intervals.cardinal t.ids + if t.none then 1 else 0
+
+(* The exact region a rule's message clause matches: no clause matches
+   everything including the id-less request; an explicit clause matches
+   only requests carrying an id inside one of its ranges (this is the
+   semantics of both {!Ir.message_matches} and the compiled
+   {!Table.crule_matches}). *)
+let of_messages = function
+  | None -> full
+  | Some ranges ->
+      {
+        none = false;
+        ids =
+          Intervals.of_ranges
+            (List.map (fun (g : Ast.msg_range) -> (g.lo, g.hi)) ranges);
+      }
+
+let to_ranges t =
+  List.map (fun (lo, hi) -> { Ast.lo; hi }) (Intervals.ranges t.ids)
+
+let span t =
+  match Intervals.ranges t.ids with
+  | [] -> None
+  | (lo, _) :: _ as ranges ->
+      let hi = List.fold_left (fun acc (_, hi) -> max acc hi) lo ranges in
+      Some (lo, hi)
+
+(* Representative points of the region: every interval endpoint plus a
+   midpoint for wide intervals, plus the id-less request when included.
+   Evaluating a decision function at these witnesses covers every boundary
+   of the region. *)
+let witnesses t =
+  let points =
+    List.concat_map
+      (fun (lo, hi) ->
+        let mid = lo + ((hi - lo) / 2) in
+        List.sort_uniq Int.compare [ lo; mid; hi ]
+        |> List.map (fun i -> Some i))
+      (Intervals.ranges t.ids)
+  in
+  if t.none then None :: points else points
+
+let pp ppf t =
+  if is_empty t then Format.pp_print_string ppf "(empty)"
+  else if equal t full then Format.pp_print_string ppf "any message"
+  else begin
+    if t.none then Format.pp_print_string ppf "no-id";
+    if not (Intervals.is_empty t.ids) then begin
+      if t.none then Format.pp_print_string ppf "+";
+      if Intervals.equal t.ids all_ids.ids then
+        Format.pp_print_string ppf "all ids"
+      else Intervals.pp ppf t.ids
+    end
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("includes_no_id", Json.Bool t.none);
+      ( "ranges",
+        Json.List
+          (List.map
+             (fun (lo, hi) ->
+               Json.Obj [ ("lo", Json.Int lo); ("hi", Json.Int hi) ])
+             (Intervals.ranges t.ids)) );
+      ("ids", Json.Int (Intervals.cardinal t.ids));
+    ]

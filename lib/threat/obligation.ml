@@ -1,0 +1,47 @@
+(* A threat compiles to a denial obligation: the attack operation on the
+   threat's asset, in every mode the threat is live, must be denied to
+   every subject the model does not exempt.  Exemptions exist only for
+   residual-risk threats — when the attack operation is also a legitimate
+   operation, the entry-point subjects hold it by design and policy alone
+   cannot distinguish use from abuse (paper §III: residual risk). *)
+
+type t = {
+  threat_id : string;
+  title : string;
+  asset : string;
+  operation : Threat.operation;
+  modes : string list;
+  exempt_subjects : string list;
+  residual : bool;
+}
+
+let of_threat ?(subjects_of_entry_point = fun ep -> [ ep ]) (t : Threat.t) =
+  let residual = List.mem t.attack_operation t.legitimate_operations in
+  let entry_subjects =
+    List.concat_map subjects_of_entry_point t.entry_points
+    |> List.sort_uniq String.compare
+  in
+  {
+    threat_id = t.id;
+    title = t.title;
+    asset = t.asset;
+    operation = t.attack_operation;
+    modes = t.modes;
+    exempt_subjects = (if residual then entry_subjects else []);
+    residual;
+  }
+
+let of_model ?subjects_of_entry_point (m : Model.t) =
+  List.map (of_threat ?subjects_of_entry_point) m.threats
+
+let pp ppf o =
+  Format.fprintf ppf "%s: deny %s on %s%s%s%s" o.threat_id
+    (Threat.operation_name o.operation)
+    o.asset
+    (match o.modes with
+    | [] -> " in every mode"
+    | modes -> " in " ^ String.concat "," modes)
+    (match o.exempt_subjects with
+    | [] -> ""
+    | l -> " except from " ^ String.concat "," l)
+    (if o.residual then " (residual risk)" else "")

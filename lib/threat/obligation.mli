@@ -1,0 +1,36 @@
+(** Denial obligations derived from threats.
+
+    The threat-to-assertion direction (ATLAS): each modelled threat
+    synthesises the statement a deployed policy must discharge — {e the
+    attack operation on the threat's asset is denied, in every mode the
+    threat is live, to every subject the model does not exempt}.  The
+    semantic verifier checks each obligation against a compiled policy's
+    decision regions ([secpolc verify], diagnostic SP013) and the same
+    records serve as runtime assertion templates for invariant monitors.
+
+    For a residual-risk threat — the attack operation is also a legitimate
+    operation — the entry-point subjects are exempted: they hold the
+    operation by design, and the policy layer cannot tell use from abuse
+    (the paper's residual-risk rows).  All other subjects must still be
+    denied. *)
+
+type t = {
+  threat_id : string;
+  title : string;
+  asset : string;
+  operation : Threat.operation;  (** the attack operation that must be denied *)
+  modes : string list;  (** modes the threat is live in; [[]] = every mode *)
+  exempt_subjects : string list;
+      (** subjects allowed to hold the operation (residual risk only) *)
+  residual : bool;
+}
+
+val of_threat : ?subjects_of_entry_point:(string -> string list) -> Threat.t -> t
+(** [subjects_of_entry_point] maps an entry-point id to the policy subject
+    names requests arrive as (defaults to the identity, one subject per
+    entry-point id). *)
+
+val of_model :
+  ?subjects_of_entry_point:(string -> string list) -> Model.t -> t list
+
+val pp : Format.formatter -> t -> unit

@@ -45,14 +45,18 @@ let rules_of (d : Diagnostic.t) = d.rules
 let test_codes_stable () =
   Alcotest.(check (list string))
     "ids are stable"
-    [ "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007"; "SP008"; "SP009" ]
+    [
+      "SP001"; "SP002"; "SP003"; "SP004"; "SP005"; "SP006"; "SP007"; "SP008";
+      "SP009"; "SP010"; "SP011"; "SP012"; "SP013"; "SP014";
+    ]
     (List.map Diagnostic.id Diagnostic.all_codes);
   Alcotest.(check (list string))
     "slugs are stable"
     [
       "conflict"; "shadowed"; "coverage-gap"; "unreachable-rule";
       "mode-unknown"; "rate-deny"; "rate-ineffective"; "hpe-mismatch";
-      "threat-untraced";
+      "threat-untraced"; "mode-mergeable"; "region-empty"; "allow-widened";
+      "threat-unmitigated"; "semantics-divergence";
     ]
     (List.map Diagnostic.slug Diagnostic.all_codes);
   List.iter

@@ -1,0 +1,688 @@
+(* Tests for the semantic verifier: Intervals/Region set algebra, symbolic
+   partitions, the interpreter/compiled/symbolic equivalence proof, mode
+   merging (SP010), dead regions (SP011), semantic diffing (SP012),
+   threat-obligation checking (SP013) and the diagnostic catalogue. *)
+
+module Ast = Secpol_policy.Ast
+module Parser = Secpol_policy.Parser
+module Printer = Secpol_policy.Printer
+module Compile = Secpol_policy.Compile
+module Ir = Secpol_policy.Ir
+module Engine = Secpol_policy.Engine
+module Intervals = Secpol_policy.Intervals
+module Region = Secpol_policy.Region
+module Verify = Secpol_policy.Verify
+module Diagnostic = Secpol_policy.Diagnostic
+module Threat = Secpol_threat.Threat
+module Stride = Secpol_threat.Stride
+module Dread = Secpol_threat.Dread
+module Obligation = Secpol_threat.Obligation
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let parse_ok src =
+  match Parser.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let compile_ok src =
+  match Compile.compile (parse_ok src) with
+  | Ok (db, _) -> db
+  | Error issues ->
+      Alcotest.fail
+        ("compile failed: "
+        ^ String.concat "; "
+            (List.map (fun (i : Compile.issue) -> i.message) issues))
+
+let has_code code diagnostics =
+  List.exists (fun (d : Diagnostic.t) -> d.code = code) diagnostics
+
+(* ---------- Intervals hardening ---------- *)
+
+let max_id = Region.max_id
+
+let iv ranges = Intervals.of_ranges ranges
+
+let test_intervals_equal () =
+  check Alcotest.bool "empty = empty" true
+    (Intervals.equal Intervals.empty Intervals.empty);
+  check Alcotest.bool "order-insensitive" true
+    (Intervals.equal (iv [ (5, 9); (0, 3) ]) (iv [ (0, 3); (5, 9) ]));
+  check Alcotest.bool "distinct" false
+    (Intervals.equal (iv [ (0, 3) ]) (iv [ (0, 4) ]))
+
+let test_intervals_complement_boundaries () =
+  (* complement of the empty set is the whole space, and back *)
+  let full = Intervals.complement Intervals.empty ~lo:0 ~hi:max_id in
+  check Alcotest.bool "complement empty = full" true
+    (Intervals.equal full (iv [ (0, max_id) ]));
+  check Alcotest.int "full cardinal is 2^29" (max_id + 1)
+    (Intervals.cardinal full);
+  check Alcotest.bool "complement full = empty" true
+    (Intervals.is_empty (Intervals.complement full ~lo:0 ~hi:max_id));
+  (* interior hole: both edges inclusive *)
+  let holed = Intervals.complement (iv [ (1, max_id - 1) ]) ~lo:0 ~hi:max_id in
+  check Alcotest.bool "edges survive" true
+    (Intervals.equal holed (iv [ (0, 0); (max_id, max_id) ]))
+
+let test_intervals_adjacent_coalescing () =
+  (* adjacent ranges share no element yet must normalise to one *)
+  let u = Intervals.union (iv [ (0, 4) ]) (iv [ (5, 9) ]) in
+  check Alcotest.bool "adjacent union coalesces" true
+    (Intervals.equal u (iv [ (0, 9) ]));
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "single range" [ (0, 9) ] (Intervals.ranges u);
+  (* removing the seam splits it back *)
+  let split = Intervals.diff u (iv [ (5, 5) ]) in
+  check Alcotest.bool "seam removal splits" true
+    (Intervals.equal split (iv [ (0, 4); (6, 9) ]))
+
+let test_intervals_algebra () =
+  let a = iv [ (0, 10); (20, 30) ] and b = iv [ (5, 25) ] in
+  check Alcotest.bool "inter" true
+    (Intervals.equal (Intervals.inter a b) (iv [ (5, 10); (20, 25) ]));
+  check Alcotest.bool "diff" true
+    (Intervals.equal (Intervals.diff a b) (iv [ (0, 4); (26, 30) ]));
+  check Alcotest.bool "subset yes" true (Intervals.subset (iv [ (6, 9) ]) a);
+  check Alcotest.bool "subset straddling" false
+    (Intervals.subset (iv [ (9, 21) ]) a);
+  check Alcotest.bool "empty subset of empty" true
+    (Intervals.subset Intervals.empty Intervals.empty);
+  (* de Morgan over the full message space *)
+  let c x = Intervals.complement x ~lo:0 ~hi:max_id in
+  check Alcotest.bool "de morgan" true
+    (Intervals.equal (c (Intervals.union a b))
+       (Intervals.inter (c a) (c b)))
+
+(* ---------- Region ---------- *)
+
+let test_region_of_messages () =
+  check Alcotest.bool "no clause includes the id-less request" true
+    (Region.mem Region.full None);
+  check Alcotest.bool "no clause includes the top id" true
+    (Region.mem Region.full (Some max_id));
+  let r = Region.of_messages (Some [ Ast.range 0x100 0x10f ]) in
+  check Alcotest.bool "clause excludes the id-less request" false
+    (Region.mem r None);
+  check Alcotest.bool "clause includes its ids" true (Region.mem r (Some 0x105));
+  check Alcotest.int "cardinal counts no-id as one point" (max_id + 2)
+    (Region.cardinal Region.full)
+
+let test_region_algebra () =
+  let r = Region.of_messages (Some [ Ast.range 10 20 ]) in
+  let d = Region.diff Region.full r in
+  check Alcotest.bool "diff keeps no-id" true (Region.mem d None);
+  check Alcotest.bool "diff drops ids" false (Region.mem d (Some 15));
+  check Alcotest.bool "union restores full" true
+    (Region.equal (Region.union d r) Region.full);
+  check Alcotest.bool "inter with none_only" true
+    (Region.equal (Region.inter Region.full Region.none_only) Region.none_only);
+  check Alcotest.bool "subset" true (Region.subset r Region.full);
+  check Alcotest.bool "none_only not subset of ids" false
+    (Region.subset Region.none_only Region.all_ids)
+
+let test_region_witnesses () =
+  let w = Region.witnesses Region.full in
+  check Alcotest.bool "includes the id-less request" true (List.mem None w);
+  check Alcotest.bool "includes the low boundary" true (List.mem (Some 0) w);
+  check Alcotest.bool "includes the high boundary" true
+    (List.mem (Some max_id) w);
+  check Alcotest.bool "all witnesses are members" true
+    (List.for_all (Region.mem Region.full) w);
+  check (Alcotest.list Alcotest.int) "single point region"
+    [ 7 ]
+    (List.filter_map Fun.id (Region.witnesses (Region.of_intervals (iv [ (7, 7) ]))))
+
+(* ---------- Symbolic partitions ---------- *)
+
+let strategies =
+  [ Engine.Deny_overrides; Engine.Allow_overrides; Engine.First_match ]
+
+let partition_src =
+  {|
+policy "p" version 1 {
+  default deny;
+  asset a {
+    deny  write from s messages 0x100..0x1ff;
+    allow write from s messages 0x180..0x2ff;
+  }
+}
+|}
+
+let test_partition_covers_everything () =
+  let db = compile_ok partition_src in
+  List.iter
+    (fun strategy ->
+      let segs =
+        Verify.partition ~strategy db
+          { Verify.mode = "m"; subject = "s"; asset = "a"; op = Ir.Write }
+      in
+      (* disjoint and total: the union is the whole dimension and the sum
+         of cardinals has no double counting *)
+      let union =
+        List.fold_left
+          (fun acc (s : Verify.segment) -> Region.union acc s.region)
+          Region.empty segs
+      in
+      check Alcotest.bool "total" true (Region.equal union Region.full);
+      check Alcotest.int "disjoint"
+        (Region.cardinal Region.full)
+        (List.fold_left
+           (fun acc (s : Verify.segment) -> acc + Region.cardinal s.region)
+           0 segs))
+    strategies
+
+let test_partition_strategy_folding () =
+  let db = compile_ok partition_src in
+  let cell = { Verify.mode = "m"; subject = "s"; asset = "a"; op = Ir.Write } in
+  let decision_at strategy id =
+    let segs = Verify.partition ~strategy db cell in
+    let s =
+      List.find (fun (s : Verify.segment) -> Region.mem s.region (Some id)) segs
+    in
+    s.Verify.cls
+  in
+  (* 0x180..0x1ff is contested: deny-overrides and first-match let the
+     deny win, allow-overrides the allow *)
+  check Alcotest.bool "deny overrides" true
+    (decision_at Engine.Deny_overrides 0x180 = Verify.Deny);
+  check Alcotest.bool "first match" true
+    (decision_at Engine.First_match 0x180 = Verify.Deny);
+  check Alcotest.bool "allow overrides" true
+    (decision_at Engine.Allow_overrides 0x180 = Verify.Allow);
+  check Alcotest.bool "uncontested allow" true
+    (decision_at Engine.Deny_overrides 0x200 = Verify.Allow);
+  check Alcotest.bool "default tail" true
+    (decision_at Engine.Deny_overrides 0x300 = Verify.Deny)
+
+(* ---------- Equivalence proof ---------- *)
+
+(* A generator biased towards collisions: names from tiny pools so rules
+   overlap, conflict and occlude; small message ranges for shared
+   boundaries; small rate budgets so exhausted-oracle states are
+   reproducible. *)
+let small_policy_gen =
+  QCheck.Gen.(
+    let name_from pool = map (List.nth pool) (0 -- (List.length pool - 1)) in
+    let rule_gen =
+      let* decision = oneofl [ Ast.Allow; Ast.Deny ] in
+      let* op = oneofl [ Ast.Read; Ast.Write; Ast.Rw ] in
+      let* subjects =
+        oneof
+          [
+            return Ast.Any_subject;
+            map
+              (fun l -> Ast.Subjects l)
+              (list_size (1 -- 2) (name_from [ "s1"; "s2"; "s3" ]));
+          ]
+      in
+      let* messages =
+        oneof
+          [
+            return None;
+            map
+              (fun rs ->
+                Some (List.map (fun (lo, w) -> Ast.range lo (lo + w)) rs))
+              (list_size (1 -- 2) (pair (0 -- 20) (0 -- 6)));
+          ]
+      in
+      let* rate =
+        if decision = Ast.Deny then return None
+        else
+          oneof
+            [
+              return None;
+              map
+                (fun (count, window_ms) -> Some (Ast.rate_limit ~count ~window_ms))
+                (pair (1 -- 3) (100 -- 1000));
+            ]
+      in
+      return { Ast.decision; op; subjects; messages; rate }
+    in
+    let block_gen =
+      let* asset = name_from [ "a1"; "a2" ] in
+      let* rules = list_size (1 -- 3) rule_gen in
+      return { Ast.asset; rules }
+    in
+    let section_gen =
+      oneof
+        [
+          map (fun b -> Ast.Global b) block_gen;
+          (let* modes = list_size (1 -- 2) (name_from [ "m1"; "m2" ]) in
+           let* blocks = list_size (1 -- 2) block_gen in
+           return (Ast.Modes (modes, blocks)));
+        ]
+    in
+    let* default = oneofl [ Ast.Deny; Ast.Allow ] in
+    let* sections = list_size (1 -- 3) section_gen in
+    return
+      {
+        Ast.name = "gen";
+        version = 1;
+        sections = Ast.Default default :: sections;
+      })
+
+let compile_gen p =
+  match Compile.compile p with
+  | Ok (db, _) -> db
+  | Error _ -> QCheck.assume_fail ()
+
+let prop_proof_holds =
+  QCheck.Test.make
+    ~name:"interpreted = compiled = symbolic on random policies" ~count:60
+    (QCheck.make small_policy_gen) (fun p ->
+      let db = compile_gen p in
+      List.for_all
+        (fun strategy ->
+          let r = Verify.analyse ~strategy db in
+          Verify.proved r.Verify.proof
+          && not (has_code Diagnostic.Semantics_divergence r.Verify.diagnostics))
+        strategies)
+
+let test_proof_on_rated_policy () =
+  (* the rated allow falls through to the plain allow when exhausted; the
+     proof must enumerate and witness both oracle states *)
+  let db =
+    compile_ok
+      {|
+policy "rated" version 1 {
+  default deny;
+  asset a {
+    allow write from s messages 0x10..0x1f rate 2 per 1000;
+    allow write from s messages 0x18..0x2f;
+    deny  write from t;
+  }
+}
+|}
+  in
+  List.iter
+    (fun strategy ->
+      let r = Verify.analyse ~strategy db in
+      check Alcotest.bool "proved" true (Verify.proved r.Verify.proof);
+      check Alcotest.bool "both oracle states enumerated" true
+        (r.Verify.proof.Verify.assignments > r.Verify.proof.Verify.cells))
+    strategies
+
+(* ---------- SP010 mode merging ---------- *)
+
+let test_sp010_equivalent_modes () =
+  let db =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  mode day {
+    asset a { allow read from s; deny write from s; }
+  }
+  mode night {
+    asset a { deny write from s; allow read from s; }
+  }
+}
+|}
+  in
+  let r = Verify.analyse db in
+  check Alcotest.bool "SP010 fires" true
+    (has_code Diagnostic.Mode_mergeable r.Verify.diagnostics);
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "one class" [ [ "day"; "night" ] ] r.Verify.mergeable
+
+let test_sp010_negative () =
+  (* differing semantics: no merge *)
+  let differing =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  mode day   { asset a { allow read from s; } }
+  mode night { asset a { deny  read from s; } }
+}
+|}
+  in
+  check Alcotest.bool "different semantics" true
+    ((Verify.analyse differing).Verify.mergeable = []);
+  (* identical semantics through the SAME rules: nothing to merge *)
+  let co_scoped =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  mode day, night { asset a { allow read from s; } }
+}
+|}
+  in
+  check Alcotest.bool "co-scoped modes not reported" true
+    ((Verify.analyse co_scoped).Verify.mergeable = [])
+
+(* ---------- SP011 dead regions ---------- *)
+
+let test_sp011_union_occlusion () =
+  (* two denies jointly cover the allow; no single rule does, so the
+     single-coverer SP004 pass cannot see it *)
+  let db =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  asset a {
+    deny  write from s messages 0x0..0x7;
+    deny  write from s messages 0x8..0xf;
+    allow write from s messages 0x0..0xf;
+  }
+}
+|}
+  in
+  let r = Verify.analyse ~strategy:Engine.Deny_overrides db in
+  check (Alcotest.list Alcotest.int) "allow rule is dead" [ 2 ]
+    r.Verify.dead_rules;
+  check Alcotest.bool "SP011 fires" true
+    (has_code Diagnostic.Region_empty r.Verify.diagnostics);
+  (* sanity: the plain lint's SP004 misses exactly this case *)
+  let diagnostics =
+    Secpol_policy.Lint.run Secpol_policy.Lint.default_config db
+  in
+  check Alcotest.bool "SP004 misses union occlusion" false
+    (has_code Diagnostic.Unreachable_rule diagnostics)
+
+let test_sp011_negative () =
+  let db =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  asset a {
+    deny  write from s messages 0x0..0x7;
+    allow write from s messages 0x0..0xf;
+  }
+}
+|}
+  in
+  let r = Verify.analyse ~strategy:Engine.Deny_overrides db in
+  check (Alcotest.list Alcotest.int) "live allow survives" [] r.Verify.dead_rules
+
+let test_sp011_rated_fallthrough_not_dead () =
+  (* the unlimited allow is reachable only when the rated rule ahead of it
+     is exhausted; the oracle enumeration must keep it alive *)
+  let db =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  asset a {
+    allow write from s rate 1 per 1000;
+    allow write from s;
+  }
+}
+|}
+  in
+  let r = Verify.analyse ~strategy:Engine.First_match db in
+  check (Alcotest.list Alcotest.int) "fallthrough allow is live" []
+    r.Verify.dead_rules
+
+(* ---------- Semantic diff ---------- *)
+
+let prop_diff_self_empty =
+  QCheck.Test.make ~name:"diff p p is always empty" ~count:80
+    (QCheck.make small_policy_gen) (fun p ->
+      let db = compile_gen p in
+      List.for_all
+        (fun strategy ->
+          (Verify.diff ~strategy db db).Verify.deltas = [])
+        strategies)
+
+(* Append one allow rule on a fresh asset: under default deny the delta
+   must be exactly a widening there, and the reverse diff a tightening. *)
+let prop_diff_single_rule_signed =
+  QCheck.Test.make ~name:"single-rule edit yields a correctly-signed delta"
+    ~count:60 (QCheck.make small_policy_gen) (fun p ->
+      let p = { p with Ast.sections = Ast.Default Ast.Deny :: p.Ast.sections } in
+      let extra =
+        Ast.Global
+          {
+            Ast.asset = "zfresh";
+            rules =
+              [
+                {
+                  Ast.decision = Ast.Allow;
+                  op = Ast.Write;
+                  subjects = Ast.Subjects [ "zsubj" ];
+                  messages = None;
+                  rate = None;
+                };
+              ];
+          }
+      in
+      let p' = { p with Ast.sections = p.Ast.sections @ [ extra ] } in
+      let old_db = compile_gen p and new_db = compile_gen p' in
+      let forward = Verify.diff old_db new_db in
+      let backward = Verify.diff new_db old_db in
+      forward.Verify.deltas <> []
+      && List.for_all
+           (fun (d : Verify.delta) ->
+             d.direction = Verify.Widened
+             && d.cell.Verify.asset = "zfresh"
+             && d.cell.Verify.subject = "zsubj")
+           forward.Verify.deltas
+      && Verify.count_direction Verify.Tightened forward = 0
+      && backward.Verify.deltas <> []
+      && Verify.count_direction Verify.Widened backward = 0)
+
+let test_diff_flip_decision () =
+  let old_db =
+    compile_ok
+      {|
+policy "p" version 1 {
+  default deny;
+  asset a { deny write from s messages 0x10..0x1f; }
+}
+|}
+  in
+  let new_db =
+    compile_ok
+      {|
+policy "p" version 2 {
+  default deny;
+  asset a { allow write from s messages 0x10..0x1f; }
+}
+|}
+  in
+  let r = Verify.diff old_db new_db in
+  check Alcotest.int "one delta" 1 (List.length r.Verify.deltas);
+  let d = List.hd r.Verify.deltas in
+  check Alcotest.bool "widened" true (d.Verify.direction = Verify.Widened);
+  check Alcotest.bool "exact region" true
+    (Region.equal d.Verify.region (Region.of_intervals (iv [ (0x10, 0x1f) ])));
+  check Alcotest.bool "SP012 emitted" true
+    (has_code Diagnostic.Allow_widened r.Verify.diagnostics)
+
+let test_diff_default_change_surfaces () =
+  let old_db = compile_ok {|
+policy "p" version 1 { default deny; asset a { allow read from s; } }
+|} in
+  let new_db = compile_ok {|
+policy "p" version 2 { default allow; asset a { allow read from s; } }
+|} in
+  let r = Verify.diff old_db new_db in
+  check Alcotest.bool "default flip widens" true
+    (Verify.count_direction Verify.Widened r > 0);
+  check Alcotest.bool "synthetic asset sees it" true
+    (List.exists
+       (fun (d : Verify.delta) -> d.Verify.cell.Verify.asset = Verify.other)
+       r.Verify.deltas)
+
+let test_diff_rate_change_is_changed () =
+  let old_db = compile_ok {|
+policy "p" version 1 { default deny; asset a { allow write from s rate 2 per 1000; } }
+|} in
+  let new_db = compile_ok {|
+policy "p" version 2 { default deny; asset a { allow write from s rate 5 per 100; } }
+|} in
+  let r = Verify.diff old_db new_db in
+  check Alcotest.int "changed" 1 (Verify.count_direction Verify.Changed r);
+  check Alcotest.int "not widened" 0 (Verify.count_direction Verify.Widened r)
+
+(* ---------- Obligations ---------- *)
+
+let threat ~attack ~legit ?(modes = [ "normal" ]) () =
+  Threat.make ~id:"t1" ~title:"test threat" ~asset:"a"
+    ~entry_points:[ "ep1" ] ~modes ~stride:[ Stride.Tampering ]
+    ~dread:
+      (Dread.make_exn ~damage:5 ~reproducibility:5 ~exploitability:5
+         ~affected_users:5 ~discoverability:5)
+    ~attack_operation:attack ~legitimate_operations:legit ()
+
+let test_obligation_of_threat () =
+  let o = Obligation.of_threat (threat ~attack:Threat.Write ~legit:[] ()) in
+  check Alcotest.bool "not residual" false o.Obligation.residual;
+  check (Alcotest.list Alcotest.string) "no exemptions" []
+    o.Obligation.exempt_subjects;
+  let residual =
+    Obligation.of_threat
+      ~subjects_of_entry_point:(fun ep -> [ ep ^ "_node" ])
+      (threat ~attack:Threat.Write ~legit:[ Threat.Write; Threat.Read ] ())
+  in
+  check Alcotest.bool "residual" true residual.Obligation.residual;
+  check (Alcotest.list Alcotest.string) "entry subjects exempted"
+    [ "ep1_node" ] residual.Obligation.exempt_subjects
+
+let test_obligation_discharged () =
+  let db = compile_ok {|
+policy "p" version 1 { default deny; asset a { allow read from s; } }
+|} in
+  let o = Obligation.of_threat (threat ~attack:Threat.Write ~legit:[] ()) in
+  let r = Verify.analyse db ~obligations:[ o ] in
+  check Alcotest.bool "discharged" true
+    (List.for_all Verify.discharged r.Verify.obligations);
+  check Alcotest.bool "no SP013" false
+    (has_code Diagnostic.Threat_unmitigated r.Verify.diagnostics)
+
+let test_obligation_violated () =
+  let db = compile_ok {|
+policy "p" version 1 {
+  default deny;
+  mode normal { asset a { allow write from s messages 0x40..0x4f; } }
+}
+|} in
+  let o = Obligation.of_threat (threat ~attack:Threat.Write ~legit:[] ()) in
+  let r = Verify.analyse db ~obligations:[ o ] in
+  let status = List.hd r.Verify.obligations in
+  check Alcotest.bool "violated" false (Verify.discharged status);
+  let v = List.hd status.Verify.violations in
+  check Alcotest.string "violating subject" "s" v.Verify.subject;
+  check Alcotest.string "violating mode" "normal" v.Verify.mode;
+  check Alcotest.bool "exact region" true
+    (Region.equal v.Verify.region (Region.of_intervals (iv [ (0x40, 0x4f) ])));
+  check Alcotest.bool "SP013 fires" true
+    (has_code Diagnostic.Threat_unmitigated r.Verify.diagnostics)
+
+let test_obligation_residual_exemption () =
+  (* the exempt entry-point subject may hold the operation; anyone else
+     holding it is still a violation *)
+  let db = compile_ok {|
+policy "p" version 1 {
+  default deny;
+  mode normal { asset a { allow write from trusted; } }
+}
+|} in
+  let o =
+    Obligation.of_threat
+      ~subjects_of_entry_point:(fun _ -> [ "trusted" ])
+      (threat ~attack:Threat.Write ~legit:[ Threat.Write ] ())
+  in
+  let r = Verify.analyse db ~obligations:[ o ] in
+  check Alcotest.bool "exempt subject discharges" true
+    (List.for_all Verify.discharged r.Verify.obligations);
+  let db_leaky = compile_ok {|
+policy "p" version 1 {
+  default deny;
+  mode normal { asset a { allow write from trusted, rogue; } }
+}
+|} in
+  let r = Verify.analyse db_leaky ~obligations:[ o ] in
+  let status = List.hd r.Verify.obligations in
+  check Alcotest.bool "non-exempt subject still violates" false
+    (Verify.discharged status);
+  check Alcotest.string "the rogue one" "rogue"
+    (List.hd status.Verify.violations).Verify.subject
+
+(* ---------- Diagnostic catalogue ---------- *)
+
+let test_codes_roundtrip () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool "id roundtrip" true
+        (Diagnostic.code_of_id (Diagnostic.id c) = Some c);
+      check Alcotest.bool "slug roundtrip" true
+        (Diagnostic.code_of_id (Diagnostic.slug c) = Some c))
+    Diagnostic.all_codes;
+  check Alcotest.int "fourteen codes" 14 (List.length Diagnostic.all_codes)
+
+let test_explain_every_code () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool
+        (Diagnostic.id c ^ " has an explanation")
+        true
+        (String.length (Diagnostic.explain c) > 40))
+    Diagnostic.all_codes
+
+let () =
+  Alcotest.run "secpol_verify"
+    [
+      ( "intervals",
+        [
+          quick "equal" test_intervals_equal;
+          quick "complement boundaries" test_intervals_complement_boundaries;
+          quick "adjacent coalescing" test_intervals_adjacent_coalescing;
+          quick "algebra" test_intervals_algebra;
+        ] );
+      ( "region",
+        [
+          quick "of_messages" test_region_of_messages;
+          quick "algebra" test_region_algebra;
+          quick "witnesses" test_region_witnesses;
+        ] );
+      ( "partition",
+        [
+          quick "covers everything" test_partition_covers_everything;
+          quick "strategy folding" test_partition_strategy_folding;
+        ] );
+      ( "proof",
+        [
+          QCheck_alcotest.to_alcotest prop_proof_holds;
+          quick "rated oracle states" test_proof_on_rated_policy;
+        ] );
+      ( "sp010",
+        [
+          quick "equivalent modes" test_sp010_equivalent_modes;
+          quick "negatives" test_sp010_negative;
+        ] );
+      ( "sp011",
+        [
+          quick "union occlusion" test_sp011_union_occlusion;
+          quick "live rule survives" test_sp011_negative;
+          quick "rated fallthrough is live" test_sp011_rated_fallthrough_not_dead;
+        ] );
+      ( "diff",
+        [
+          QCheck_alcotest.to_alcotest prop_diff_self_empty;
+          QCheck_alcotest.to_alcotest prop_diff_single_rule_signed;
+          quick "decision flip" test_diff_flip_decision;
+          quick "default change surfaces" test_diff_default_change_surfaces;
+          quick "rate change is incomparable" test_diff_rate_change_is_changed;
+        ] );
+      ( "obligations",
+        [
+          quick "of_threat" test_obligation_of_threat;
+          quick "discharged" test_obligation_discharged;
+          quick "violated" test_obligation_violated;
+          quick "residual exemption" test_obligation_residual_exemption;
+        ] );
+      ( "codes",
+        [
+          quick "roundtrip" test_codes_roundtrip;
+          quick "explain" test_explain_every_code;
+        ] );
+    ]
