@@ -392,6 +392,20 @@ let json_file : string option ref = ref None
 
 let check_speedup : float option ref = ref None
 
+let check_batched : float option ref = ref None
+
+(* trajectory gate: committed baseline artifacts to diff fresh ratio
+   metrics against (see Protocol.check_ratio) *)
+let baseline_file : string option ref = ref None
+
+let parallel_baseline_file : string option ref = ref None
+
+let tolerance = ref 0.10
+
+(* manual-harness batched-vs-compiled result: (compiled-loop ns/req,
+   decide_batch ns/req, speedup) *)
+let batched_vs_compiled : (float * float * float) option ref = ref None
+
 let run_bechamel tests =
   let open Bechamel in
   let open Toolkit in
@@ -598,6 +612,75 @@ let perf () =
       bench_decode;
       bench_bus;
     ];
+  (* batched vs per-request compiled path, on the fixed protocol rather
+     than bechamel: both sides get the *same* manual harness (whole-
+     workload passes, median of repeats), so the ratio compares the two
+     decision paths and not two measurement methodologies.  This is the
+     ratio the trajectory gate tracks. *)
+  subsection "Batched decision path (fixed protocol, median of repeats)";
+  let n = Array.length workload in
+  let rounds = if !quick_mode then 50 else 400 in
+  let warmup, repeats = if !quick_mode then (2, 7) else (5, 21) in
+  let engine_scalar = Policy.Engine.create ~mode:`Compiled ~cache:false db in
+  let engine_batch = Policy.Engine.create ~mode:`Compiled ~cache:false db in
+  let scalar () =
+    for _ = 1 to rounds do
+      for k = 0 to n - 1 do
+        ignore (Policy.Engine.decide engine_scalar workload.(k))
+      done
+    done
+  in
+  let batch = Policy.Batch.create ~capacity:n () in
+  Array.iter (fun req -> Policy.Batch.push batch req) workload;
+  let out = Array.make n Policy.Ast.Deny in
+  let batched () =
+    for _ = 1 to rounds do
+      Policy.Engine.decide_batch engine_batch batch ~out
+    done
+  in
+  let ops = rounds * n in
+  let per_req median_s = median_s /. float_of_int ops *. 1e9 in
+  let minor_per_op f =
+    let w0 = Gc.minor_words () in
+    f ();
+    (Gc.minor_words () -. w0) /. float_of_int ops
+  in
+  (* start both measurements from the same heap shape: the bechamel suite
+     above leaves an unpredictable minor/major heap behind, and the scalar
+     loop's 20 w/op make its GC tax sensitive to that starting state *)
+  Gc.compact ();
+  let scalar_med, _ = Protocol.measure ~warmup ~repeats scalar in
+  Gc.compact ();
+  let batched_med, _ = Protocol.measure ~warmup ~repeats batched in
+  let scalar_ns = per_req scalar_med and batched_ns = per_req batched_med in
+  let scalar_minor = minor_per_op scalar in
+  let batched_minor = minor_per_op batched in
+  Printf.printf
+    "protocol: %d warmup + %d timed repeats, %d passes x %d requests per \
+     repeat, median reported\n"
+    warmup repeats rounds n;
+  Printf.printf "%-58s %14s %14s\n" "benchmark" "ns/op" "minor w/op";
+  Printf.printf "%-58s %14.1f %14.1f\n"
+    "policy/engine/compiled-loop (car workload)" scalar_ns scalar_minor;
+  Printf.printf "%-58s %14.1f %14.1f\n"
+    "policy/engine/decide_batch (car workload)" batched_ns batched_minor;
+  let speedup = if batched_ns > 0.0 then scalar_ns /. batched_ns else 0.0 in
+  Printf.printf "batched vs per-request compiled: %.2fx\n" speedup;
+  batched_vs_compiled := Some (scalar_ns, batched_ns, speedup);
+  perf_rows :=
+    !perf_rows
+    @ [
+        {
+          bench = "policy/engine/compiled-loop (car workload)";
+          ns_per_op = scalar_ns;
+          minor_per_op = scalar_minor;
+        };
+        {
+          bench = "policy/engine/decide_batch (car workload)";
+          ns_per_op = batched_ns;
+          minor_per_op = batched_minor;
+        };
+      ];
   (* one extra pass through an obs-registered compiled engine: bechamel
      gives the OLS mean, the histogram gives the latency distribution *)
   let obs = Secpol_obs.Registry.create () in
@@ -616,9 +699,10 @@ let perf () =
 
 type par_row = {
   domains : int;
+  batched : bool;  (** served through {!Par.Serve.run_batch}? *)
   served : int;
   elapsed_s : float;
-  throughput : float;
+  throughput : float;  (** median over the protocol's repeats *)
 }
 
 let par_rows : par_row list ref = ref []
@@ -636,61 +720,130 @@ let parscale () =
   let work =
     Array.init total (fun k -> (float_of_int k *. 1e-3, reqs.(k mod n)))
   in
+  let ladder = [ 1; 2; 4; 8 ] in
+  let repeats = if !quick_mode then 2 else 3 in
   Printf.printf
     "%d requests per run over %d distinct request shapes, partitioned by \
-     subject (host has %d core(s))\n"
-    total n (Domain.recommended_domain_count ());
-  Printf.printf "%-14s %12s %14s   %s\n" "configuration" "elapsed s" "req/s"
+     subject (host has %d core(s));\n\
+     domain ladder %s, 1 warmup + %d timed repeats per rung, median \
+     throughput reported\n"
+    total n
+    (Domain.recommended_domain_count ())
+    (String.concat "/" (List.map string_of_int ladder))
+    repeats;
+  Printf.printf "%-22s %12s %14s   %s\n" "configuration" "elapsed s" "req/s"
     "per-shard";
   let report name (s : Par.Serve.stats) =
-    Printf.printf "%-14s %12.4f %14.0f   %s\n" name s.elapsed_s s.throughput
+    Printf.printf "%-22s %12.4f %14.0f   %s\n" name s.elapsed_s s.throughput
       (String.concat "+"
          (Array.to_list (Array.map string_of_int s.per_shard)))
   in
+  (* warmup run + [repeats] timed runs; keep the run with the median
+     throughput so elapsed/throughput/per-shard stay one consistent
+     observation *)
+  let median_run run =
+    ignore (run ());
+    let rs = ref [] in
+    for _ = 1 to repeats do
+      rs := run () :: !rs
+    done;
+    let sorted =
+      List.sort
+        (fun (a : Par.Serve.stats) b -> compare a.throughput b.throughput)
+        !rs
+    in
+    List.nth sorted (List.length sorted / 2)
+  in
   let seq = Par.Serve.run_sequential db work in
   report "sequential" seq.Par.Serve.stats;
+  let seq_decisions =
+    Array.map
+      (fun (o : Policy.Engine.outcome) -> o.Policy.Engine.decision)
+      seq.Par.Serve.outcomes
+  in
   List.iter
     (fun domains ->
-      let r = Par.Serve.run ~domains db work in
-      let s = r.Par.Serve.stats in
+      let s =
+        median_run (fun () ->
+            let r = Par.Serve.run ~domains db work in
+            if r.Par.Serve.outcomes <> seq.Par.Serve.outcomes then
+              Printf.printf
+                "  WARNING: %d-domain outcomes diverge from the sequential \
+                 engine\n"
+                domains;
+            r.Par.Serve.stats)
+      in
       report (Printf.sprintf "%d domain(s)" domains) s;
-      if r.Par.Serve.outcomes <> seq.Par.Serve.outcomes then
-        Printf.printf
-          "  WARNING: %d-domain outcomes diverge from the sequential \
-           engine\n"
-          domains;
       par_rows :=
         !par_rows
         @ [
             {
               domains;
+              batched = false;
               served = s.served;
               elapsed_s = s.elapsed_s;
               throughput = s.throughput;
             };
           ])
-    [ 1; 2; 4 ]
+    ladder;
+  (* the same ladder through the batched path: whole sub-batches per
+     shard, one decide_batch call each *)
+  List.iter
+    (fun domains ->
+      let s =
+        median_run (fun () ->
+            let r = Par.Serve.run_batch ~domains db work in
+            if r.Par.Serve.decisions <> seq_decisions then
+              Printf.printf
+                "  WARNING: %d-domain batched decisions diverge from the \
+                 sequential engine\n"
+                domains;
+            r.Par.Serve.stats)
+      in
+      report (Printf.sprintf "%d domain(s), batched" domains) s;
+      par_rows :=
+        !par_rows
+        @ [
+            {
+              domains;
+              batched = true;
+              served = s.served;
+              elapsed_s = s.elapsed_s;
+              throughput = s.throughput;
+            };
+          ])
+    ladder
 
-let par_scaling () =
+(* top-rung over 1-domain throughput, separately for the scalar and the
+   batched ladder — ratios survive a machine change, absolute req/s does
+   not, which is why the trajectory gate tracks these *)
+let par_scaling ~batched () =
+  let rows = List.filter (fun r -> r.batched = batched) !par_rows in
   match
-    ( List.find_opt (fun r -> r.domains = 1) !par_rows,
+    ( List.find_opt (fun r -> r.domains = 1) rows,
       List.fold_left
         (fun acc r -> match acc with
           | Some b when b.domains >= r.domains -> acc
           | _ -> Some r)
-        None !par_rows )
+        None rows )
   with
   | Some base, Some top when base.throughput > 0.0 ->
       Some (base, top, top.throughput /. base.throughput)
   | _ -> None
 
 let par_report () =
+  let scaling_json batched =
+    match par_scaling ~batched () with
+    | Some (_, _, s) -> Policy.Json.Float s
+    | None -> Policy.Json.Null
+  in
   Policy.Json.Obj
     [
-      ("schema", Policy.Json.Int 1);
+      ("schema", Policy.Json.Int 2);
       ("suite", Policy.Json.String "secpol-parscale");
       ("quick", Policy.Json.Bool !quick_mode);
       ("partition_key", Policy.Json.String "subject");
+      ("meta", Protocol.meta ());
       ( "runs",
         Policy.Json.List
           (List.map
@@ -698,15 +851,14 @@ let par_report () =
                Policy.Json.Obj
                  [
                    ("domains", Policy.Json.Int r.domains);
+                   ("batched", Policy.Json.Bool r.batched);
                    ("served", Policy.Json.Int r.served);
                    ("elapsed_s", Policy.Json.Float r.elapsed_s);
                    ("throughput_per_s", Policy.Json.Float r.throughput);
                  ])
              !par_rows) );
-      ( "scaling",
-        match par_scaling () with
-        | Some (_, _, s) -> Policy.Json.Float s
-        | None -> Policy.Json.Null );
+      ("scaling", scaling_json false);
+      ("batched_scaling", scaling_json true);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -945,9 +1097,11 @@ let targets =
 (*   main.exe [TARGET...] [--quick] [--json FILE]                      *)
 (*            [--parallel-json FILE] [--check-speedup X]               *)
 (*                                                                     *)
-(* Exit codes: 0 ok; 1 unknown target / bad flag; 4 the compiled       *)
-(* engine's speedup over the interpreted path fell below the           *)
-(* --check-speedup threshold (the CI bench-smoke sanity gate).         *)
+(* Exit codes: 0 ok; 1 unknown target / bad flag; 4 a gate failed:     *)
+(* compiled-vs-interpreted speedup below --check-speedup, batched-vs-  *)
+(* compiled speedup below --check-batched-speedup, or a ratio in a     *)
+(* --baseline / --parallel-baseline artifact regressed beyond the      *)
+(* --tolerance band (the CI trajectory gates).                         *)
 (* ------------------------------------------------------------------ *)
 
 let find_row suffix =
@@ -992,13 +1146,32 @@ let json_report () =
             ("speedup", json_float s);
           ]
   in
+  let batched =
+    match !batched_vs_compiled with
+    | None -> Policy.Json.Null
+    | Some (scalar_ns, batched_ns, s) ->
+        Policy.Json.Obj
+          [
+            ( "baseline",
+              Policy.Json.String "policy/engine/compiled-loop (car workload)"
+            );
+            ( "fast_path",
+              Policy.Json.String "policy/engine/decide_batch (car workload)"
+            );
+            ("baseline_ns_per_op", json_float scalar_ns);
+            ("fast_path_ns_per_op", json_float batched_ns);
+            ("speedup", json_float s);
+          ]
+  in
   Policy.Json.Obj
     [
-      ("schema", Policy.Json.Int 1);
+      ("schema", Policy.Json.Int 2);
       ("suite", Policy.Json.String "secpol-perf");
       ("quick", Policy.Json.Bool !quick_mode);
+      ("meta", Protocol.meta ());
       ("results", Policy.Json.List results);
       ("compiled_vs_interpreted", speedup);
+      ("batched_vs_compiled", batched);
       ("telemetry", Option.value ~default:Policy.Json.Null !telemetry);
     ]
 
@@ -1007,7 +1180,9 @@ let () =
   let usage () =
     Printf.eprintf
       "usage: main.exe [TARGET...] [--quick] [--json FILE] [--parallel-json \
-       FILE] [--check-speedup X]\nknown targets: %s\n"
+       FILE] [--check-speedup X]\n\
+      \                [--check-batched-speedup X] [--baseline FILE] \
+       [--parallel-baseline FILE] [--tolerance PCT]\nknown targets: %s\n"
       (String.concat ", " (List.map fst targets));
     exit 1
   in
@@ -1022,13 +1197,35 @@ let () =
     | "--parallel-json" :: file :: rest ->
         parallel_json_file := Some file;
         parse names rest
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse names rest
+    | "--parallel-baseline" :: file :: rest ->
+        parallel_baseline_file := Some file;
+        parse names rest
+    | "--tolerance" :: x :: rest -> (
+        match float_of_string_opt x with
+        | Some v when v >= 0.0 ->
+            tolerance := v /. 100.0;
+            parse names rest
+        | Some _ | None -> usage ())
     | "--check-speedup" :: x :: rest -> (
         match float_of_string_opt x with
         | Some v ->
             check_speedup := Some v;
             parse names rest
         | None -> usage ())
-    | ("--json" | "--parallel-json" | "--check-speedup") :: [] -> usage ()
+    | "--check-batched-speedup" :: x :: rest -> (
+        match float_of_string_opt x with
+        | Some v ->
+            check_batched := Some v;
+            parse names rest
+        | None -> usage ())
+    | ( "--json" | "--parallel-json" | "--check-speedup"
+      | "--check-batched-speedup" | "--baseline" | "--parallel-baseline"
+      | "--tolerance" )
+      :: [] ->
+        usage ()
     | name :: rest ->
         if String.length name >= 2 && String.sub name 0 2 = "--" then usage ();
         parse (name :: names) rest
@@ -1063,7 +1260,7 @@ let () =
       close_out oc;
       Printf.printf "\nwrote %s (%d parallel scaling runs)\n" file
         (List.length !par_rows));
-  match !check_speedup with
+  (match !check_speedup with
   | None -> ()
   | Some threshold -> (
       match speedup_rows () with
@@ -1077,4 +1274,55 @@ let () =
             "speedup gate: interpreted %.1f ns/op -> compiled %.1f ns/op = \
              %.2fx (threshold %.2fx)\n"
             i.ns_per_op c.ns_per_op s threshold;
-          if s < threshold then exit 4)
+          if s < threshold then exit 4));
+  (match !check_batched with
+  | None -> ()
+  | Some threshold -> (
+      match !batched_vs_compiled with
+      | None ->
+          Printf.eprintf
+            "--check-batched-speedup: no batched benchmark recorded (run the \
+             perf target)\n";
+          exit 4
+      | Some (scalar_ns, batched_ns, s) ->
+          Printf.printf
+            "batched gate: per-request compiled %.1f ns/op -> decide_batch \
+             %.1f ns/op = %.2fx (threshold %.2fx)\n"
+            scalar_ns batched_ns s threshold;
+          if s < threshold then exit 4));
+  (* trajectory gate: ratio metrics of this run vs committed baseline
+     artifacts; exits 4 on regression beyond the tolerance band *)
+  let trajectory_failed = ref false in
+  let run_checks ~what ~fresh ~file checks =
+    match file with
+    | None -> ()
+    | Some file -> (
+        match Protocol.load_json file with
+        | Error e ->
+            Printf.eprintf "trajectory: cannot read %s baseline %s: %s\n" what
+              file e;
+            trajectory_failed := true
+        | Ok baseline ->
+            let named =
+              List.map
+                (fun (name, path) ->
+                  ( name,
+                    Protocol.check_ratio ~tolerance:!tolerance ~name ~fresh
+                      ~baseline path ))
+                checks
+            in
+            if not (Protocol.report_checks named) then
+              trajectory_failed := true)
+  in
+  run_checks ~what:"perf" ~fresh:(json_report ()) ~file:!baseline_file
+    [
+      ( "batched_vs_compiled.speedup",
+        [ "batched_vs_compiled"; "speedup" ] );
+    ];
+  run_checks ~what:"parscale" ~fresh:(par_report ())
+    ~file:!parallel_baseline_file
+    [
+      ("scaling", [ "scaling" ]);
+      ("batched_scaling", [ "batched_scaling" ]);
+    ];
+  if !trajectory_failed then exit 4

@@ -1,0 +1,125 @@
+(* Fixed measurement protocol for the hand-rolled (non-bechamel) benchmark
+   rows and for the benchmark-trajectory artifacts CI diffs against
+   committed baselines.
+
+   The protocol is deliberately rigid so two runs are comparable: a fixed
+   number of warmup executions (JIT-free here, but the allocator, branch
+   predictors and the page cache still need priming), then a fixed number
+   of timed repeats, reporting the *median* repeat — medians shrug off the
+   one repeat that caught a GC slice or a scheduler migration, where a
+   mean would smear it over the result.  Every artifact embeds machine and
+   git metadata, because a baseline number is meaningless without knowing
+   what it was measured on; the trajectory gate therefore compares
+   *ratios* (speedups, scaling), which survive a machine change, rather
+   than absolute ns. *)
+
+module Clock = Secpol_obs.Clock
+module Json = Secpol_policy.Json
+
+let median samples =
+  let s = Array.copy samples in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n = 0 then Float.nan
+  else if n land 1 = 1 then s.(n / 2)
+  else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+(* [measure ~warmup ~repeats f] runs [f] [warmup] times untimed, then
+   [repeats] timed times; returns the median elapsed seconds and every
+   sample (chronological, for the artifact). *)
+let measure ~warmup ~repeats f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let samples = Array.make repeats 0.0 in
+  for i = 0 to repeats - 1 do
+    let t0 = Clock.now () in
+    f ();
+    samples.(i) <- Clock.now () -. t0
+  done;
+  (median samples, samples)
+
+(* ------------------------------------------------------------------ *)
+(* Run metadata                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let first_line_of cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    line
+  with _ -> ""
+
+let meta () =
+  Json.Obj
+    [
+      ("hostname", Json.String (try Unix.gethostname () with _ -> ""));
+      ("uname", Json.String (first_line_of "uname -sr 2>/dev/null"));
+      ("cores", Json.Int (Domain.recommended_domain_count ()));
+      ("ocaml", Json.String Sys.ocaml_version);
+      ("word_size", Json.Int Sys.word_size);
+      ( "git_commit",
+        Json.String (first_line_of "git rev-parse HEAD 2>/dev/null") );
+      ( "git_branch",
+        Json.String
+          (first_line_of "git rev-parse --abbrev-ref HEAD 2>/dev/null") );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let load_json path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> Json.of_string text
+
+(* float at a path of object fields, e.g. ["batched_vs_compiled";"speedup"] *)
+let rec float_at json = function
+  | [] -> (
+      match json with
+      | Json.Float f -> Some f
+      | Json.Int i -> Some (float_of_int i)
+      | _ -> None)
+  | field :: rest -> (
+      match Json.member field json with
+      | Some j -> float_at j rest
+      | None -> None)
+
+type verdict =
+  | Ok_within of { fresh : float; base : float }
+  | Regressed of { fresh : float; base : float; floor : float }
+  | Missing of string
+
+(* A ratio metric must stay within [tolerance] (a fraction, e.g. 0.10) of
+   its baseline value, from below — getting faster is never a failure. *)
+let check_ratio ~tolerance ~name ~fresh ~baseline path =
+  match (float_at fresh path, float_at baseline path) with
+  | Some f, Some b ->
+      let floor = b *. (1.0 -. tolerance) in
+      if f >= floor then Ok_within { fresh = f; base = b }
+      else Regressed { fresh = f; base = b; floor }
+  | None, _ -> Missing (Printf.sprintf "%s missing from fresh report" name)
+  | _, None -> Missing (Printf.sprintf "%s missing from baseline" name)
+
+(* Pretty-print and fold a list of (name, verdict): true = all ok. *)
+let report_checks checks =
+  List.fold_left
+    (fun ok (name, v) ->
+      (match v with
+      | Ok_within { fresh; base } ->
+          Printf.printf "trajectory: %-28s %.3f (baseline %.3f) ok\n" name
+            fresh base
+      | Regressed { fresh; base; floor } ->
+          Printf.printf
+            "trajectory: %-28s %.3f REGRESSED below %.3f (baseline %.3f)\n"
+            name fresh floor base
+      | Missing what -> Printf.printf "trajectory: %-28s %s\n" name what);
+      ok && match v with Ok_within _ -> true | _ -> false)
+    true checks

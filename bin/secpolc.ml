@@ -413,8 +413,13 @@ let parallel_json ~name ~version ~iters runs scaling =
     ]
 
 let bench_cmd =
+  let json_num = function
+    | Policy.Json.Float f -> Some f
+    | Policy.Json.Int i -> Some (float_of_int i)
+    | _ -> None
+  in
   let run file strategy iters min_speedup json domains check_scaling
-      parallel_out =
+      parallel_out batch baseline tolerance =
     match load file with
     | Error e ->
         prerr_endline e;
@@ -477,14 +482,47 @@ let bench_cmd =
                 for k = 0 to min n 1000 - 1 do
                   ignore (Policy.Engine.decide engine workload.(k mod n))
                 done;
-                let t0 = Sys.time () in
+                (* wall time from the shared monotonic helper, not
+                   [Sys.time]: CPU seconds under-count when the process is
+                   descheduled and drift from what bench/ and the parallel
+                   layer report, so all timing now goes through one clock *)
+                let t0 = Secpol.Obs.Clock.now () in
                 for k = 0 to iters - 1 do
                   ignore (Policy.Engine.decide engine workload.(k mod n))
                 done;
-                (Sys.time () -. t0) /. float_of_int iters *. 1e9
+                (Secpol.Obs.Clock.now () -. t0) /. float_of_int iters *. 1e9
               in
               let interpreted = time `Interpreted in
               let compiled = time `Compiled in
+              let batched =
+                if not batch then None
+                else begin
+                  let engine =
+                    Policy.Engine.create ~strategy ~mode:`Compiled ~cache:false
+                      db
+                  in
+                  let n = Array.length workload in
+                  let b = Policy.Batch.create ~capacity:n () in
+                  Array.iter (fun req -> Policy.Batch.push b req) workload;
+                  let out = Array.make n Policy.Ast.Deny in
+                  let rounds = max 1 (iters / n) in
+                  (* same warmup discipline as the per-request loops *)
+                  Policy.Engine.decide_batch engine b ~out;
+                  let t0 = Secpol.Obs.Clock.now () in
+                  for _ = 1 to rounds do
+                    Policy.Engine.decide_batch engine b ~out
+                  done;
+                  Some
+                    ((Secpol.Obs.Clock.now () -. t0)
+                    /. float_of_int (rounds * n)
+                    *. 1e9)
+                end
+              in
+              let batched_speedup =
+                match batched with
+                | Some b when b > 0.0 -> Some (compiled /. b)
+                | _ -> None
+              in
               (* separate instrumented pass: the timing loops above stay
                  free of per-decision clock reads *)
               let histogram mode =
@@ -512,6 +550,13 @@ let bench_cmd =
                     db.Policy.Ir.name db.Policy.Ir.version
                     (List.length db.Policy.Ir.rules)
                     (Array.length workload) iters interpreted compiled speedup;
+                  (match (batched, batched_speedup) with
+                  | Some b, Some s ->
+                      Printf.printf
+                        "batched:     %8.1f ns/op\nbatched speedup: %.2fx \
+                         over per-request compiled\n"
+                        b s
+                  | _ -> ());
                   Format.printf "interpreted latency: %a@.compiled latency:    %a@."
                     Secpol.Obs.Histogram.pp_summary h_interpreted
                     Secpol.Obs.Histogram.pp_summary h_compiled
@@ -519,7 +564,7 @@ let bench_cmd =
                   print_endline
                     (Policy.Json.to_string
                        (Policy.Json.Obj
-                          [
+                          ([
                             ("policy", Policy.Json.String db.Policy.Ir.name);
                             ("version", Policy.Json.Int db.Policy.Ir.version);
                             ("rules", Policy.Json.Int (List.length db.Policy.Ir.rules));
@@ -527,11 +572,21 @@ let bench_cmd =
                             ("interpreted_ns_per_op", Policy.Json.Float interpreted);
                             ("compiled_ns_per_op", Policy.Json.Float compiled);
                             ("speedup", Policy.Json.Float speedup);
+                          ]
+                          @ (match (batched, batched_speedup) with
+                            | Some b, Some s ->
+                                [
+                                  ( "batched_ns_per_op",
+                                    Policy.Json.Float b );
+                                  ("batched_speedup", Policy.Json.Float s);
+                                ]
+                            | _ -> [])
+                          @ [
                             ( "interpreted_latency_ns",
                               Policy.Obs_json.histogram h_interpreted );
                             ( "compiled_latency_ns",
                               Policy.Obs_json.histogram h_compiled );
-                          ])));
+                          ]))));
               let speedup_rc =
                 match min_speedup with
                 | Some m when speedup < m ->
@@ -588,7 +643,48 @@ let bench_cmd =
                         1
                     | Some _ | None -> 0)
               in
-              if speedup_rc <> 0 then speedup_rc else parallel_rc
+              let baseline_rc =
+                match baseline with
+                | None -> 0
+                | Some path -> (
+                    match Policy.Json.of_string (read_file path) with
+                    | Error e ->
+                        Printf.eprintf "%s: %s\n" path e;
+                        3
+                    | Ok base ->
+                        (* speedups are ratios, so they transfer across
+                           machines in a way absolute ns/op numbers do not;
+                           only a drop below the tolerance band fails —
+                           getting faster never does *)
+                        let floor_of b = b *. (1.0 -. (tolerance /. 100.0)) in
+                        let check name fresh =
+                          match
+                            Option.bind (Policy.Json.member name base) json_num
+                          with
+                          | None -> 0
+                          | Some b when fresh >= floor_of b ->
+                              Printf.eprintf
+                                "baseline %s: %.2f vs %.2f (floor %.2f) ok\n"
+                                name fresh b (floor_of b);
+                              0
+                          | Some b ->
+                              Printf.eprintf
+                                "baseline %s REGRESSED: %.2f below floor \
+                                 %.2f (baseline %.2f, tolerance %.0f%%)\n"
+                                name fresh (floor_of b) b tolerance;
+                              4
+                        in
+                        let rc = check "speedup" speedup in
+                        let rc' =
+                          match batched_speedup with
+                          | Some s -> check "batched_speedup" s
+                          | None -> 0
+                        in
+                        max rc rc')
+              in
+              if speedup_rc <> 0 then speedup_rc
+              else if parallel_rc <> 0 then parallel_rc
+              else baseline_rc
             end)
   in
   let iters =
@@ -624,6 +720,27 @@ let bench_cmd =
              ~doc:"Write the $(b,--domains) scaling measurements as JSON \
                    to $(docv).")
   in
+  let batch =
+    Arg.(value & flag
+         & info [ "batch" ]
+             ~doc:"Also time the zero-allocation batched decision path \
+                   ($(b,decide_batch) over a struct-of-arrays buffer) and \
+                   report its ns/op and speedup over the per-request \
+                   compiled engine.")
+  in
+  let baseline =
+    Arg.(value & opt (some file) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Compare this run's speedup ratios against a previous \
+                   $(b,--json) report saved in $(docv); exit 4 when one \
+                   regresses more than $(b,--tolerance) below it.")
+  in
+  let tolerance =
+    Arg.(value & opt float 10.0
+         & info [ "tolerance" ] ~docv:"PCT"
+             ~doc:"Allowed regression below the $(b,--baseline) ratios, in \
+                   percent.")
+  in
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Micro-benchmark the interpreted vs compiled engine on a policy."
@@ -632,15 +749,20 @@ let bench_cmd =
            `S Manpage.s_description;
            `P "Compiles $(i,POLICY), synthesises a request workload covering \
                its assets, subjects and modes, and times the interpreted \
-               rule scan against the compiled decision table.";
+               rule scan against the compiled decision table.  With \
+               $(b,--batch) the batched decision path is timed as well; \
+               with $(b,--baseline) the measured speedup ratios are gated \
+               against a previously saved $(b,--json) report.";
            `S Manpage.s_exit_status;
            `P "0 when measured (and at or above $(b,--min-speedup) when \
-               given); 1 below the minimum; 3 when the policy cannot be \
-               read, parsed or compiled.";
+               given); 1 below the minimum or below $(b,--check-scaling); \
+               3 when the policy or $(b,--baseline) file cannot be read, \
+               parsed or compiled; 4 when a ratio regressed more than \
+               $(b,--tolerance) below the $(b,--baseline).";
          ])
     Term.(
       const run $ policy_file $ strategy_arg $ iters $ min_speedup $ json
-      $ domains $ check_scaling $ parallel_out)
+      $ domains $ check_scaling $ parallel_out $ batch $ baseline $ tolerance)
 
 (* ---------- diff ---------- *)
 

@@ -34,6 +34,16 @@ let bit_set bytes i v =
   let byte = if v then byte lor mask else byte land lnot mask in
   Bytes.set bytes (i lsr 3) (Char.chr byte)
 
+(* membership for a raw standard ID without building an [Identifier.t]:
+   the batched rx gate streams over an [int array] of IDs and this keeps
+   the bitset / interval backends allocation-free per lookup (the hash
+   backend still allocates its tuple key) *)
+let mem_std t i =
+  match t.repr with
+  | Bits { std; _ } -> bit_get std i
+  | Ranges { std; _ } -> Intervals_set.mem std i
+  | Table tbl -> Hashtbl.mem tbl (i, false)
+
 let mem t id =
   match (t.repr, id) with
   | Bits { std; _ }, Identifier.Standard i -> bit_get std i

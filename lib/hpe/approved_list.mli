@@ -27,6 +27,12 @@ val remove : t -> Secpol_can.Identifier.t -> unit
 
 val mem : t -> Secpol_can.Identifier.t -> bool
 
+val mem_std : t -> int -> bool
+(** [mem] for a raw {e standard} (11-bit) ID, skipping the
+    {!Secpol_can.Identifier.t} construction — the lookup the batched rx
+    gate ({!Engine.gate_rx_batch}) streams with.  Allocation-free on the
+    [Bitset] and [Intervals] backends. *)
+
 val cardinal : t -> int
 
 val clear : t -> unit

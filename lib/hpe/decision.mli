@@ -16,6 +16,11 @@ val decide : t -> Secpol_can.Frame.t -> verdict
 (** Grant iff the frame's identifier is on the approved list.  Remote
     frames are judged by the same identifier rule. *)
 
+val decide_std : t -> int -> bool
+(** [decide] for a raw standard ID, as a bare boolean ([true] = grant):
+    same counters, no [Frame.t] or verdict to build.  The form the batched
+    rx gate uses ({!Approved_list.mem_std}). *)
+
 val grants : t -> int
 
 val blocks : t -> int

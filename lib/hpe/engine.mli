@@ -65,4 +65,33 @@ val spoof_alerts : t -> int
 val uninstall : t -> unit
 (** Remove the gates from the node (for baseline comparisons). *)
 
+val gate_rx_batch : t -> ?n:int -> ids:int array -> out:bool array -> unit -> unit
+(** Run the first [n] (default: all) raw standard IDs of the [ids] column
+    through the rx gate in bulk, writing each frame's accept verdict into
+    [out.(i)].  Counter-for-counter equivalent to the per-frame gate on
+    the same IDs — spoof alerts, integrity blocks, read grants/blocks and
+    per-class tallies all advance identically — but the integrity and
+    filter-enable register checks are hoisted out of the loop (nothing
+    can change the register file mid-batch), and membership is tested
+    with {!Approved_list.mem_std}, so the loop allocates nothing on the
+    [Bitset] and [Intervals] backends.  This is the shape bulk candump
+    replay decomposes into.
+    @raise Invalid_argument when [n] is outside [ids] or [out] is shorter
+    than the batch. *)
+
+type replay = {
+  frames : int;  (** records judged *)
+  accepted : int;  (** frames the rx gate passed *)
+  dropped : int;  (** frames the rx gate blocked *)
+}
+
+val replay_candump : t -> Secpol_can.Candump.record list -> replay
+(** Replay a parsed candump capture ({!Secpol_can.Candump.import})
+    through this engine's rx gate, without a simulator: standard-ID runs
+    are packed into a reusable column and judged with {!gate_rx_batch}
+    (flushed at chunk boundaries and before any extended-ID frame, so
+    counters advance in capture order); extended frames take the
+    per-frame path.  Useful for asking "what would this HPE have dropped
+    from a real capture?" at bulk speed. *)
+
 val pp_stats : Format.formatter -> t -> unit

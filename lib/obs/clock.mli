@@ -1,0 +1,21 @@
+(** One shared measurement clock for every benchmark entry point.
+
+    [secpolc bench] used to time with [Sys.time] (process CPU seconds)
+    while [bench/main.exe] timed with wall-clock seconds — two numbers
+    that silently disagree the moment anything sleeps, blocks or runs on
+    more than one core.  Every timing loop now reads this module instead,
+    so a ns/op from one harness is comparable with a ns/op from the
+    other.
+
+    The clock is wall time made {e monotonic}: readings are clamped to a
+    process-wide high-water mark, so a backwards NTP step can flatten an
+    interval to zero but never produce a negative one.  The watermark is
+    an {!Atomic}, making the clamp safe to read from every domain of the
+    parallel serving layer. *)
+
+val now : unit -> float
+(** Monotonic-ized wall clock, in seconds.  Absolute values are only
+    meaningful relative to other [now] readings in the same process. *)
+
+val elapsed_ns : since:float -> float
+(** Nanoseconds elapsed since an earlier [now] reading (never negative). *)

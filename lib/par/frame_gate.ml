@@ -4,6 +4,7 @@ module Approved_list = Secpol_hpe.Approved_list
 module Rate_limiter = Secpol_hpe.Rate_limiter
 module Registry = Secpol_obs.Registry
 module Counter = Secpol_obs.Counter
+module Clock = Secpol_obs.Clock
 
 type dir = Rx | Tx
 
@@ -110,7 +111,7 @@ let finish ~domains ~started slices =
     scatter n (List.map (fun (idxs, vs, _) -> (idxs, vs)) slices)
   in
   let count v = Array.fold_left (fun a x -> if x = v then a + 1 else a) 0 in
-  let elapsed_s = Unix.gettimeofday () -. started in
+  let elapsed_s = Clock.now () -. started in
   let throughput = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
   {
     verdicts;
@@ -135,7 +136,7 @@ let run ?(domains = 1) configs events =
     Partition.assign_by ~shards:domains (fun (e : event) -> e.node) events
   in
   (* timed region: gating only — partitioning is a one-time cost *)
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let workers =
     Array.map
       (fun idxs -> Domain.spawn (fun () -> gate_slice configs events idxs))
@@ -153,6 +154,6 @@ let run ?(domains = 1) configs events =
 
 let run_sequential configs events =
   let idxs = Array.init (Array.length events) Fun.id in
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let verdicts, registry = gate_slice configs events idxs in
   finish ~domains:1 ~started [ (idxs, verdicts, registry) ]

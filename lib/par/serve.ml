@@ -1,7 +1,10 @@
 module Ir = Secpol_policy.Ir
+module Ast = Secpol_policy.Ast
+module Batch = Secpol_policy.Batch
 module Engine = Secpol_policy.Engine
 module Table = Secpol_policy.Table
 module Registry = Secpol_obs.Registry
+module Clock = Secpol_obs.Clock
 
 type stats = {
   domains : int;
@@ -14,6 +17,12 @@ type stats = {
 
 type result = {
   outcomes : Engine.outcome array;
+  registry : Registry.t;
+  stats : stats;
+}
+
+type batch_result = {
+  decisions : Ast.decision array;
   registry : Registry.t;
   stats : stats;
 }
@@ -72,7 +81,7 @@ let finish ~domains ~started slices =
   let outcomes =
     scatter n (List.map (fun (idxs, outs, _, _) -> (idxs, outs)) slices)
   in
-  let elapsed_s = Unix.gettimeofday () -. started in
+  let elapsed_s = Clock.now () -. started in
   let throughput = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
   {
     outcomes;
@@ -97,7 +106,7 @@ let run ?(domains = 1) ?(key = Partition.Subject) ?(strategy = Engine.Deny_overr
   let shards = Partition.assign key ~shards:domains requests in
   (* timed region: serving only — compile and partition are one-time,
      domain-count-independent costs *)
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let workers =
     Array.map
       (fun idxs ->
@@ -119,8 +128,94 @@ let run_sequential ?(strategy = Engine.Deny_overrides) ?cache ?cache_capacity db
     work =
   let table = Table.compile ~strategy db in
   let idxs = Array.init (Array.length work) Fun.id in
-  let started = Unix.gettimeofday () in
+  let started = Clock.now () in
   let outs, registry, stats =
     serve_slice ?cache ?cache_capacity table db work idxs
   in
   finish ~domains:1 ~started [ (idxs, outs, registry, stats) ]
+
+(* ------------------------------------------------------------------ *)
+(* The batched path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One shard's work on the batched path: pack the whole slice into a
+   struct-of-arrays arena once, then decide it in bulk — the per-request
+   loop is {!Secpol_policy.Engine.decide_batch}'s allocation-free column
+   sweep instead of one [Engine.decide] call (and outcome record) per
+   request.  The decision cache is irrelevant here (the batch path
+   bypasses it), so the engine is created without one. *)
+let serve_slice_batch table db work idxs =
+  let registry = Registry.create () in
+  let engine = Engine.of_table ~cache:false ~obs:registry table db in
+  let n = Array.length idxs in
+  let batch = Batch.create ~capacity:(max 1 n) () in
+  Array.iter
+    (fun i ->
+      let now, req = work.(i) in
+      Batch.push ~now batch req)
+    idxs;
+  let decisions = Array.make n Ast.Deny in
+  Engine.decide_batch engine batch ~out:decisions;
+  (decisions, registry, Engine.stats engine)
+
+let finish_batch ~domains ~started slices =
+  let n =
+    List.fold_left (fun a (idxs, _, _, _) -> a + Array.length idxs) 0 slices
+  in
+  let registry = Registry.create () in
+  let engine_stats = ref zero_engine_stats in
+  List.iter
+    (fun (_, _, shard_registry, shard_stats) ->
+      Registry.merge_into ~into:registry shard_registry;
+      engine_stats := add_engine_stats !engine_stats shard_stats)
+    slices;
+  let decisions =
+    scatter n (List.map (fun (idxs, ds, _, _) -> (idxs, ds)) slices)
+  in
+  let elapsed_s = Clock.now () -. started in
+  let throughput = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
+  {
+    decisions;
+    registry;
+    stats =
+      {
+        domains;
+        served = n;
+        per_shard =
+          Array.of_list
+            (List.map (fun (idxs, _, _, _) -> Array.length idxs) slices);
+        elapsed_s;
+        throughput;
+        engine = !engine_stats;
+      };
+  }
+
+let run_batch ?(domains = 1) ?(key = Partition.Subject)
+    ?(strategy = Engine.Deny_overrides) db work =
+  if domains < 1 then invalid_arg "Serve.run_batch: domains < 1";
+  let table = Table.compile ~strategy db in
+  let requests = Array.map snd work in
+  let shards = Partition.assign key ~shards:domains requests in
+  let started = Clock.now () in
+  let workers =
+    Array.map
+      (fun idxs ->
+        Domain.spawn (fun () -> serve_slice_batch table db work idxs))
+      shards
+  in
+  let slices =
+    Array.to_list
+      (Array.map2
+         (fun idxs worker ->
+           let ds, registry, stats = Domain.join worker in
+           (idxs, ds, registry, stats))
+         shards workers)
+  in
+  finish_batch ~domains ~started slices
+
+let run_batch_sequential ?(strategy = Engine.Deny_overrides) db work =
+  let table = Table.compile ~strategy db in
+  let idxs = Array.init (Array.length work) Fun.id in
+  let started = Clock.now () in
+  let ds, registry, stats = serve_slice_batch table db work idxs in
+  finish_batch ~domains:1 ~started [ (idxs, ds, registry, stats) ]

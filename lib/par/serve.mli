@@ -57,3 +57,35 @@ val run_sequential :
   result
 (** The single-engine baseline: same compiled table, one engine, no
     spawned domain.  Reference semantics for {!run}. *)
+
+type batch_result = {
+  decisions : Secpol_policy.Ast.decision array;
+      (** one per request, in input order *)
+  registry : Secpol_obs.Registry.t;
+  stats : stats;
+}
+
+val run_batch :
+  ?domains:int ->
+  ?key:Partition.key ->
+  ?strategy:Secpol_policy.Engine.strategy ->
+  Secpol_policy.Ir.db ->
+  (float * Secpol_policy.Ir.request) array ->
+  batch_result
+(** [run] over the batched decision path: each shard packs its whole
+    slice into a {!Secpol_policy.Batch} struct-of-arrays arena and serves
+    it with one {!Secpol_policy.Engine.decide_batch} call, so the
+    per-request work inside a shard is the allocation-free column sweep
+    rather than a per-request [decide] (and outcome record).  Decisions
+    are identical to {!run}'s [outcome.decision] for the same inputs;
+    what the batch path gives up is per-request matched-rule attribution
+    (there is no [cache] knob because batches bypass the decision cache).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val run_batch_sequential :
+  ?strategy:Secpol_policy.Engine.strategy ->
+  Secpol_policy.Ir.db ->
+  (float * Secpol_policy.Ir.request) array ->
+  batch_result
+(** Single-engine, no-spawn reference for {!run_batch} — one arena, one
+    [decide_batch] call over the whole workload. *)

@@ -1,0 +1,94 @@
+type t = {
+  mutable len : int;
+  mutable subjects : string array;
+  mutable assets : string array;
+  mutable modes : string array;
+  mutable ops : int array;
+  mutable msg_ids : int array;
+  mutable nows : float array;
+  mutable exact_hash : int array;
+  mutable wild_hash : int array;
+  (* mode-interning memo for Table.decide_batch: valid only while
+     [memo_stamp] matches the deciding table's compile stamp, so a batch
+     replayed against a different (or hot-swapped) table can never reuse a
+     stale mode id *)
+  mutable memo_stamp : int;
+  mutable memo_mode : string;
+  mutable memo_id : int;
+}
+
+let no_msg_id = -1
+
+(* a string no caller can be physically equal to, so the memo never hits
+   before its first fill *)
+let memo_unset = String.init 1 (fun _ -> '\255')
+
+let create ?(capacity = 1024) () =
+  let capacity = max 1 capacity in
+  {
+    len = 0;
+    subjects = Array.make capacity "";
+    assets = Array.make capacity "";
+    modes = Array.make capacity "";
+    ops = Array.make capacity 0;
+    msg_ids = Array.make capacity no_msg_id;
+    nows = Array.make capacity 0.0;
+    exact_hash = Array.make capacity 0;
+    wild_hash = Array.make capacity 0;
+    memo_stamp = -1;
+    memo_mode = memo_unset;
+    memo_id = 0;
+  }
+
+let length t = t.len
+
+let capacity t = Array.length t.ops
+
+let clear t = t.len <- 0
+
+let grow t =
+  let cap = Array.length t.ops in
+  let cap' = 2 * cap in
+  let extend fill a =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  t.subjects <- extend "" t.subjects;
+  t.assets <- extend "" t.assets;
+  t.modes <- extend "" t.modes;
+  t.ops <- extend 0 t.ops;
+  t.msg_ids <- extend no_msg_id t.msg_ids;
+  t.nows <- extend 0.0 t.nows;
+  t.exact_hash <- extend 0 t.exact_hash;
+  t.wild_hash <- extend 0 t.wild_hash
+
+let push ?(now = 0.0) t (req : Ir.request) =
+  if t.len = Array.length t.ops then grow t;
+  let i = t.len in
+  t.subjects.(i) <- req.subject;
+  t.assets.(i) <- req.asset;
+  t.modes.(i) <- req.mode;
+  t.ops.(i) <- Ir.Request.op_tag req.op;
+  t.msg_ids.(i) <-
+    (match req.msg_id with None -> no_msg_id | Some id -> id);
+  t.nows.(i) <- now;
+  t.exact_hash.(i) <-
+    Ir.Request.triple_hash ~subject:req.subject ~asset:req.asset req.op;
+  t.wild_hash.(i) <- Ir.Request.pair_hash ~asset:req.asset req.op;
+  t.len <- i + 1
+
+let of_work work =
+  let t = create ~capacity:(max 1 (Array.length work)) () in
+  Array.iter (fun (now, req) -> push ~now t req) work;
+  t
+
+let request t i =
+  if i < 0 || i >= t.len then invalid_arg "Batch.request: index out of bounds";
+  {
+    Ir.mode = t.modes.(i);
+    subject = t.subjects.(i);
+    asset = t.assets.(i);
+    op = (if t.ops.(i) = Ir.Request.op_tag Ir.Read then Ir.Read else Ir.Write);
+    msg_id = (let m = t.msg_ids.(i) in if m = no_msg_id then None else Some m);
+  }

@@ -38,6 +38,11 @@ type t = {
   cache_capacity : int;
   (* sliding-window grant budgets per (rate-limited rule, subject) *)
   buckets : (int * string, Rate_window.t) Hashtbl.t;
+  (* the batch path's rate callbacks, closed over [buckets] once at
+     construction so decide_batch passes pre-existing closures instead of
+     allocating fresh ones per call *)
+  rate_avail_cb : Ir.rule -> string -> float -> bool;
+  rate_cons_cb : Ir.rule -> string -> float -> unit;
   mutable rated_assets : string list;
   (* one consistent registry instead of ad-hoc mutable stat fields; the
      counters exist (and cost one word each) even without a registry, so
@@ -49,6 +54,7 @@ type t = {
   c_cache_misses : Obs.Counter.t;
   c_cache_flushes : Obs.Counter.t;
   latency : Obs.Histogram.t option; (* per-decision, ns; None when no obs *)
+  batch_latency : Obs.Histogram.t option; (* per-batch, ns; None when no obs *)
   clock : unit -> float;
   events : Obs.Ring.t option;
 }
@@ -74,6 +80,31 @@ let rated_assets_of (db : Ir.db) =
 
 let default_cache_capacity = 8192
 
+(* Behavioural budgets, shared by the scalar and batched paths: a
+   rate-limited allow rule is *available* while its sliding window has
+   room, and its budget is consumed only when the rule actually produces
+   the Allow decision.  Keyed by (rule index, subject) over the engine's
+   bucket table — free functions so the batch callbacks can close over
+   the table before the engine record exists. *)
+let bucket_of buckets (r : Ir.rule) rate subject =
+  let key = (r.Ir.idx, subject) in
+  match Hashtbl.find_opt buckets key with
+  | Some w -> w
+  | None ->
+      let w = Rate_window.of_rate rate in
+      Hashtbl.replace buckets key w;
+      w
+
+let rate_available_in buckets ~now (r : Ir.rule) subject =
+  match r.rate with
+  | None -> true
+  | Some rate -> Rate_window.available (bucket_of buckets r rate subject) ~now
+
+let rate_consume_in buckets ~now (r : Ir.rule) subject =
+  match r.rate with
+  | None -> ()
+  | Some rate -> Rate_window.consume (bucket_of buckets r rate subject) ~now
+
 let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
   if cache_capacity <= 0 then
     invalid_arg "Engine.create: cache_capacity must be positive";
@@ -84,6 +115,7 @@ let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
       obs;
     c
   in
+  let buckets = Hashtbl.create 32 in
   {
     db;
     stalled = false;
@@ -93,7 +125,9 @@ let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
     table;
     cache = (if cache then Some (Cache.create 256) else None);
     cache_capacity;
-    buckets = Hashtbl.create 32;
+    buckets;
+    rate_avail_cb = (fun r subject now -> rate_available_in buckets ~now r subject);
+    rate_cons_cb = (fun r subject now -> rate_consume_in buckets ~now r subject);
     rated_assets = rated_assets_of db;
     c_decisions = counter "decisions";
     c_allows = counter "allows";
@@ -106,6 +140,12 @@ let make ~strategy ~cache ~cache_capacity ~mode ~obs ~table db =
         (fun reg ->
           Obs.Registry.histogram ~lo:50.0 ~ratio:2.0 ~buckets:32 reg
             "policy.engine.decide_ns")
+        obs;
+    batch_latency =
+      Option.map
+        (fun reg ->
+          Obs.Registry.histogram ~lo:1000.0 ~ratio:2.0 ~buckets:32 reg
+            "policy.engine.decide_batch_ns")
         obs;
     clock =
       (match obs with Some reg -> Obs.Registry.clock reg | None -> Sys.time);
@@ -134,30 +174,14 @@ let db t = t.db
 
 let table_stats t = Option.map Table.stats t.table
 
-(* Behavioural budgets: a rate-limited allow rule is *available* while its
-   sliding window has room, and its budget is consumed only when the rule
-   actually produces the Allow decision — matching alongside a winning deny
-   costs nothing.  Deny rules never carry rates (the compiler refuses
-   them).  Window semantics live in {!Rate_window}, shared with the HPE's
-   hardware shaper. *)
-let bucket_of t (r : Ir.rule) rate subject =
-  let key = (r.Ir.idx, subject) in
-  match Hashtbl.find_opt t.buckets key with
-  | Some w -> w
-  | None ->
-      let w = Rate_window.of_rate rate in
-      Hashtbl.replace t.buckets key w;
-      w
-
+(* Matching alongside a winning deny costs nothing; deny rules never carry
+   rates (the compiler refuses them).  Window semantics live in
+   {!Rate_window}, shared with the HPE's hardware shaper. *)
 let rate_available t ~now (r : Ir.rule) subject =
-  match r.rate with
-  | None -> true
-  | Some rate -> Rate_window.available (bucket_of t r rate subject) ~now
+  rate_available_in t.buckets ~now r subject
 
 let rate_consume t ~now (r : Ir.rule) subject =
-  match r.rate with
-  | None -> ()
-  | Some rate -> Rate_window.consume (bucket_of t r rate subject) ~now
+  rate_consume_in t.buckets ~now r subject
 
 let matching_rules t (req : Ir.request) =
   let candidates =
@@ -280,6 +304,48 @@ let decide ?(now = 0.0) t (req : Ir.request) =
       outcome
 
 let permitted ?now t req = (decide ?now t req).decision = Ast.Allow
+
+(* The batched fast path.  Per-request work against a compiled table is
+   free of minor-heap allocation: the batch's columns are flat arrays,
+   dispatch lookups probe open-addressed arrays, the rate callbacks are
+   the closures stored at construction, and the decision counters are
+   one-word cells.  Per-*batch* costs (the latency observation, interning
+   a mode the memo has not seen) stay O(1) regardless of batch size. *)
+let decide_batch_untimed t (b : Batch.t) ~out =
+  let allows =
+    match t.table with
+    | Some table ->
+        Table.decide_batch table ~rate_available:t.rate_avail_cb
+          ~rate_consume:t.rate_cons_cb b ~out
+    | None ->
+        (* interpreted parity path: reconstructs each request (allocating);
+           exists so batch ≡ scalar holds in both engine modes, not for
+           speed.  Bypasses the cache like the compiled batch path. *)
+        let allows = ref 0 in
+        for i = 0 to b.Batch.len - 1 do
+          let decision, _ =
+            resolve_interpreted t ~now:b.Batch.nows.(i) (Batch.request b i)
+          in
+          if decision = Ast.Allow then incr allows;
+          out.(i) <- decision
+        done;
+        !allows
+  in
+  (* bulk stats: three counter adds per batch, not two bumps per request *)
+  Obs.Counter.add t.c_decisions b.Batch.len;
+  Obs.Counter.add t.c_allows allows;
+  Obs.Counter.add t.c_denies (b.Batch.len - allows)
+
+let decide_batch t (b : Batch.t) ~out =
+  if t.stalled then raise Unavailable;
+  if Array.length out < b.Batch.len then
+    invalid_arg "Engine.decide_batch: out array shorter than the batch";
+  match t.batch_latency with
+  | None -> decide_batch_untimed t b ~out
+  | Some h ->
+      let t0 = t.clock () in
+      decide_batch_untimed t b ~out;
+      Obs.Histogram.observe h ((t.clock () -. t0) *. 1e9)
 
 let flush_cache t = Option.iter Cache.reset t.cache
 

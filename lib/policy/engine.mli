@@ -103,6 +103,32 @@ val decide : ?now:float -> t -> Ir.request -> outcome
 val permitted : ?now:float -> t -> Ir.request -> bool
 (** [decide] projected to a boolean. *)
 
+val decide_batch : t -> Batch.t -> out:Ast.decision array -> unit
+(** The bulk-traffic fast path: decide every request of the batch,
+    writing request [i]'s decision into [out.(i)] ([out] is caller-owned
+    and must hold at least {!Batch.length} elements).  Decisions — and
+    rate-budget consumption — are exactly those of calling {!decide} on
+    each request in batch order with its [now] timestamp; the decision
+    counters in {!stats} advance identically.
+
+    What batch decisions give up for speed: no per-request matched-rule
+    attribution or [from_cache] flag (use {!decide} when attribution
+    matters), and the decision cache is bypassed — against a compiled
+    table a batched decision is already one open-addressed probe, which
+    is what a cache hit costs, without the insertion bookkeeping.
+
+    Allocation contract: against a compiled table, the steady-state
+    per-request cost is {e zero} minor-heap words — the batch columns,
+    dispatch probes and decision counters are all flat-array or
+    single-word operations (pinned by a [Gc.minor_words] test).  O(1)
+    per-batch costs remain: the latency observation when [obs] is
+    attached, interning a mode string the batch memo has not seen, and
+    rate-limited rules allocate per evaluation (their budget table is
+    keyed by subject).  In interpreted mode the batch path is a parity
+    loop over {!decide}'s resolver and allocates per request.
+    @raise Unavailable while the engine is stalled.
+    @raise Invalid_argument when [out] is shorter than the batch. *)
+
 val swap_db : t -> Ir.db -> unit
 (** Hot-swap the policy database (a policy update); recompiles the decision
     table in compiled mode and flushes the cache. *)

@@ -34,18 +34,22 @@ let of_ranges pairs = normalise pairs
 let ranges t =
   Array.to_list (Array.mapi (fun i lo -> (lo, t.his.(i))) t.los)
 
+(* greatest i with los.(i) <= x, then check his.(i); top-level recursion
+   rather than refs or an inner closure so the batched decision loop stays
+   allocation-free even without flambda *)
+(* indices stay within [0, n): [lo]/[hi] start at 0/(n-1) and the bisection
+   only narrows, so the unchecked reads are safe *)
+let rec mem_from los his x lo hi =
+  if lo >= hi then x <= Array.unsafe_get his lo
+  else
+    let mid = (lo + hi + 1) / 2 in
+    if Array.unsafe_get los mid <= x then mem_from los his x mid hi
+    else mem_from los his x lo (mid - 1)
+
 let mem t x =
-  (* greatest i with los.(i) <= x, then check his.(i) *)
   let n = Array.length t.los in
   if n = 0 || x < t.los.(0) then false
-  else begin
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi + 1) / 2 in
-      if t.los.(mid) <= x then lo := mid else hi := mid - 1
-    done;
-    x <= t.his.(!lo)
-  end
+  else mem_from t.los t.his x 0 (n - 1)
 
 let add t ~lo ~hi = normalise ((lo, hi) :: ranges t)
 

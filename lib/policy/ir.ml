@@ -53,6 +53,21 @@ let message_matches messages msg_id =
 module Request = struct
   type t = request
 
+  (* Distinct small primes per op so (subject, asset, read) and (subject,
+     asset, write) never collide structurally. *)
+  let op_tag = function Read -> 17 | Write -> 29
+
+  (* The two dispatch hashes of the compiled table, split out so the batch
+     arena can pre-hash every request once at fill time: [triple_hash]
+     keys the exact (subject, asset, op) dispatch, [pair_hash] the
+     wildcard (asset, op) fallback for subjects the policy never names. *)
+  let triple_hash ~subject ~asset op =
+    let h = String.hash subject in
+    let h = (h * 31) + String.hash asset in
+    ((h * 31) + op_tag op) land max_int
+
+  let pair_hash ~asset op = ((String.hash asset * 31) + op_tag op) land max_int
+
   let equal a b =
     a.op = b.op
     && (match (a.msg_id, b.msg_id) with
@@ -67,7 +82,7 @@ module Request = struct
     let h = String.hash r.mode in
     let h = (h * 31) + String.hash r.subject in
     let h = (h * 31) + String.hash r.asset in
-    let h = (h * 31) + (match r.op with Read -> 17 | Write -> 29) in
+    let h = (h * 31) + op_tag r.op in
     ((h * 31) + (match r.msg_id with None -> 3 | Some id -> id + 7)) land max_int
 end
 

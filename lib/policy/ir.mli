@@ -63,6 +63,20 @@ module Request : sig
   (** Field-wise hash (no [Hashtbl.hash] on the structured value), suitable
       for [Hashtbl.Make]; used to key the engine's decision cache and the
       compiled table ({!Table}). *)
+
+  val op_tag : op -> int
+  (** Small distinct integer per operation, the column representation used
+      by {!Batch} (an [int array] of operations stays unboxed and
+      comparison-free on the batched decision path). *)
+
+  val triple_hash : subject:string -> asset:string -> op -> int
+  (** Hash of the [(subject, asset, op)] dispatch key, consistent with
+      {!hash}'s treatment of the same fields; precomputed per request by
+      {!Batch.push} and used by {!Table}'s open-addressed dispatch. *)
+
+  val pair_hash : asset:string -> op -> int
+  (** Hash of the [(asset, op)] wildcard-dispatch key (rules whose subject
+      is [any], matched when the policy never names the subject). *)
 end
 
 val rules_for_asset : db -> string -> rule list

@@ -1,34 +1,20 @@
 type strategy = Deny_overrides | Allow_overrides | First_match
 
+let op_tag = Ir.Request.op_tag
+
 (* ------------------------------------------------------------------ *)
-(* Key modules: dedicated hashing, no Hashtbl.hash on structured keys  *)
+(* Compile-time grouping key: dedicated hashing, no Hashtbl.hash on     *)
+(* structured keys                                                      *)
 (* ------------------------------------------------------------------ *)
-
-let op_tag = function Ir.Read -> 17 | Ir.Write -> 29
-
-module Subject_key = struct
-  type t = { subject : string; asset : string; op : Ir.op }
-
-  let equal a b =
-    a.op = b.op
-    && String.equal a.subject b.subject
-    && String.equal a.asset b.asset
-
-  let hash k =
-    let h = String.hash k.subject in
-    let h = (h * 31) + String.hash k.asset in
-    ((h * 31) + op_tag k.op) land max_int
-end
 
 module Asset_key = struct
   type t = { asset : string; op : Ir.op }
 
   let equal a b = a.op = b.op && String.equal a.asset b.asset
 
-  let hash k = ((String.hash k.asset * 31) + op_tag k.op) land max_int
+  let hash k = Ir.Request.pair_hash ~asset:k.asset k.op
 end
 
-module SH = Hashtbl.Make (Subject_key)
 module AH = Hashtbl.Make (Asset_key)
 
 module Mode_tbl = Hashtbl.Make (struct
@@ -43,18 +29,27 @@ end)
 (* Compiled rule form                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Modes intern to bits 0..60 of a mask; bit 61 means "a mode the policy
-   never names", so [Mask (-1)] (a rule with no mode scope) matches those
-   too while explicit masks never can.  Policies naming more than 61
-   distinct modes keep the literal list — correctness over speed in a case
-   that does not occur in practice. *)
-let unknown_mode_bit = 1 lsl 61
-
+(* Modes intern to bits 0..60 of a mask; bit 61 ([1 lsl unknown_mode_id])
+   means "a mode the policy never names", so [Mask (-1)] (a rule with no
+   mode scope) matches those too while explicit masks never can.  Policies
+   naming more than 61 distinct modes keep the literal list — correctness
+   over speed in a case that does not occur in practice. *)
 let max_interned_modes = 61
+
+(* mode ids are 0..60 for interned modes; 61 is the shared id of every
+   mode the policy never names *)
+let unknown_mode_id = max_interned_modes
+
+let mode_slots = unknown_mode_id + 1
 
 type cmodes = Mask of int | Listed of string list
 
-type cmsgs = Any_msg | Ranges of Intervals.t
+(* Message-ID constraints after normalisation.  Almost every automotive
+   rule covers one contiguous ID window, so the single-interval case gets
+   its own constructor and matches with two integer compares instead of a
+   cross-module binary search (no flambda, so [Intervals.mem] is a real
+   call on the hot path). *)
+type cmsgs = Any_msg | Range1 of int * int | Ranges of Intervals.t
 
 type crule = {
   rule : Ir.rule;
@@ -67,19 +62,112 @@ type crule = {
 type verdict =
   | Const of Ast.decision * Ir.rule
       (** head rule matches unconditionally: precomputed decision *)
+  | By_mode of {
+      decisions : Ast.decision array;
+      rules : Ir.rule option array;
+    }
+      (** every rule in the bucket is mode-only (no message ranges, no
+          rates): the whole bucket collapses to one decision per interned
+          mode id — a branch-free array read at decision time *)
   | Scan of crule array
 
-(* Frozen after [compile]: every field (including the hashtables) is
-   populated during compilation and only ever read afterwards, which is
-   what makes a compiled table safe to share read-only across domains
-   (see {!Secpol_par}). *)
+(* ------------------------------------------------------------------ *)
+(* Open-addressed dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The [(subject, asset, op)] / [(asset, op)] key spaces are fixed once
+   the policy is compiled, so instead of a general-purpose [Hashtbl]
+   (whose [find_opt] allocates an option per lookup) the table is lowered
+   into flat open-addressed arrays: power-of-two capacity at most half
+   full, linear probing, hashes precomputed — a miss or hit costs a few
+   array reads and string compares and never allocates.  [hashes.(j) = -1]
+   marks an empty slot; [verdicts.(j)] keeps its [Some] from build time so
+   lookups return a pre-existing pointer. *)
+type dispatch = {
+  dmask : int;
+  hashes : int array;
+  k1 : string array;  (* subject (exact) or asset (wildcard) *)
+  k2 : string array;  (* asset (exact) or "" (wildcard) *)
+  dops : int array;
+  verdicts : verdict option array;
+}
+
+let empty_dispatch =
+  {
+    dmask = 0;
+    hashes = [| -1 |];
+    k1 = [| "" |];
+    k2 = [| "" |];
+    dops = [| 0 |];
+    verdicts = [| None |];
+  }
+
+let build_dispatch entries =
+  match entries with
+  | [] -> empty_dispatch
+  | _ ->
+      let n = List.length entries in
+      let cap = ref 1 in
+      while !cap < 2 * n do
+        cap := !cap * 2
+      done;
+      let cap = !cap in
+      let d =
+        {
+          dmask = cap - 1;
+          hashes = Array.make cap (-1);
+          k1 = Array.make cap "";
+          k2 = Array.make cap "";
+          dops = Array.make cap 0;
+          verdicts = Array.make cap None;
+        }
+      in
+      List.iter
+        (fun (h, k1, k2, op, verdict) ->
+          let j = ref (h land d.dmask) in
+          while d.hashes.(!j) <> -1 do
+            j := (!j + 1) land d.dmask
+          done;
+          d.hashes.(!j) <- h;
+          d.k1.(!j) <- k1;
+          d.k2.(!j) <- k2;
+          d.dops.(!j) <- op;
+          d.verdicts.(!j) <- Some verdict)
+        entries;
+      d
+
+(* top-level recursion (not an inner [let rec]) so probing never builds a
+   closure — the batched loop's zero-allocation contract depends on it.
+   [j] is always masked by [dmask] (capacity - 1), so every index is in
+   bounds by construction and the reads can skip the bounds checks. *)
+let rec probe d h k1 k2 op j =
+  let hj = Array.unsafe_get d.hashes j in
+  if hj = -1 then None
+  else if
+    hj = h
+    && Array.unsafe_get d.dops j = op
+    && String.equal (Array.unsafe_get d.k1 j) k1
+    && String.equal (Array.unsafe_get d.k2 j) k2
+  then Array.unsafe_get d.verdicts j
+  else probe d h k1 k2 op ((j + 1) land d.dmask)
+
+let[@inline] find_dispatch d ~h ~k1 ~k2 ~op = probe d h k1 k2 op (h land d.dmask)
+
+(* Frozen after [compile]: every field is populated during compilation and
+   only ever read afterwards, which is what makes a compiled table safe to
+   share read-only across domains (see {!Secpol_par}). *)
 type t = {
   strategy : strategy;
   default : Ast.decision;
-  exact : verdict SH.t;
-  wildcard : verdict AH.t;
+  exact : dispatch;
+  wildcard : dispatch;
   mode_ids : int Mode_tbl.t;
+  stamp : int;
 }
+
+(* one unique stamp per compiled table, so batch arenas can tell whether
+   their mode-interning memo still refers to the deciding table *)
+let stamp_counter = Atomic.make 0
 
 let strategy t = t.strategy
 
@@ -122,10 +210,14 @@ let compile ~strategy (db : Ir.db) =
       cmsgs =
         (match r.messages with
         | None -> Any_msg
-        | Some ranges ->
-            Ranges
-              (Intervals.of_ranges
-                 (List.map (fun (g : Ast.msg_range) -> (g.lo, g.hi)) ranges)));
+        | Some ranges -> (
+            let iv =
+              Intervals.of_ranges
+                (List.map (fun (g : Ast.msg_range) -> (g.lo, g.hi)) ranges)
+            in
+            match Intervals.ranges iv with
+            | [ (lo, hi) ] -> Range1 (lo, hi)
+            | _ -> Ranges iv));
       allow = r.decision = Ast.Allow;
       rated = r.rate <> None;
     }
@@ -147,12 +239,32 @@ let compile ~strategy (db : Ir.db) =
         in
         allows @ denies
   in
-  let to_verdict rules =
+  let mode_only c = c.cmsgs = Any_msg && not c.rated in
+  let mask_of c = match c.cmodes with Mask m -> m | Listed _ -> 0 in
+  let to_verdict default rules =
     let arr = Array.of_list (List.map compile_rule (reorder rules)) in
     match arr.(0) with
     | { cmodes = Mask (-1); cmsgs = Any_msg; rated = false; rule; _ } ->
         (* everything after an unconditional head is unreachable *)
         Const (rule.Ir.decision, rule)
+    | _
+      when Array.for_all
+             (fun c ->
+               mode_only c && match c.cmodes with Mask _ -> true | Listed _ -> false)
+             arr ->
+        (* mode-only bucket: precompute the winner for every mode id, so
+           deciding is one array read with no scan and no branches *)
+        let decisions = Array.make mode_slots default in
+        let rules = Array.make mode_slots None in
+        for m = 0 to mode_slots - 1 do
+          let bit = 1 lsl m in
+          match Array.find_opt (fun c -> mask_of c land bit <> 0) arr with
+          | Some c ->
+              decisions.(m) <- c.rule.Ir.decision;
+              rules.(m) <- Some c.rule
+          | None -> ()
+        done;
+        By_mode { decisions; rules }
     | _ -> Scan arr
   in
   (* group rules by (asset, op) in source order *)
@@ -170,8 +282,8 @@ let compile ~strategy (db : Ir.db) =
               group_order := key :: !group_order)
         r.ops)
     db.rules;
-  let exact = SH.create 64 in
-  let wildcard = AH.create 32 in
+  let exact_entries = ref [] in
+  let wildcard_entries = ref [] in
   List.iter
     (fun (key : Asset_key.t) ->
       let rules = List.rev !(AH.find groups key) in
@@ -190,66 +302,195 @@ let compile ~strategy (db : Ir.db) =
               (fun (r : Ir.rule) -> Ir.subject_matches r.subjects subject)
               rules
           in
-          SH.replace exact
-            { Subject_key.subject; asset = key.asset; op = key.op }
-            (to_verdict bucket))
+          exact_entries :=
+            ( Ir.Request.triple_hash ~subject ~asset:key.asset key.op,
+              subject,
+              key.asset,
+              op_tag key.op,
+              to_verdict db.default bucket )
+            :: !exact_entries)
         named;
       match
         List.filter (fun (r : Ir.rule) -> r.subjects = Ast.Any_subject) rules
       with
       | [] -> ()
-      | any_rules -> AH.replace wildcard key (to_verdict any_rules))
+      | any_rules ->
+          wildcard_entries :=
+            ( Ir.Request.pair_hash ~asset:key.asset key.op,
+              key.asset,
+              "",
+              op_tag key.op,
+              to_verdict db.default any_rules )
+            :: !wildcard_entries)
     (List.rev !group_order);
-  { strategy; default = db.default; exact; wildcard; mode_ids }
+  {
+    strategy;
+    default = db.default;
+    exact = build_dispatch !exact_entries;
+    wildcard = build_dispatch !wildcard_entries;
+    mode_ids;
+    stamp = Atomic.fetch_and_add stamp_counter 1;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* The fast path                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let mode_bit t mode =
+let mode_id t mode =
   match Mode_tbl.find_opt t.mode_ids mode with
-  | Some i -> 1 lsl i
-  | None -> unknown_mode_bit
+  | Some i -> i
+  | None -> unknown_mode_id
 
-let crule_matches (c : crule) ~bit ~mode ~msg_id =
+let[@inline] crule_matches (c : crule) ~bit ~mode ~msg =
   (match c.cmodes with
   | Mask m -> m land bit <> 0
   | Listed l -> List.mem mode l)
   &&
   match c.cmsgs with
   | Any_msg -> true
-  | Ranges iv -> ( match msg_id with None -> false | Some id -> Intervals.mem iv id)
+  (* msg = -1 (no id) is below every lo, so it is never a member *)
+  | Range1 (lo, hi) -> lo <= msg && msg <= hi
+  | Ranges iv -> Intervals.mem iv msg
+
+let rec scan_scalar t arr n i ~bit ~mode ~msg ~rate_available ~rate_consume =
+  if i = n then (t.default, None)
+  else
+    let c = arr.(i) in
+    if crule_matches c ~bit ~mode ~msg then
+      if not c.allow then (Ast.Deny, Some c.rule)
+      else if not c.rated then (Ast.Allow, Some c.rule)
+      else if rate_available c.rule then begin
+        rate_consume c.rule;
+        (Ast.Allow, Some c.rule)
+      end
+      else scan_scalar t arr n (i + 1) ~bit ~mode ~msg ~rate_available
+             ~rate_consume
+    else
+      scan_scalar t arr n (i + 1) ~bit ~mode ~msg ~rate_available ~rate_consume
 
 let decide t ~rate_available ~rate_consume (req : Ir.request) =
+  let op = op_tag req.op in
   let verdict =
     match
-      SH.find_opt t.exact
-        { Subject_key.subject = req.subject; asset = req.asset; op = req.op }
+      find_dispatch t.exact
+        ~h:(Ir.Request.triple_hash ~subject:req.subject ~asset:req.asset req.op)
+        ~k1:req.subject ~k2:req.asset ~op
     with
     | Some _ as v -> v
-    | None -> AH.find_opt t.wildcard { Asset_key.asset = req.asset; op = req.op }
+    | None ->
+        find_dispatch t.wildcard
+          ~h:(Ir.Request.pair_hash ~asset:req.asset req.op)
+          ~k1:req.asset ~k2:"" ~op
   in
   match verdict with
   | None -> (t.default, None)
   | Some (Const (decision, rule)) -> (decision, Some rule)
+  | Some (By_mode { decisions; rules }) ->
+      let m = mode_id t req.mode in
+      (decisions.(m), rules.(m))
   | Some (Scan arr) ->
-      let bit = mode_bit t req.mode in
-      let n = Array.length arr in
-      let rec go i =
-        if i = n then (t.default, None)
+      let bit = 1 lsl mode_id t req.mode in
+      let msg = match req.msg_id with None -> -1 | Some id -> id in
+      scan_scalar t arr (Array.length arr) 0 ~bit ~mode:req.mode ~msg
+        ~rate_available ~rate_consume
+
+(* ------------------------------------------------------------------ *)
+(* The batched path                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Mode interning for a batch: physical-equality memo against the batch's
+   last mode string, falling back to the hash lookup (which allocates an
+   option) only when the mode string changes or the batch last ran
+   against a different table.  Batches streaming one mode — the common
+   bulk-replay shape — intern exactly once. *)
+let[@inline] batch_mode_id t (b : Batch.t) i =
+  let m = b.Batch.modes.(i) in
+  if b.Batch.memo_stamp = t.stamp && m == b.Batch.memo_mode then
+    b.Batch.memo_id
+  else begin
+    let id = mode_id t m in
+    b.Batch.memo_stamp <- t.stamp;
+    b.Batch.memo_mode <- m;
+    b.Batch.memo_id <- id;
+    id
+  end
+
+(* Top-level recursion again, and the batch/index pair is passed instead
+   of the subject/now values so the float timestamp is only read — and
+   boxed for the callback — in the rated branch (rate-limited rules are
+   outside the zero-allocation contract; every other branch touches only
+   ints and pre-existing pointers). *)
+let rec scan_batched t arr n k ~bit ~mode ~msg (b : Batch.t) i rate_available
+    rate_consume =
+  if k = n then t.default
+  else
+    let c = Array.unsafe_get arr k (* k < n = Array.length arr *) in
+    if crule_matches c ~bit ~mode ~msg then
+      if not c.allow then Ast.Deny
+      else if not c.rated then Ast.Allow
+      else
+        let subject = b.Batch.subjects.(i) in
+        let now = b.Batch.nows.(i) in
+        if rate_available c.rule subject now then begin
+          rate_consume c.rule subject now;
+          Ast.Allow
+        end
         else
-          let c = arr.(i) in
-          if crule_matches c ~bit ~mode:req.mode ~msg_id:req.msg_id then
-            if not c.allow then (Ast.Deny, Some c.rule)
-            else if not c.rated then (Ast.Allow, Some c.rule)
-            else if rate_available c.rule then begin
-              rate_consume c.rule;
-              (Ast.Allow, Some c.rule)
-            end
-            else go (i + 1)
-          else go (i + 1)
-      in
-      go 0
+          scan_batched t arr n (k + 1) ~bit ~mode ~msg b i rate_available
+            rate_consume
+    else
+      scan_batched t arr n (k + 1) ~bit ~mode ~msg b i rate_available
+        rate_consume
+
+let decide_batch t ~rate_available ~rate_consume (b : Batch.t)
+    ~(out : Ast.decision array) =
+  let n = b.Batch.len in
+  let exact = t.exact and wildcard = t.wildcard in
+  let subjects = b.Batch.subjects
+  and assets = b.Batch.assets
+  and modes = b.Batch.modes
+  and ops = b.Batch.ops
+  and msg_ids = b.Batch.msg_ids
+  and exact_hash = b.Batch.exact_hash
+  and wild_hash = b.Batch.wild_hash in
+  let allows = ref 0 in
+  (* [i < n = Batch.length b <= capacity], the invariant every column
+     shares, so the column reads can skip their bounds checks; [out] is
+     the only caller-supplied array and was length-checked by the engine. *)
+  for i = 0 to n - 1 do
+    let subject = Array.unsafe_get subjects i in
+    let asset = Array.unsafe_get assets i in
+    let op = Array.unsafe_get ops i in
+    let verdict =
+      match
+        find_dispatch exact
+          ~h:(Array.unsafe_get exact_hash i)
+          ~k1:subject ~k2:asset ~op
+      with
+      | Some _ as v -> v
+      | None ->
+          find_dispatch wildcard
+            ~h:(Array.unsafe_get wild_hash i)
+            ~k1:asset ~k2:"" ~op
+    in
+    let decision =
+      match verdict with
+      | None -> t.default
+      | Some (Const (decision, _)) -> decision
+      | Some (By_mode { decisions; _ }) ->
+          (* mode ids are < mode_slots = Array.length decisions *)
+          Array.unsafe_get decisions (batch_mode_id t b i)
+      | Some (Scan arr) ->
+          scan_batched t arr (Array.length arr) 0
+            ~bit:(1 lsl batch_mode_id t b i)
+            ~mode:(Array.unsafe_get modes i)
+            ~msg:(Array.unsafe_get msg_ids i)
+            b i rate_available rate_consume
+    in
+    if decision = Ast.Allow then incr allows;
+    out.(i) <- decision
+  done;
+  !allows
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -259,32 +500,40 @@ type stats = {
   buckets : int;
   wildcard_buckets : int;
   folded : int;
+  mode_folded : int;
   max_bucket : int;
   modes : int;
 }
 
 let stats t =
-  let fold_verdict v (folded, max_bucket) =
-    match v with
-    | Const _ -> (folded + 1, max_bucket)
-    | Scan arr -> (folded, max max_bucket (Array.length arr))
+  let fold_dispatch d (count, folded, mode_folded, max_bucket) =
+    Array.fold_left
+      (fun (count, folded, mode_folded, max_bucket) -> function
+        | None -> (count, folded, mode_folded, max_bucket)
+        | Some (Const _) -> (count + 1, folded + 1, mode_folded, max_bucket)
+        | Some (By_mode _) -> (count + 1, folded, mode_folded + 1, max_bucket)
+        | Some (Scan arr) ->
+            (count + 1, folded, mode_folded, max max_bucket (Array.length arr)))
+      (count, folded, mode_folded, max_bucket)
+      d.verdicts
   in
-  let folded, max_bucket =
-    SH.fold (fun _ v acc -> fold_verdict v acc) t.exact (0, 0)
+  let exact_count, folded, mode_folded, max_bucket =
+    fold_dispatch t.exact (0, 0, 0, 0)
   in
-  let folded, max_bucket =
-    AH.fold (fun _ v acc -> fold_verdict v acc) t.wildcard (folded, max_bucket)
+  let all_count, folded, mode_folded, max_bucket =
+    fold_dispatch t.wildcard (exact_count, folded, mode_folded, max_bucket)
   in
   {
-    buckets = SH.length t.exact;
-    wildcard_buckets = AH.length t.wildcard;
+    buckets = exact_count;
+    wildcard_buckets = all_count - exact_count;
     folded;
+    mode_folded;
     max_bucket;
     modes = Mode_tbl.length t.mode_ids;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d buckets (+%d wildcard), %d folded to constants, longest scan %d, %d \
-     modes interned"
-    s.buckets s.wildcard_buckets s.folded s.max_bucket s.modes
+    "%d buckets (+%d wildcard), %d folded to constants, %d folded per-mode, \
+     longest scan %d, %d modes interned"
+    s.buckets s.wildcard_buckets s.folded s.mode_folded s.max_bucket s.modes

@@ -7,11 +7,13 @@
     hash lookup (paper Fig. 4's hardware decision block; DiSPEL compiles
     bus policies into per-node tables for the same reason):
 
-    - rules are bucketed by [(subject, asset, op)] through a dedicated
-      [Hashtbl.Make] key module (no polymorphic hashing); rules over
-      [any] subject are merged into every named subject's bucket and also
-      kept in a wildcard [(asset, op)] table for subjects the policy never
-      names;
+    - rules are bucketed by [(subject, asset, op)] into a flat
+      {e open-addressed} dispatch (power-of-two capacity, linear probing,
+      dedicated hashing via {!Ir.Request.triple_hash} — no polymorphic
+      hashing, and no per-lookup allocation the way [Hashtbl.find_opt]
+      would); rules over [any] subject are merged into every named
+      subject's bucket and also kept in a wildcard [(asset, op)] dispatch
+      ({!Ir.Request.pair_hash}) for subjects the policy never names;
     - mode lists are interned to bitmasks and message-ID ranges lowered to
       sorted interval arrays ({!Intervals}), so per-rule matching is a mask
       test plus a binary search;
@@ -21,7 +23,11 @@
       resolution for every strategy is "first match in bucket order wins";
     - a bucket whose first rule matches unconditionally (all modes, all
       message IDs, no rate limit) collapses to a precomputed constant
-      decision — the common case for generated least-privilege policies.
+      decision — the common case for generated least-privilege policies;
+    - a bucket whose rules are all {e mode-only} (no message ranges, no
+      rates, mode lists interned to masks) collapses to one precomputed
+      decision per interned mode id, so deciding it is a single array
+      read indexed by the request's mode — no scan, no branches.
 
     Rate-limited rules cannot be folded (their outcome is time-dependent);
     buckets containing one keep the scan form and consult the engine's
@@ -62,10 +68,28 @@ val decide :
     when [r] grounds an [Allow] decision.  Rules without a rate limit never
     reach the callbacks. *)
 
+val decide_batch :
+  t ->
+  rate_available:(Ir.rule -> string -> float -> bool) ->
+  rate_consume:(Ir.rule -> string -> float -> unit) ->
+  Batch.t ->
+  out:Ast.decision array ->
+  int
+(** Decide every request of the batch, writing [out.(i)] for request [i]
+    (the caller guarantees [Array.length out >= Batch.length]) and
+    returning the number of [Allow] decisions (counted inside the sweep so
+    the engine's stats need no second pass).  Decisions are exactly those
+    {!decide} would take in batch order; matched-rule attribution is not
+    produced (that is what keeps the steady-state loop free of minor-heap
+    allocation — see {!Engine.decide_batch}).  The rate callbacks receive
+    the rule, the request's subject and its [now] timestamp; only
+    rate-limited rules reach them. *)
+
 type stats = {
   buckets : int;  (** exact [(subject, asset, op)] buckets *)
   wildcard_buckets : int;  (** [(asset, op)] buckets for unnamed subjects *)
   folded : int;  (** buckets collapsed to a constant decision *)
+  mode_folded : int;  (** buckets collapsed to a per-mode decision array *)
   max_bucket : int;  (** longest residual scan *)
   modes : int;  (** distinct interned mode names *)
 }

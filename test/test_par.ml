@@ -131,6 +131,42 @@ let test_serve_validates_domains () =
     (Invalid_argument "Serve.run: domains < 1") (fun () ->
       ignore (Serve.run ~domains:0 db [||]))
 
+(* The batched server must scatter exactly the decisions the scalar
+   sharded run produces — same rate consumption per shard, same input
+   order — at every domain count and partition key. *)
+let test_serve_batch_matches_run () =
+  let db = compile_ok rated_source in
+  let subjects = [ "alice"; "bob"; "carol"; "infotainment"; "dave" ] in
+  let work =
+    Array.init 400 (fun k ->
+        let subject = List.nth subjects (k mod 5) in
+        let asset = if k mod 3 = 0 then "telemetry" else "lock" in
+        let op = if k mod 3 = 0 then Ir.Read else Ir.Write in
+        ( float_of_int k *. 0.01,
+          { Ir.mode = "normal"; subject; asset; op; msg_id = None } ))
+  in
+  let seq = Serve.run_batch_sequential db work in
+  let scalar = Serve.run_sequential db work in
+  Alcotest.(check bool) "sequential batch = sequential scalar decisions" true
+    (Array.to_list seq.Serve.decisions
+    = List.map
+        (fun (o : Secpol_policy.Engine.outcome) -> o.decision)
+        (Array.to_list scalar.Serve.outcomes));
+  List.iter
+    (fun key ->
+      List.iter
+        (fun domains ->
+          let par = Serve.run_batch ~domains ~key db work in
+          Alcotest.(check bool)
+            (Printf.sprintf "batched %d-domain run = sequential (%s)" domains
+               (match key with
+               | Partition.Subject -> "subject"
+               | Partition.Asset -> "asset"))
+            true
+            (par.Serve.decisions = seq.Serve.decisions))
+        [ 1; 2; 4 ])
+    [ Partition.Subject; Partition.Asset ]
+
 (* ---------- Random policies: the qcheck determinism harness ---------- *)
 
 let keywords =
@@ -331,6 +367,7 @@ let () =
           quick "matches sequential (rated policy)" test_serve_matches_sequential;
           quick "stats shape" test_serve_stats_shape;
           quick "validation" test_serve_validates_domains;
+          quick "batched run matches scalar run" test_serve_batch_matches_run;
           QCheck_alcotest.to_alcotest prop_sharded_equals_sequential;
         ] );
       ( "frame gate",
