@@ -1074,6 +1074,62 @@ let extension () =
                   (fun (v, n) -> Printf.sprintf "v%d: %d" v n)
                   (Lifecycle.Fleet.versions fleet)))))
 
+(* ------------------------------------------------------------------ *)
+(* Fleet campaign                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_json_file : string option ref = ref None
+
+(* (report json, median elapsed seconds over the protocol's repeats) *)
+let campaign_result : (Policy.Json.t * float) option ref = ref None
+
+let fleet_campaign () =
+  section "Fleet campaign: verifier-gated staged rollout under live threat";
+  let module FC = Lifecycle.Campaign in
+  let fleet = if !quick_mode then 20_000 else 200_000 in
+  let domains = max 1 (min 8 (Domain.recommended_domain_count () - 1)) in
+  let repeats = if !quick_mode then 2 else 3 in
+  let cfg = FC.default_config ~fleet ~seed:42L ~domains ~quick:!quick_mode () in
+  let last = ref None in
+  let run () =
+    match FC.run cfg with
+    | Error e -> failwith ("campaign bench: " ^ e)
+    | Ok r -> last := Some r
+  in
+  let median_s, _ = Protocol.measure ~warmup:1 ~repeats run in
+  match !last with
+  | None -> ()
+  | Some r ->
+      Printf.printf
+        "%d vehicles over %d domain(s), two shared decision tables, 1 warmup \
+         + %d timed repeats\n"
+        fleet domains repeats;
+      Printf.printf
+        "  median campaign wall time %.2f s; %d batched decisions (%.0f/s \
+         in the reported run)\n"
+        median_s r.FC.decisions r.FC.throughput_per_s;
+      Printf.printf
+        "  gate %s (widened %d); ota p50 %.2f d / p99 %.2f d vs recall p50 \
+         %.2f d -> %.1fx\n"
+        (if r.FC.gate.FC.passed then "passed" else "REFUSED")
+        r.FC.gate.FC.widened r.FC.ota.FC.p50_days r.FC.ota.FC.p99_days
+        r.FC.recall.FC.p50_days r.FC.speedup_p50;
+      campaign_result := Some (FC.to_json r, median_s)
+
+let campaign_report () =
+  match !campaign_result with
+  | None -> Policy.Json.Null
+  | Some (report, median_s) ->
+      Policy.Json.Obj
+        [
+          ("schema", Policy.Json.Int 1);
+          ("suite", Policy.Json.String "secpol-campaign-bench");
+          ("quick", Policy.Json.Bool !quick_mode);
+          ("meta", Protocol.meta ());
+          ("median_elapsed_s", Policy.Json.Float median_s);
+          ("report", report);
+        ]
+
 let targets =
   [
     ("table1", table1);
@@ -1087,6 +1143,7 @@ let targets =
     ("q4", q4);
     ("perf", perf);
     ("parscale", parscale);
+    ("campaign", fleet_campaign);
     ("ablation", ablation);
     ("extension", extension);
   ]
@@ -1180,7 +1237,7 @@ let () =
   let usage () =
     Printf.eprintf
       "usage: main.exe [TARGET...] [--quick] [--json FILE] [--parallel-json \
-       FILE] [--check-speedup X]\n\
+       FILE] [--campaign-json FILE] [--check-speedup X]\n\
       \                [--check-batched-speedup X] [--baseline FILE] \
        [--parallel-baseline FILE] [--tolerance PCT]\nknown targets: %s\n"
       (String.concat ", " (List.map fst targets));
@@ -1196,6 +1253,9 @@ let () =
         parse names rest
     | "--parallel-json" :: file :: rest ->
         parallel_json_file := Some file;
+        parse names rest
+    | "--campaign-json" :: file :: rest ->
+        campaign_json_file := Some file;
         parse names rest
     | "--baseline" :: file :: rest ->
         baseline_file := Some file;
@@ -1221,7 +1281,7 @@ let () =
             check_batched := Some v;
             parse names rest
         | None -> usage ())
-    | ( "--json" | "--parallel-json" | "--check-speedup"
+    | ( "--json" | "--parallel-json" | "--campaign-json" | "--check-speedup"
       | "--check-batched-speedup" | "--baseline" | "--parallel-baseline"
       | "--tolerance" )
       :: [] ->
@@ -1260,6 +1320,14 @@ let () =
       close_out oc;
       Printf.printf "\nwrote %s (%d parallel scaling runs)\n" file
         (List.length !par_rows));
+  (match !campaign_json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Policy.Json.to_string (campaign_report ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (campaign artifact)\n" file);
   (match !check_speedup with
   | None -> ()
   | Some threshold -> (

@@ -5,7 +5,8 @@
      table1    print the regenerated Table I
      run       benign drive, print state and statistics
      attack    execute one attack scenario
-     campaign  the full attack matrix across enforcement levels
+     matrix    the full attack matrix across enforcement levels
+     campaign  a fleet-scale staged policy-update campaign
      policy    print the car's derived baseline policy
 *)
 
@@ -212,9 +213,9 @@ let attack_cmd =
        ~doc:"Execute one Table-I attack scenario. Exit 0 blocked / 3 succeeded.")
     Term.(const run $ enforcement $ seed $ threat_id)
 
-(* ---------- campaign ---------- *)
+(* ---------- matrix ---------- *)
 
-let campaign_cmd =
+let matrix_cmd =
   let run seed =
     let summaries = Campaign.table ~seed () in
     List.iter (fun s -> Format.printf "%a@." Campaign.pp_summary s) summaries;
@@ -223,8 +224,90 @@ let campaign_cmd =
     if Campaign.matches_paper summaries then 0 else 1
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"Run all sixteen scenarios at every enforcement level.")
+    (Cmd.info "matrix" ~doc:"Run all sixteen scenarios at every enforcement level.")
     Term.(const run $ seed)
+
+(* ---------- campaign (fleet-scale policy update) ---------- *)
+
+module Fleet_campaign = Secpol.Lifecycle.Campaign
+
+let campaign_cmd =
+  let module FC = Fleet_campaign in
+  let run fleet seed domains quick unsafe report =
+    let cfg = FC.default_config ~fleet ~seed ~domains ~quick () in
+    let new_policy =
+      (* a deliberately widened update: the gate must refuse it *)
+      if unsafe then Some (V.Policy_map.permissive ~version:2 ()) else None
+    in
+    match FC.run ?new_policy cfg with
+    | Error e ->
+        prerr_endline e;
+        3
+    | Ok r ->
+        (match report with
+        | Some file ->
+            Out_channel.with_open_text file (fun oc ->
+                output_string oc
+                  (Secpol.Policy.Json.to_string (FC.to_json r));
+                output_char oc '\n')
+        | None -> ());
+        Printf.printf "threat: %s (day %g)\n" r.FC.threat_title r.FC.threat_day;
+        Printf.printf
+          "gate: %s (widened %d, tightened %d, obligations %d -> %d)\n"
+          (if r.FC.gate.FC.passed then "passed" else "REFUSED")
+          r.FC.gate.FC.widened r.FC.gate.FC.tightened
+          r.FC.gate.FC.violations_before r.FC.gate.FC.violations_after;
+        List.iter
+          (fun (s : FC.stage_report) ->
+            Printf.printf "stage %-8s day %4g  %7d vehicles, %7d adopted%s\n"
+              s.FC.stage.FC.name s.FC.stage.FC.start_day s.FC.vehicles
+              s.FC.adopted
+              (if s.FC.started then "" else "  (not started)"))
+          r.FC.stages;
+        Printf.printf "decisions: %d (%.0f/s), benign denied: %d, lock bursts: %d allowed / %d shaped\n"
+          r.FC.decisions r.FC.throughput_per_s r.FC.benign_denied
+          r.FC.lock_allowed r.FC.lock_denied;
+        let channel name (c : FC.channel_report) =
+          Printf.printf
+            "%-6s mitigation: %7d vehicles, %7d never, p50 %6.2f d, p99 %7.2f d\n"
+            name c.FC.mitigated c.FC.never c.FC.p50_days c.FC.p99_days
+        in
+        channel "ota" r.FC.ota;
+        channel "recall" r.FC.recall;
+        Printf.printf "ota vs recall p50 speedup: %.1fx\n" r.FC.speedup_p50;
+        if r.FC.gate.FC.passed then 0 else 4
+  in
+  let fleet =
+    Arg.(value & opt int 100_000
+         & info [ "fleet" ] ~docv:"N" ~doc:"Fleet size (vehicle instances).")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"D"
+             ~doc:"Worker domains the fleet is sharded across.")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Coarser tick for smoke runs.")
+  in
+  let unsafe =
+    Arg.(value & flag
+         & info [ "unsafe-update" ]
+             ~doc:"Roll out a deliberately widened (allow-all) update; \
+                   the verifier gate refuses it and the rollout halts.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the campaign report to $(docv) as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Roll a policy update across a simulated fleet in verifier-gated \
+          stages while a Table-I threat goes live mid-run. Exit 0 on a \
+          completed rollout, 4 when the gate refused the update.")
+    Term.(const run $ fleet $ seed $ domains $ quick $ unsafe $ report)
 
 (* ---------- policy ---------- *)
 
@@ -388,6 +471,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            list_cmd; table1_cmd; run_cmd; attack_cmd; campaign_cmd; policy_cmd;
-            sniff_cmd; replay_cmd; chaos_cmd;
+            list_cmd; table1_cmd; run_cmd; attack_cmd; matrix_cmd;
+            campaign_cmd; policy_cmd; sniff_cmd; replay_cmd; chaos_cmd;
           ]))

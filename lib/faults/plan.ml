@@ -136,6 +136,37 @@ let skewed_stall ~horizon =
         ];
   }
 
+let threat_trigger ?(msg_id = Secpol_vehicle.Messages.lock_command) ~at
+    ~horizon () =
+  if horizon <= 0.0 then
+    invalid_arg "Plan.threat_trigger: horizon must be positive";
+  if at < 0.0 || at >= horizon then
+    invalid_arg "Plan.threat_trigger: activation outside [0, horizon)";
+  {
+    name = "threat-trigger";
+    horizon;
+    entries =
+      [
+        {
+          at;
+          kind =
+            (* the forged-frame flood carrying the threat's message id;
+               it stays live until the horizon *)
+            Fault.Babbling_idiot
+              { msg_id; period = 0.05; duration = horizon -. at };
+        };
+      ];
+  }
+
+let threat_window t =
+  List.find_map
+    (fun e ->
+      match e.kind with
+      | Fault.Babbling_idiot { msg_id; duration; _ } ->
+          Some (e.at, Float.min t.horizon (e.at +. duration), msg_id)
+      | _ -> None)
+    t.entries
+
 (* ---------- seeded generation ---------- *)
 
 (* Recoverable faults only: generated campaigns exercise breadth, the

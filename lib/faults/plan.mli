@@ -38,6 +38,20 @@ val skewed_stall : horizon:float -> t
 (** A policy stall while the watchdog's clock runs slow — detection must
     still happen within the skew-adjusted bound. *)
 
+val threat_trigger : ?msg_id:int -> at:float -> horizon:float -> unit -> t
+(** A single Table-I threat going live at [at] and staying live until the
+    horizon: a forged-frame flood ({!Fault.Babbling_idiot}) carrying
+    [msg_id] (default the door-lock command, the row-14 attack vector).
+    Plan times are unitless floats — the chaos harness reads them as
+    seconds against one car, a fleet campaign
+    ({!Secpol_lifecycle.Campaign}) reads the same schedule in days.
+    @raise Invalid_argument unless [0 <= at < horizon]. *)
+
+val threat_window : t -> (float * float * int) option
+(** [(activation, clearance, msg_id)] of the plan's first forged-frame
+    flood (clearance clamped to the horizon); [None] when the plan
+    carries no such fault. *)
+
 val generate : ?faults:int -> seed:int64 -> horizon:float -> unit -> t
 (** [faults] (default 4) random recoverable faults at seeded times. *)
 

@@ -1,0 +1,617 @@
+module Ast = Secpol_policy.Ast
+module Ir = Secpol_policy.Ir
+module Table = Secpol_policy.Table
+module Engine = Secpol_policy.Engine
+module Batch = Secpol_policy.Batch
+module Verify = Secpol_policy.Verify
+module Json = Secpol_policy.Json
+module Rng = Secpol_sim.Rng
+module Plan = Secpol_faults.Plan
+module Histogram = Secpol_obs.Histogram
+module Clock = Secpol_obs.Clock
+module Partition = Secpol_par.Partition
+module Names = Secpol_vehicle.Names
+module Modes = Secpol_vehicle.Modes
+module Policy_map = Secpol_vehicle.Policy_map
+module Instance = Secpol_vehicle.Instance
+module Threat_catalog = Secpol_vehicle.Threat_catalog
+
+type stage = { name : string; fraction : float; start_day : float }
+
+type config = {
+  fleet : int;
+  seed : int64;
+  domains : int;
+  stages : stage list;
+  ota_mean_days : float;
+  recall_mean_days : float;
+  recall_no_show : float;
+  horizon_days : float;
+  tick_days : float;
+  plan : Plan.t;
+  threat_id : string;
+  lock_bursts_every : int;
+}
+
+let default_config ?(fleet = 100_000) ?(seed = 42L) ?(domains = 1)
+    ?(quick = false) () =
+  let horizon_days = 30.0 in
+  {
+    fleet;
+    seed;
+    domains;
+    stages =
+      [
+        { name = "canary"; fraction = 0.01; start_day = 0.0 };
+        { name = "cohort"; fraction = 0.10; start_day = 2.0 };
+        { name = "fleet"; fraction = 1.0; start_day = 5.0 };
+      ];
+    ota_mean_days = 3.0;
+    recall_mean_days = 90.0;
+    recall_no_show = 0.25;
+    horizon_days;
+    tick_days = (if quick then 0.5 else 0.25);
+    plan = Plan.threat_trigger ~at:6.0 ~horizon:horizon_days ();
+    threat_id = Threat_catalog.door_lock_in_accident;
+    lock_bursts_every = (if quick then 32 else 16);
+  }
+
+(* ---------- validation ---------- *)
+
+let validate cfg =
+  let err fmt = Printf.ksprintf (fun m -> Error ("campaign: " ^ m)) fmt in
+  if cfg.fleet <= 0 then err "fleet must be positive"
+  else if cfg.domains < 1 then err "domains must be >= 1"
+  else if cfg.horizon_days <= 0.0 then err "horizon must be positive"
+  else if cfg.tick_days <= 0.0 then err "tick must be positive"
+  else if cfg.ota_mean_days <= 0.0 then err "ota mean must be positive"
+  else if cfg.recall_mean_days <= 0.0 then err "recall mean must be positive"
+  else if cfg.recall_no_show < 0.0 || cfg.recall_no_show > 1.0 then
+    err "recall no-show outside [0,1]"
+  else if cfg.stages = [] then err "no rollout stages"
+  else begin
+    let rec stages_ok prev_f prev_d = function
+      | [] -> Ok ()
+      | s :: rest ->
+          if s.fraction <= prev_f || s.fraction > 1.0 then
+            err "stage %S: fractions must ascend within (0,1]" s.name
+          else if s.start_day < prev_d then
+            err "stage %S: start days must not decrease" s.name
+          else stages_ok s.fraction s.start_day rest
+    in
+    match stages_ok 0.0 0.0 cfg.stages with
+    | Error _ as e -> e
+    | Ok () -> (
+        match Plan.threat_window cfg.plan with
+        | None -> err "plan %S carries no threat window" cfg.plan.Plan.name
+        | Some (t_on, _, _) when t_on >= cfg.horizon_days ->
+            err "threat activates at day %g, past the %g-day horizon" t_on
+              cfg.horizon_days
+        | Some _ -> (
+            match Threat_catalog.find cfg.threat_id with
+            | None -> err "unknown threat id %S" cfg.threat_id
+            | Some row -> Ok row))
+  end
+
+(* ---------- verifier gate ---------- *)
+
+type gate = {
+  widened : int;
+  tightened : int;
+  changed : int;
+  violations_before : int;
+  violations_after : int;
+  passed : bool;
+}
+
+let violations ~obligations db =
+  let r = Verify.analyse ~obligations db in
+  List.fold_left
+    (fun acc (s : Verify.obligation_status) -> acc + List.length s.violations)
+    0 r.Verify.obligations
+
+let gate ~old_db ~new_db () =
+  let d = Verify.diff old_db new_db in
+  let widened = Verify.count_direction Verify.Widened d in
+  let tightened = Verify.count_direction Verify.Tightened d in
+  let changed = Verify.count_direction Verify.Changed d in
+  let obligations = Threat_catalog.obligations () in
+  let violations_before = violations ~obligations old_db in
+  let violations_after = violations ~obligations new_db in
+  {
+    widened;
+    tightened;
+    changed;
+    violations_before;
+    violations_after;
+    passed = widened = 0 && violations_after <= violations_before;
+  }
+
+(* ---------- reports ---------- *)
+
+type channel_report = {
+  mitigated : int;
+  never : int;
+  p50_days : float;
+  p99_days : float;
+  mean_days : float;
+}
+
+type stage_report = {
+  stage : stage;
+  gate_passed : bool;
+  started : bool;
+  vehicles : int;
+  adopted : int;
+}
+
+type report = {
+  config : config;
+  threat_title : string;
+  threat_day : float;
+  gate : gate;
+  stages : stage_report list;
+  versions : (int * int) list;
+  decisions : int;
+  benign_denied : int;
+  lock_allowed : int;
+  lock_denied : int;
+  ota : channel_report;
+  recall : channel_report;
+  speedup_p50 : float;
+  elapsed_s : float;
+  throughput_per_s : float;
+}
+
+(* ---------- per-vehicle determinism ---------- *)
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* one independent stream per (seed, vehicle); a second, salted stream
+   for the recall baseline so the comparator can never perturb the OTA
+   draws *)
+let vehicle_seed seed id = Int64.add seed (Int64.mul golden (Int64.of_int (id + 1)))
+
+let recall_salt = 0x5DEECE66DA5A5A5AL
+
+let stage_index stages u =
+  let rec go i = function
+    | [] -> None
+    | s :: rest -> if u < s.fraction then Some i else go (i + 1) rest
+  in
+  go 0 stages
+
+(* day-scale log histogram: first bucket one quarter-day, range out past
+   any recall tail; both channels use the same layout so either merges
+   across shards *)
+let day_histogram () = Histogram.create ~lo:0.25 ~ratio:1.25 ~buckets:48 ()
+
+(* ---------- benign traffic ---------- *)
+
+(* Designed normal-mode traffic: each message probed as its first designed
+   producer (write) and first designed consumer (read).  Lock-command
+   writes are excluded — under the hardened version they ground in a
+   rate-limited rule, and budget-dependent traffic must go through the
+   owning instance, not a shared engine. *)
+let benign_templates () =
+  let module M = Secpol_vehicle.Messages in
+  let normal = Modes.name Modes.Normal in
+  M.all
+  |> List.concat_map (fun (m : M.t) ->
+         if not (m.modes = [] || List.mem Modes.Normal m.modes) then []
+         else begin
+           let write =
+             match m.producers with
+             | p :: _ when m.id <> M.lock_command ->
+                 [
+                   {
+                     Ir.mode = normal;
+                     subject = Names.asset_of_node p;
+                     asset = m.asset;
+                     op = Ir.Write;
+                     msg_id = Some m.id;
+                   };
+                 ]
+             | _ -> []
+           in
+           let read =
+             match m.consumers with
+             | c :: _ ->
+                 [
+                   {
+                     Ir.mode = normal;
+                     subject = Names.asset_of_node c;
+                     asset = m.asset;
+                     op = Ir.Read;
+                     msg_id = Some m.id;
+                   };
+                 ]
+             | [] -> []
+           in
+           write @ read
+         end)
+  |> Array.of_list
+
+(* ---------- shard execution ---------- *)
+
+type shard_out = {
+  s_decisions : int;
+  s_benign_denied : int;
+  s_lock_allowed : int;
+  s_lock_denied : int;
+  s_assigned : int array;
+  s_adopted : int array;
+  s_old_count : int;
+  s_new_count : int;
+  s_hist : Histogram.t;
+  s_recall_hist : Histogram.t;
+  s_recall_never : int;
+}
+
+type lane = {
+  engine : Engine.t;
+  batch : Batch.t;
+  owners : int array;
+  kinds : Bytes.t;
+}
+
+let chunk = 4096
+
+let kind_benign = '\000'
+
+let kind_attack = '\001'
+
+let run_shard ~(cfg : config) ~gate_passed ~table_old ~db_old ~table_new
+    ~db_new ~lock_rules_old ~lock_rules_new ~benign ~attack ~lock_template
+    ~t_on ~t_off ids =
+  let n = Array.length ids in
+  let stages = Array.of_list cfg.stages in
+  let n_stages = Array.length stages in
+  let v_old = db_old.Ir.version and v_new = db_new.Ir.version in
+  let lane table db =
+    {
+      engine = Engine.of_table ~cache:false table db;
+      batch = Batch.create ~capacity:chunk ();
+      owners = Array.make chunk 0;
+      kinds = Bytes.make chunk kind_benign;
+    }
+  in
+  let lane_old = lane table_old db_old and lane_new = lane table_new db_new in
+  let out = Array.make chunk Ast.Deny in
+  let decisions = ref 0
+  and benign_denied = ref 0
+  and lock_allowed = ref 0
+  and lock_denied = ref 0
+  and recall_never = ref 0 in
+  let assigned = Array.make n_stages 0 and adopted = Array.make n_stages 0 in
+  let hist = day_histogram () and recall_hist = day_histogram () in
+  let insts = Array.map (fun id -> Instance.create ~id ~version:v_old ()) ids in
+  let adopt = Array.make n infinity in
+  let stage_of = Array.make n (-1) in
+  let ttm = Array.make n infinity in
+  for i = 0 to n - 1 do
+    let id = ids.(i) in
+    let rng = Rng.create (vehicle_seed cfg.seed id) in
+    let u = Rng.float rng 1.0 in
+    (match stage_index cfg.stages u with
+    | Some s ->
+        stage_of.(i) <- s;
+        assigned.(s) <- assigned.(s) + 1;
+        if gate_passed then
+          adopt.(i) <-
+            stages.(s).start_day +. Rng.exponential rng cfg.ota_mean_days
+    | None -> ());
+    let rrng = Rng.create (Int64.logxor (vehicle_seed cfg.seed id) recall_salt) in
+    if Rng.chance rrng cfg.recall_no_show then incr recall_never
+    else begin
+      (* the recall comparator is statistical and untruncated: recalls run
+         for years, so exposure simply ends when the garage visit lands *)
+      let landed = Rng.exponential rrng cfg.recall_mean_days in
+      Histogram.observe recall_hist (Float.max 0.0 (landed -. t_on))
+    end
+  done;
+  let flush ~day lane =
+    let len = Batch.length lane.batch in
+    if len > 0 then begin
+      Engine.decide_batch lane.engine lane.batch ~out;
+      for j = 0 to len - 1 do
+        let i = lane.owners.(j) in
+        if Bytes.get lane.kinds j = kind_attack then begin
+          if out.(j) = Ast.Deny && ttm.(i) = infinity then begin
+            ttm.(i) <- day;
+            Histogram.observe hist (day -. t_on)
+          end
+        end
+        else if out.(j) = Ast.Deny then incr benign_denied
+      done;
+      decisions := !decisions + len;
+      Batch.clear lane.batch
+    end
+  in
+  let push ~day ~now lane i kind req =
+    if Batch.length lane.batch = chunk then flush ~day lane;
+    let j = Batch.length lane.batch in
+    lane.owners.(j) <- i;
+    Bytes.set lane.kinds j kind;
+    Batch.push ~now lane.batch req
+  in
+  let n_benign = Array.length benign in
+  let ticks = int_of_float (ceil (cfg.horizon_days /. cfg.tick_days)) in
+  for k = 0 to ticks - 1 do
+    let day = float_of_int k *. cfg.tick_days in
+    let now = day *. 86_400.0 in
+    let threat_live = day >= t_on && day < t_off in
+    for i = 0 to n - 1 do
+      let inst = insts.(i) in
+      if Instance.version inst = v_old && day >= adopt.(i) then begin
+        Instance.install inst ~version:v_new;
+        adopted.(stage_of.(i)) <- adopted.(stage_of.(i)) + 1
+      end;
+      let on_new = Instance.version inst = v_new in
+      let lane = if on_new then lane_new else lane_old in
+      push ~day ~now lane i kind_benign
+        benign.((Instance.id inst + k) mod n_benign);
+      if threat_live && ttm.(i) = infinity then
+        push ~day ~now lane i kind_attack attack;
+      if
+        cfg.lock_bursts_every > 0
+        && (k + Instance.id inst) mod cfg.lock_bursts_every = 0
+      then begin
+        let rules, default =
+          if on_new then (lock_rules_new, db_new.Ir.default)
+          else (lock_rules_old, db_old.Ir.default)
+        in
+        let req = { lock_template with Ir.mode = Instance.mode inst } in
+        for _ = 1 to 3 do
+          match Instance.decide inst ~rules ~default ~now req with
+          | Ast.Allow -> incr lock_allowed
+          | Ast.Deny -> incr lock_denied
+        done
+      end
+    done;
+    flush ~day lane_old;
+    flush ~day lane_new
+  done;
+  let old_count = ref 0 in
+  Array.iter
+    (fun inst -> if Instance.version inst = v_old then incr old_count)
+    insts;
+  {
+    s_decisions = !decisions;
+    s_benign_denied = !benign_denied;
+    s_lock_allowed = !lock_allowed;
+    s_lock_denied = !lock_denied;
+    s_assigned = assigned;
+    s_adopted = adopted;
+    s_old_count = !old_count;
+    s_new_count = n - !old_count;
+    s_hist = hist;
+    s_recall_hist = recall_hist;
+    s_recall_never = !recall_never;
+  }
+
+(* ---------- the campaign ---------- *)
+
+let channel_report ~fleet_never hist =
+  let mitigated = Histogram.count hist in
+  if mitigated = 0 then
+    { mitigated; never = fleet_never; p50_days = 0.0; p99_days = 0.0; mean_days = 0.0 }
+  else
+    (* percentiles are bucket bounds (exact whatever the merge order);
+       the mean is a float sum, so round to a microday to keep the
+       report byte-identical across domain counts *)
+    let microday x = Float.round (x *. 1e6) /. 1e6 in
+    {
+      mitigated;
+      never = fleet_never;
+      p50_days = Histogram.percentile hist 50.0;
+      p99_days = Histogram.percentile hist 99.0;
+      mean_days = microday (Histogram.mean hist);
+    }
+
+let run ?(old_policy = Policy_map.baseline ~version:1 ())
+    ?(new_policy = Policy_map.hardened ~version:2 ()) cfg =
+  match validate cfg with
+  | Error _ as e -> e
+  | Ok row ->
+      let started_at = Clock.now () in
+      let db_old = Policy_map.compile old_policy
+      and db_new = Policy_map.compile new_policy in
+      if db_old.Ir.version = db_new.Ir.version then
+        Error "campaign: update must change the policy version"
+      else begin
+        (* the only two table compiles of the whole campaign: every
+           vehicle on a version shares that version's table *)
+        let table_old = Table.compile ~strategy:Engine.Deny_overrides db_old in
+        let table_new = Table.compile ~strategy:Engine.Deny_overrides db_new in
+        let g = gate ~old_db:db_old ~new_db:db_new () in
+        let t_on, t_off, msg_id =
+          match Plan.threat_window cfg.plan with
+          | Some w -> w
+          | None -> assert false (* validated *)
+        in
+        let threat = row.Threat_catalog.threat in
+        let attack =
+          (* the forged frame as the policy layer sees it: the threat's
+             live mode, arriving over its first entry point *)
+          let mode =
+            match threat.Secpol_threat.Threat.modes with
+            | m :: _ -> m
+            | [] -> Modes.name Modes.Normal
+          in
+          let subject =
+            match threat.Secpol_threat.Threat.entry_points with
+            | ep :: _ -> (
+                match Names.nodes_of_entry_point ep with
+                | node :: _ -> Names.asset_of_node node
+                | [] -> Verify.other)
+            | [] -> Verify.other
+          in
+          {
+            Ir.mode;
+            subject;
+            asset = threat.Secpol_threat.Threat.asset;
+            op = Ir.Write;
+            msg_id = Some msg_id;
+          }
+        in
+        let lock_template =
+          {
+            Ir.mode = Modes.name Modes.Normal;
+            subject = Names.asset_connectivity;
+            asset = Names.door_locks;
+            op = Ir.Write;
+            msg_id = Some Secpol_vehicle.Messages.lock_command;
+          }
+        in
+        let lock_rules_old = Ir.rules_for_asset db_old Names.door_locks in
+        let lock_rules_new = Ir.rules_for_asset db_new Names.door_locks in
+        let benign = benign_templates () in
+        let shards =
+          Partition.assign_by ~shards:cfg.domains string_of_int
+            (Array.init cfg.fleet Fun.id)
+        in
+        let shard ids =
+          run_shard ~cfg ~gate_passed:g.passed ~table_old ~db_old ~table_new
+            ~db_new ~lock_rules_old ~lock_rules_new ~benign ~attack
+            ~lock_template ~t_on ~t_off ids
+        in
+        let outs =
+          if cfg.domains = 1 then [| shard shards.(0) |]
+          else
+            shards
+            |> Array.map (fun ids -> Domain.spawn (fun () -> shard ids))
+            |> Array.map Domain.join
+        in
+        let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outs in
+        let sum_at f s =
+          Array.fold_left (fun acc o -> acc + (f o).(s)) 0 outs
+        in
+        let merge_hists f =
+          Array.fold_left
+            (fun acc o -> Histogram.merge acc (f o))
+            (day_histogram ()) outs
+        in
+        let hist = merge_hists (fun o -> o.s_hist) in
+        let recall_hist = merge_hists (fun o -> o.s_recall_hist) in
+        let decisions = sum (fun o -> o.s_decisions) in
+        let ota =
+          channel_report ~fleet_never:(cfg.fleet - Histogram.count hist) hist
+        in
+        let recall =
+          channel_report
+            ~fleet_never:(sum (fun o -> o.s_recall_never))
+            recall_hist
+        in
+        let speedup_p50 =
+          if ota.mitigated = 0 || recall.mitigated = 0 then 0.0
+          else recall.p50_days /. Float.max ota.p50_days cfg.tick_days
+        in
+        let elapsed_s = Clock.now () -. started_at in
+        Ok
+          {
+            config = cfg;
+            threat_title = threat.Secpol_threat.Threat.title;
+            threat_day = t_on;
+            gate = g;
+            stages =
+              List.mapi
+                (fun s stage ->
+                  {
+                    stage;
+                    gate_passed = g.passed;
+                    started = g.passed && stage.start_day < cfg.horizon_days;
+                    vehicles = sum_at (fun o -> o.s_assigned) s;
+                    adopted = sum_at (fun o -> o.s_adopted) s;
+                  })
+                cfg.stages;
+            versions =
+              [
+                (db_old.Ir.version, sum (fun o -> o.s_old_count));
+                (db_new.Ir.version, sum (fun o -> o.s_new_count));
+              ];
+            decisions;
+            benign_denied = sum (fun o -> o.s_benign_denied);
+            lock_allowed = sum (fun o -> o.s_lock_allowed);
+            lock_denied = sum (fun o -> o.s_lock_denied);
+            ota;
+            recall;
+            speedup_p50;
+            elapsed_s;
+            throughput_per_s =
+              (if elapsed_s > 0.0 then float_of_int decisions /. elapsed_s
+               else 0.0);
+          }
+      end
+
+(* ---------- JSON ---------- *)
+
+let channel_to_json c =
+  Json.Obj
+    [
+      ("mitigated", Json.Int c.mitigated);
+      ("never", Json.Int c.never);
+      ("p50_days", Json.Float c.p50_days);
+      ("p99_days", Json.Float c.p99_days);
+      ("mean_days", Json.Float c.mean_days);
+    ]
+
+let to_json r =
+  let cfg = r.config in
+  Json.Obj
+    [
+      ("schema", Json.Int 1);
+      ("suite", Json.String "secpol-campaign");
+      ("fleet", Json.Int cfg.fleet);
+      ("seed", Json.String (Int64.to_string cfg.seed));
+      ("domains", Json.Int cfg.domains);
+      ("tick_days", Json.Float cfg.tick_days);
+      ("horizon_days", Json.Float cfg.horizon_days);
+      ( "threat",
+        Json.Obj
+          [
+            ("id", Json.String cfg.threat_id);
+            ("title", Json.String r.threat_title);
+            ("activated_day", Json.Float r.threat_day);
+            ("plan", Json.String cfg.plan.Plan.name);
+          ] );
+      ( "gate",
+        Json.Obj
+          [
+            ("passed", Json.Bool r.gate.passed);
+            ("widened", Json.Int r.gate.widened);
+            ("tightened", Json.Int r.gate.tightened);
+            ("changed", Json.Int r.gate.changed);
+            ("violations_before", Json.Int r.gate.violations_before);
+            ("violations_after", Json.Int r.gate.violations_after);
+          ] );
+      ( "stages",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.stage.name);
+                   ("fraction", Json.Float s.stage.fraction);
+                   ("start_day", Json.Float s.stage.start_day);
+                   ("gate_passed", Json.Bool s.gate_passed);
+                   ("started", Json.Bool s.started);
+                   ("vehicles", Json.Int s.vehicles);
+                   ("adopted", Json.Int s.adopted);
+                 ])
+             r.stages) );
+      ( "versions",
+        Json.Obj
+          (List.map
+             (fun (v, n) -> (string_of_int v, Json.Int n))
+             r.versions) );
+      ("decisions", Json.Int r.decisions);
+      ("benign_denied", Json.Int r.benign_denied);
+      ("lock_allowed", Json.Int r.lock_allowed);
+      ("lock_denied", Json.Int r.lock_denied);
+      ("ota", channel_to_json r.ota);
+      ("recall", channel_to_json r.recall);
+      ("speedup_p50", Json.Float r.speedup_p50);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("throughput_per_s", Json.Float r.throughput_per_s);
+    ]

@@ -1,0 +1,138 @@
+(** Fleet-scale policy-update campaigns.
+
+    Where {!Ota} and {!Fleet} model {e when} a new policy version lands on
+    each vehicle, a campaign executes the whole update story end to end
+    and measures what the update buys: every vehicle is a live
+    {!Secpol_vehicle.Instance} making real policy decisions before,
+    during and after the rollout, and the campaign records how long each
+    vehicle stays exposed to a Table-I threat that goes live mid-run.
+
+    {b Sharing.}  The fleet holds exactly one compiled
+    {!Secpol_policy.Table} per policy version — a million instances over
+    a two-version rollout share two tables.  Instances are sharded across
+    OCaml domains by {!Secpol_par.Partition.assign_by}; each shard owns a
+    private {!Secpol_policy.Engine} pair over the shared tables and
+    drives its bulk traffic through
+    {!Secpol_policy.Engine.decide_batch}.  Requests that can ground in a
+    rate-limited rule are routed through the owning instance instead
+    (per-vehicle budgets; see {!Secpol_vehicle.Instance.decide}), so a
+    shared engine never conflates two vehicles' budgets.
+
+    {b Gating.}  The rollout is staged (canary, then cohort, then fleet)
+    and every stage promotion is gated by the semantic verifier: the
+    update must not widen any decision region
+    ({!Secpol_policy.Verify.diff}) and must not regress any
+    threat-derived obligation ({!Secpol_policy.Verify.analyse} over the
+    Table-I obligations).  A refused gate halts the rollout before the
+    first stage — the fleet keeps answering traffic on the old version,
+    which is exactly what the mitigation histogram then shows.
+
+    {b Determinism.}  Per-vehicle randomness is derived from
+    [(seed, vehicle id)], stage starts are absolute campaign days and the
+    gate is a static property of the two versions, so shards never
+    communicate and the report is identical for every [domains] value. *)
+
+type stage = {
+  name : string;
+  fraction : float;  (** cumulative fleet fraction covered once live *)
+  start_day : float;  (** campaign day the stage starts updating *)
+}
+
+type config = {
+  fleet : int;
+  seed : int64;
+  domains : int;
+  stages : stage list;  (** ordered by [start_day], fractions ascending *)
+  ota_mean_days : float;  (** per-vehicle OTA adoption delay mean *)
+  recall_mean_days : float;  (** recall-baseline adoption delay mean *)
+  recall_no_show : float;  (** recall-baseline no-show probability *)
+  horizon_days : float;
+  tick_days : float;  (** decision-traffic resolution *)
+  plan : Secpol_faults.Plan.t;
+      (** fault schedule, read in days; its forged-frame flood
+          ({!Secpol_faults.Plan.threat_window}) is the mid-run threat *)
+  threat_id : string;  (** Table-I row the flood realises *)
+  lock_bursts_every : int;
+      (** a vehicle emits a 3-frame lock-command burst every this many
+          ticks (exercises per-vehicle budgets); 0 disables *)
+}
+
+val default_config :
+  ?fleet:int -> ?seed:int64 -> ?domains:int -> ?quick:bool -> unit -> config
+(** Canary 1% at day 0, cohort 10% at day 2, full fleet at day 5;
+    threat live from day 6; 30-day horizon.  [quick] (default false)
+    halves the tick resolution for smoke runs.  Defaults: [fleet]
+    100_000, [seed] 42, [domains] 1. *)
+
+(** {2 Verifier gate} *)
+
+type gate = {
+  widened : int;  (** decision regions the update makes more permissive *)
+  tightened : int;
+  changed : int;  (** incomparable deltas (e.g. two different rates) *)
+  violations_before : int;  (** obligation violations under the old version *)
+  violations_after : int;  (** ... and under the new *)
+  passed : bool;  (** [widened = 0] and no obligation regression *)
+}
+
+val gate :
+  old_db:Secpol_policy.Ir.db -> new_db:Secpol_policy.Ir.db -> unit -> gate
+(** The static promotion gate: {!Secpol_policy.Verify.diff} between the
+    versions plus {!Secpol_policy.Verify.analyse} of both against the
+    Table-I obligations (entry points mapped to subjects as
+    [secpolc verify --vehicle] does). *)
+
+(** {2 Running and reporting} *)
+
+type channel_report = {
+  mitigated : int;  (** vehicles whose attack probe was denied in time *)
+  never : int;  (** vehicles still exposed at the horizon *)
+  p50_days : float;  (** 0 when nothing was mitigated *)
+  p99_days : float;
+  mean_days : float;
+}
+
+type stage_report = {
+  stage : stage;
+  gate_passed : bool;  (** gate verdict at this stage's promotion *)
+  started : bool;
+  vehicles : int;  (** vehicles assigned to the stage *)
+  adopted : int;  (** of those, on the new version by the horizon *)
+}
+
+type report = {
+  config : config;
+  threat_title : string;
+  threat_day : float;
+  gate : gate;
+  stages : stage_report list;
+  versions : (int * int) list;  (** version -> vehicle count at horizon *)
+  decisions : int;  (** batched decisions served *)
+  benign_denied : int;  (** designed traffic denied — 0 on a sound update *)
+  lock_allowed : int;  (** burst frames admitted by per-vehicle budgets *)
+  lock_denied : int;  (** burst frames shaped off by per-vehicle budgets *)
+  ota : channel_report;  (** time-to-mitigation under the staged OTA *)
+  recall : channel_report;  (** ... under the recall baseline *)
+  speedup_p50 : float;
+      (** recall p50 over OTA p50, the latter clamped up to one tick
+          (the measurement resolution) *)
+  elapsed_s : float;
+  throughput_per_s : float;
+}
+
+val run :
+  ?old_policy:Secpol_policy.Ast.policy ->
+  ?new_policy:Secpol_policy.Ast.policy ->
+  config ->
+  (report, string) result
+(** Execute a campaign rolling the fleet from [old_policy] (default
+    {!Secpol_vehicle.Policy_map.baseline} v1, which leaves row 14 open)
+    to [new_policy] (default {!Secpol_vehicle.Policy_map.hardened} v2,
+    which closes it).  Errors on an invalid configuration or a plan
+    without a threat window; a {e refused gate} is not an error — the
+    report carries the verdict and the unmitigated fleet. *)
+
+val to_json : report -> Secpol_policy.Json.t
+(** Stable machine-readable form ([schema] 1).  [elapsed_s] and
+    [throughput_per_s] are the only fields that vary between identical
+    runs. *)

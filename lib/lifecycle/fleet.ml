@@ -57,8 +57,12 @@ let distribute t ?(channel = Ota.Over_the_air) ?params ?(corruption = 0.0)
     | Some p -> { p with Ota.fleet = size t }
     | None -> { Ota.default_params with Ota.fleet = size t }
   in
-  if corruption < 0.0 || corruption > 1.0 then
-    Error "Fleet.distribute: corruption outside [0,1]"
+  if corruption < 0.0 || corruption >= 1.0 then
+    (* exactly 1.0 is rejected rather than admitted: every delivery would
+       arrive tampered, the clean-retry loop could never terminate, and a
+       fleet where no clean copy can ever land has no distribution to
+       report *)
+    Error "Fleet.distribute: corruption outside [0,1)"
   else begin
     let tampered = ref 0 in
     let never = ref 0 in
@@ -80,7 +84,16 @@ let distribute t ?(channel = Ota.Over_the_air) ?params ?(corruption = 0.0)
             | None -> incr never
             | Some base_delay ->
                 (* a corrupted delivery is rejected by the device (integrity
-                   check) and retried with a clean copy *)
+                   check) and retried with a clean copy; the retry travels
+                   the same channel as the original, so its delay is drawn
+                   from that channel's own mean — recall retries used to be
+                   drawn from the (much faster) OTA mean, silently
+                   flattering the recall baseline *)
+                let retry_mean =
+                  match channel with
+                  | Ota.Over_the_air -> params.Ota.ota_mean_days
+                  | Ota.Recall -> params.Ota.recall_mean_days
+                in
                 let delay = ref base_delay in
                 while Rng.chance t.rng corruption do
                   incr tampered;
@@ -90,7 +103,7 @@ let distribute t ?(channel = Ota.Over_the_air) ?params ?(corruption = 0.0)
                   (match Policy.Update.install d.store evil with
                   | Ok () -> failure := Some "device installed a tampered bundle"
                   | Error _ -> ());
-                  delay := !delay +. Rng.exponential t.rng params.Ota.ota_mean_days
+                  delay := !delay +. Rng.exponential t.rng retry_mean
                 done;
                 (match Policy.Update.install d.store bundle with
                 | Ok () -> adoptions := !delay :: !adoptions
@@ -100,7 +113,10 @@ let distribute t ?(channel = Ota.Over_the_air) ?params ?(corruption = 0.0)
     | Some e -> Error e
     | None ->
         let adoption_days = Array.of_list !adoptions in
-        Array.sort compare adoption_days;
+        (* Float.compare, not polymorphic compare: same total order on
+           floats (infinities at the tail) without the per-element
+           structural-compare dispatch — measurable at fleet = 1M *)
+        Array.sort Float.compare adoption_days;
         Ok
           {
             bundle_version = bundle.Policy.Update.version;

@@ -38,8 +38,11 @@ val distribute :
     [params] (default {!Ota.default_params}, with the fleet size overridden)
     shape the per-device delay; [corruption] (default [0.]) is the
     probability a delivery arrives tampered — the device rejects it and a
-    clean retry lands after an extra delay.  Errors if the bundle is not
-    newer than what some device already runs. *)
+    clean retry lands after an extra delay drawn from the {e same
+    channel's} mean.  [corruption] must be in [0, 1): at exactly 1 no
+    clean copy could ever land and the retry chain would never terminate,
+    so the value is refused.  Errors if the bundle is not newer than what
+    some device already runs. *)
 
 val protected_fraction : distribution -> t -> days:float -> float
 (** Fraction of the fleet running the new version [days] after release. *)

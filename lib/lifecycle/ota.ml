@@ -33,7 +33,9 @@ let simulate rng params channel =
             if Rng.chance rng params.recall_no_show then infinity
             else Rng.exponential rng params.recall_mean_days)
   in
-  Array.sort compare times;
+  (* Float.compare orders never-adopters (infinity) at the tail like the
+     polymorphic compare did, minus its per-element dispatch cost *)
+  Array.sort Float.compare times;
   let n = float_of_int params.fleet in
   let days_to_quantile q =
     if q <= 0.0 then Some 0.0

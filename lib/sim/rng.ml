@@ -23,9 +23,26 @@ let split t =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection sampling over 62 uniform bits: [r mod bound] alone is biased
+     towards small residues whenever [bound] does not divide 2^62, so draws
+     landing in the incomplete final block [limit, 2^62) are redrawn.  The
+     rejected tail is < bound / 2^62 of the space, so a redraw is
+     astronomically rare for simulation-sized bounds and draws below
+     [limit] are bit-identical to the pre-rejection stream. *)
   let mask = 0x3FFFFFFFFFFFFFFFL in
-  let r = Int64.to_int (Int64.logand (bits64 t) mask) in
-  r mod bound
+  let max62 = 0x3FFFFFFFFFFFFFFF in
+  (* 2^62 itself overflows the 63-bit native int, so compute
+     rem = 2^62 mod bound as ((2^62 - 1) mod bound + 1) mod bound *)
+  let rem = ((max62 mod bound) + 1) mod bound in
+  if rem = 0 then Int64.to_int (Int64.logand (bits64 t) mask) mod bound
+  else begin
+    let limit = max62 - rem + 1 (* = 2^62 - rem, the last complete block *) in
+    let rec draw () =
+      let r = Int64.to_int (Int64.logand (bits64 t) mask) in
+      if r >= limit then draw () else r mod bound
+    in
+    draw ()
+  end
 
 let int_in t lo hi =
   if hi < lo then invalid_arg "Rng.int_in: hi < lo";

@@ -24,8 +24,10 @@ val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
-    [bound <= 0]. *)
+(** [int t bound] is uniform in \[0, bound) — exactly uniform, by
+    rejection sampling: draws from the incomplete final block of the
+    62-bit space are redrawn rather than folded (modulo-biased) onto the
+    small residues.  @raise Invalid_argument if [bound <= 0]. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in \[lo, hi\] inclusive.

@@ -135,13 +135,13 @@ let hardened ?(version = 2) () =
   in
   Ast.normalise { p with Ast.sections = sections @ [ situational ] }
 
+let compile policy =
+  Secpol_policy.Compile.compile_exn
+    ~known_modes:(List.map Modes.name Modes.all)
+    ~known_assets:Names.assets ~known_subjects:Names.assets policy
+
 let engine ?strategy ?obs policy =
-  let db =
-    Secpol_policy.Compile.compile_exn
-      ~known_modes:(List.map Modes.name Modes.all)
-      ~known_assets:Names.assets ~known_subjects:Names.assets policy
-  in
-  Secpol_policy.Engine.create ?strategy ?obs db
+  Secpol_policy.Engine.create ?strategy ?obs (compile policy)
 
 let hpe_config_for engine ~mode ~node =
   let cfg =

@@ -27,6 +27,13 @@ val hardened : ?version:int -> unit -> Secpol_policy.Ast.policy
       a replayed lock/unlock storm from a compromised legitimate writer is
       shaped down to the designed rate. *)
 
+val compile : Secpol_policy.Ast.policy -> Secpol_policy.Ir.db
+(** Compile against the car's known modes / assets / subjects.  This is
+    the database {!engine} evaluates; fleet campaigns use it directly so
+    one {!Secpol_policy.Table.compile} of the result can be shared by
+    every vehicle on that version.
+    @raise Invalid_argument if the policy does not compile. *)
+
 val engine :
   ?strategy:Secpol_policy.Engine.strategy ->
   ?obs:Secpol_obs.Registry.t ->

@@ -278,3 +278,11 @@ let model () =
           invalid_arg ("Threat_catalog.model: " ^ String.concat "; " es))
     m
     (Derive.countermeasures m)
+
+(* Threat entry points name attack surfaces; requests arrive as the asset
+   names of the CAN nodes behind them, which is what policy rules bind. *)
+let obligations () =
+  Secpol_threat.Obligation.of_model
+    ~subjects_of_entry_point:(fun ep ->
+      List.map Names.asset_of_node (Names.nodes_of_entry_point ep))
+    (model ())

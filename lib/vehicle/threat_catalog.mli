@@ -63,3 +63,9 @@ val model : unit -> Secpol_threat.Model.t
 (** The complete car security model: assets, entry points, the three car
     modes, all sixteen threats, and one derived policy countermeasure per
     threat.  Validates by construction. *)
+
+val obligations : unit -> Secpol_threat.Obligation.t list
+(** The denial obligations of all sixteen threats, with entry points
+    mapped to the policy subjects requests actually arrive as (the asset
+    names of the nodes behind each entry point) — the mapping
+    [secpolc verify --vehicle] and fleet campaigns check against. *)

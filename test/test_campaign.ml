@@ -1,0 +1,274 @@
+(* Tests for the fleet campaign engine: vehicle instances over shared
+   tables, threat-trigger plans, verifier-gated staged rollouts and the
+   determinism of the whole report across seeds and domain counts. *)
+
+module Campaign = Secpol_lifecycle.Campaign
+module Instance = Secpol_vehicle.Instance
+module Policy_map = Secpol_vehicle.Policy_map
+module Names = Secpol_vehicle.Names
+module Messages = Secpol_vehicle.Messages
+module Plan = Secpol_faults.Plan
+module Ast = Secpol_policy.Ast
+module Ir = Secpol_policy.Ir
+module Engine = Secpol_policy.Engine
+module Json = Secpol_policy.Json
+
+let check = Alcotest.check
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let slow name f = Alcotest.test_case name `Slow f
+
+let decision =
+  Alcotest.testable
+    (fun ppf d ->
+      Format.pp_print_string ppf
+        (match d with Ast.Allow -> "allow" | Ast.Deny -> "deny"))
+    ( = )
+
+let hardened_db = lazy (Policy_map.compile (Policy_map.hardened ~version:2 ()))
+
+let lock_rules db = Ir.rules_for_asset db Names.door_locks
+
+let lock_req =
+  {
+    Ir.mode = "normal";
+    subject = Names.asset_connectivity;
+    asset = Names.door_locks;
+    op = Ir.Write;
+    msg_id = Some Messages.lock_command;
+  }
+
+(* ---------- Instance ---------- *)
+
+let test_instance_state () =
+  let i = Instance.create ~id:7 ~version:1 () in
+  check Alcotest.int "id" 7 (Instance.id i);
+  check Alcotest.int "version" 1 (Instance.version i);
+  check Alcotest.string "mode" "normal" (Instance.mode i);
+  Instance.set_mode i "fail_safe";
+  check Alcotest.string "mode set" "fail_safe" (Instance.mode i);
+  Instance.install i ~version:2;
+  check Alcotest.int "installed" 2 (Instance.version i)
+
+(* the hardened lock budget is 2 per 10 s: a 3-frame burst sheds its
+   third frame, per vehicle, not per fleet *)
+let test_instance_budgets_are_private () =
+  let db = Lazy.force hardened_db in
+  let rules = lock_rules db and default = db.Ir.default in
+  let a = Instance.create ~id:0 ~version:2 () in
+  let b = Instance.create ~id:1 ~version:2 () in
+  let burst inst =
+    List.init 3 (fun k ->
+        Instance.decide inst ~rules ~default ~now:(float_of_int k) lock_req)
+  in
+  check (Alcotest.list decision) "a's burst shaped"
+    [ Ast.Allow; Ast.Allow; Ast.Deny ] (burst a);
+  (* a's consumption must not have touched b *)
+  check (Alcotest.list decision) "b unaffected"
+    [ Ast.Allow; Ast.Allow; Ast.Deny ] (burst b);
+  check Alcotest.int "one window live per vehicle" 1 (Instance.live_budgets a)
+
+let test_instance_install_resets_budgets () =
+  let db = Lazy.force hardened_db in
+  let rules = lock_rules db and default = db.Ir.default in
+  let i = Instance.create ~id:0 ~version:2 () in
+  for k = 0 to 2 do
+    ignore (Instance.decide i ~rules ~default ~now:(float_of_int k) lock_req)
+  done;
+  check decision "budget exhausted" Ast.Deny
+    (Instance.decide i ~rules ~default ~now:3.0 lock_req);
+  Instance.install i ~version:3;
+  check Alcotest.int "budgets dropped" 0 (Instance.live_budgets i);
+  check decision "fresh budget after install" Ast.Allow
+    (Instance.decide i ~rules ~default ~now:4.0 lock_req)
+
+(* Instance.decide must agree with a private Engine fed the same request
+   sequence — same Deny_overrides fold, same window semantics *)
+let test_instance_matches_engine () =
+  let db = Lazy.force hardened_db in
+  let rules = lock_rules db and default = db.Ir.default in
+  let fail_safe_attack = { lock_req with Ir.mode = "fail_safe" } in
+  let unknown = { lock_req with Ir.subject = "infotainment" } in
+  let sequence =
+    [
+      (0.0, lock_req);
+      (0.1, lock_req);
+      (0.2, lock_req);
+      (* deny rules never consume budget *)
+      (0.3, fail_safe_attack);
+      (* one window later the budget has rolled over *)
+      (11.0, lock_req);
+      (11.1, unknown);
+    ]
+  in
+  let inst = Instance.create ~id:0 ~version:2 () in
+  let engine = Engine.create ~cache:false db in
+  List.iteri
+    (fun k (now, req) ->
+      let expected = (Engine.decide ~now engine req).Engine.decision in
+      let got = Instance.decide inst ~rules ~default ~now req in
+      check decision (Printf.sprintf "step %d" k) expected got)
+    sequence
+
+(* ---------- Plan.threat_trigger ---------- *)
+
+let test_threat_trigger_plan () =
+  let p = Plan.threat_trigger ~at:6.0 ~horizon:30.0 () in
+  (match Plan.validate p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "plan invalid: %s" e);
+  (match Plan.threat_window p with
+  | Some (on, off, msg_id) ->
+      check (Alcotest.float 1e-9) "activation" 6.0 on;
+      check (Alcotest.float 1e-9) "clearance at horizon" 30.0 off;
+      check Alcotest.int "attack vector" Messages.lock_command msg_id
+  | None -> Alcotest.fail "no threat window");
+  check Alcotest.bool "not degrading" false (Plan.degrading p);
+  Alcotest.check_raises "activation past horizon"
+    (Invalid_argument "Plan.threat_trigger: activation outside [0, horizon)")
+    (fun () -> ignore (Plan.threat_trigger ~at:30.0 ~horizon:30.0 ()))
+
+let test_threat_window_absent () =
+  check Alcotest.bool "stall plan has no window" true
+    (Plan.threat_window (Plan.stall ~horizon:4.0) = None)
+
+(* ---------- Campaign runs ---------- *)
+
+let small_config ?(fleet = 1_500) ?(seed = 11L) ?(domains = 1) () =
+  Campaign.default_config ~fleet ~seed ~domains ~quick:true ()
+
+let run_ok ?old_policy ?new_policy cfg =
+  match Campaign.run ?old_policy ?new_policy cfg with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "campaign failed: %s" e
+
+let test_campaign_completes () =
+  let cfg = small_config () in
+  let r = run_ok cfg in
+  check Alcotest.bool "gate passed" true r.Campaign.gate.Campaign.passed;
+  check Alcotest.int "no widenings" 0 r.Campaign.gate.Campaign.widened;
+  List.iter
+    (fun (s : Campaign.stage_report) ->
+      check Alcotest.bool (s.Campaign.stage.Campaign.name ^ " started") true
+        s.Campaign.started)
+    r.Campaign.stages;
+  check Alcotest.int "three stages" 3 (List.length r.Campaign.stages);
+  check Alcotest.int "stages cover the fleet" cfg.Campaign.fleet
+    (List.fold_left
+       (fun acc (s : Campaign.stage_report) -> acc + s.Campaign.vehicles)
+       0 r.Campaign.stages);
+  check Alcotest.int "versions cover the fleet" cfg.Campaign.fleet
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Campaign.versions);
+  (* designed traffic stays designed under both versions *)
+  check Alcotest.int "no benign denial" 0 r.Campaign.benign_denied;
+  (* per-vehicle budgets shape the 3-frame bursts once hardened *)
+  check Alcotest.bool "bursts shaped" true (r.Campaign.lock_denied > 0);
+  check Alcotest.int "ota mitigation accounted" cfg.Campaign.fleet
+    (r.Campaign.ota.Campaign.mitigated + r.Campaign.ota.Campaign.never);
+  check Alcotest.bool "most of the fleet mitigated" true
+    (r.Campaign.ota.Campaign.mitigated > cfg.Campaign.fleet * 9 / 10);
+  check Alcotest.bool "ota beats recall at the median" true
+    (r.Campaign.ota.Campaign.p50_days < r.Campaign.recall.Campaign.p50_days);
+  check Alcotest.bool "an order of magnitude faster" true
+    (r.Campaign.speedup_p50 >= 10.0)
+
+let strip_volatile = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter
+           (fun (k, _) ->
+             k <> "elapsed_s" && k <> "throughput_per_s" && k <> "domains")
+           fields)
+  | j -> j
+
+let report_fingerprint r = Json.to_string (strip_volatile (Campaign.to_json r))
+
+let test_campaign_deterministic () =
+  let a = run_ok (small_config ()) in
+  let b = run_ok (small_config ()) in
+  check Alcotest.string "same seed, same report" (report_fingerprint a)
+    (report_fingerprint b);
+  let c = run_ok (small_config ~seed:12L ()) in
+  check Alcotest.bool "different seed, different report" true
+    (report_fingerprint a <> report_fingerprint c)
+
+let test_campaign_domain_count_invariant () =
+  let a = run_ok (small_config ~domains:1 ()) in
+  let b = run_ok (small_config ~domains:3 ()) in
+  check Alcotest.string "1 domain == 3 domains" (report_fingerprint a)
+    (report_fingerprint b)
+
+let test_campaign_gate_refuses_widened_update () =
+  let cfg = small_config ~fleet:600 () in
+  let r = run_ok ~new_policy:(Policy_map.permissive ~version:2 ()) cfg in
+  check Alcotest.bool "gate refused" false r.Campaign.gate.Campaign.passed;
+  check Alcotest.bool "widenings detected" true
+    (r.Campaign.gate.Campaign.widened > 0);
+  List.iter
+    (fun (s : Campaign.stage_report) ->
+      check Alcotest.bool "no stage started" false s.Campaign.started;
+      check Alcotest.int "nothing adopted" 0 s.Campaign.adopted)
+    r.Campaign.stages;
+  check Alcotest.int "whole fleet still on v1" cfg.Campaign.fleet
+    (List.assoc 1 r.Campaign.versions);
+  check Alcotest.int "nothing mitigated" 0 r.Campaign.ota.Campaign.mitigated;
+  (* the old policy keeps answering traffic while the update is refused *)
+  check Alcotest.bool "fleet kept serving decisions" true
+    (r.Campaign.decisions > 0)
+
+let test_campaign_validation () =
+  let expect_error what cfg =
+    match Campaign.run cfg with
+    | Ok _ -> Alcotest.failf "%s: expected an error" what
+    | Error e ->
+        check Alcotest.bool (what ^ " mentions campaign") true
+          (String.length e >= 9 && String.sub e 0 9 = "campaign:")
+  in
+  let cfg = small_config () in
+  expect_error "empty fleet" { cfg with Campaign.fleet = 0 };
+  expect_error "no domains" { cfg with Campaign.domains = 0 };
+  expect_error "no stages" { cfg with Campaign.stages = [] };
+  expect_error "descending fractions"
+    {
+      cfg with
+      Campaign.stages =
+        [
+          { Campaign.name = "a"; fraction = 0.5; start_day = 0.0 };
+          { Campaign.name = "b"; fraction = 0.4; start_day = 1.0 };
+        ];
+    };
+  expect_error "threat past horizon"
+    {
+      cfg with
+      Campaign.plan = Plan.threat_trigger ~at:40.0 ~horizon:50.0 ();
+    };
+  expect_error "plan without threat"
+    { cfg with Campaign.plan = Plan.stall ~horizon:4.0 };
+  expect_error "unknown threat" { cfg with Campaign.threat_id = "nope" }
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "instance",
+        [
+          quick "state" test_instance_state;
+          quick "budgets are per-vehicle" test_instance_budgets_are_private;
+          quick "install resets budgets" test_instance_install_resets_budgets;
+          quick "matches a private engine" test_instance_matches_engine;
+        ] );
+      ( "plan",
+        [
+          quick "threat trigger" test_threat_trigger_plan;
+          quick "window absent" test_threat_window_absent;
+        ] );
+      ( "campaign",
+        [
+          slow "completes and mitigates" test_campaign_completes;
+          slow "deterministic" test_campaign_deterministic;
+          slow "domain-count invariant" test_campaign_domain_count_invariant;
+          slow "gate refuses widened update"
+            test_campaign_gate_refuses_widened_update;
+          quick "validation" test_campaign_validation;
+        ] );
+    ]

@@ -123,7 +123,36 @@ let test_quantile_edges () =
   let rng = Rng.create 3L in
   let r = Ota.simulate rng small_params Ota.Over_the_air in
   check Alcotest.(option (float 0.0)) "q=0" (Some 0.0) (r.Ota.days_to_quantile 0.0);
-  Alcotest.(check bool) "q>1 impossible" true (r.Ota.days_to_quantile 1.5 = None)
+  Alcotest.(check bool) "q>1 impossible" true (r.Ota.days_to_quantile 1.5 = None);
+  (* q = 1.0 exactly: reachable over the air (everyone eventually adopts),
+     and the last adopter is no earlier than the median *)
+  (match (r.Ota.days_to_quantile 1.0, r.Ota.days_to_quantile 0.5) with
+  | Some last, Some median ->
+      Alcotest.(check bool) "q=1 finite and ordered" true
+        (Float.is_finite last && last >= median)
+  | _ -> Alcotest.fail "q=1.0 should be reachable over the air")
+
+let test_quantile_edges_heavy_no_show () =
+  (* under heavy no-show, quantiles just above the reachable fraction are
+     unreachable while those safely below stay finite — which also pins
+     that the never-adopters (infinity) sort to the tail of the times
+     array rather than interleaving (the Float.compare regression) *)
+  let params = { small_params with Ota.recall_no_show = 0.6 } in
+  let rng = Rng.create 17L in
+  let r = Ota.simulate rng params Ota.Recall in
+  let reachable = r.Ota.protected_at 1e9 in
+  Alcotest.(check bool) "roughly 40% reachable" true
+    (reachable > 0.3 && reachable < 0.5);
+  (match r.Ota.days_to_quantile 0.25 with
+  | Some d -> Alcotest.(check bool) "below the plateau: finite" true (Float.is_finite d)
+  | None -> Alcotest.fail "q=0.25 should be reachable");
+  Alcotest.(check bool) "just above the plateau: unreachable" true
+    (r.Ota.days_to_quantile (reachable +. 0.01) = None);
+  Alcotest.(check bool) "q=1.0 unreachable" true (r.Ota.days_to_quantile 1.0 = None);
+  (* the protection curve saturates at the reachable fraction: every
+     finite adopter sorts before the first infinity *)
+  check Alcotest.(float 0.0001) "curve plateau = reachable fraction" reachable
+    (r.Ota.protected_at 1e12)
 
 (* ---------- Fleet distribution ---------- *)
 
@@ -188,6 +217,73 @@ let test_fleet_rejects_tampered_deliveries () =
       (* integrity checking means everyone still converges on the real v2 *)
       Alcotest.(check (list (pair int int))) "clean convergence" [ (2, 100) ]
         (Fleet.versions f)
+
+let test_fleet_total_corruption_rejected () =
+  (* regression: corruption = 1.0 used to pass validation and then spin
+     forever in the clean-retry loop (every retry arrives tampered too).
+     The boundary is now rejected up front — and the call must return, not
+     hang, which is the real property this test pins. *)
+  let f = make_fleet ~size:5 () in
+  (match Fleet.distribute f ~corruption:1.0 (Policy.Update.bundle (v 2)) with
+  | Ok _ -> Alcotest.fail "corruption=1.0 accepted"
+  | Error e ->
+      Alcotest.(check bool) "error names the open interval" true
+        (String.length e > 0 && e = "Fleet.distribute: corruption outside [0,1)"));
+  (* values strictly inside [0,1) still terminate and converge *)
+  match Fleet.distribute f ~corruption:0.99 (Policy.Update.bundle (v 2)) with
+  | Ok dist ->
+      Alcotest.(check bool) "heavy corruption still converges" true
+        (dist.Fleet.tampered_rejections > 0);
+      Alcotest.(check (list (pair int int))) "on v2" [ (2, 5) ] (Fleet.versions f)
+  | Error e -> Alcotest.fail e
+
+let test_fleet_recall_retries_use_recall_mean () =
+  (* regression: corrupted recall deliveries used to retry after a delay
+     drawn from [ota_mean_days], silently flattering the recall baseline.
+     With a tiny OTA mean and a large recall mean, heavy corruption makes
+     retry delays dominate total adoption time: the distribution is only
+     plausible if retries travelled the recall channel. *)
+  let params =
+    { Secpol_lifecycle.Ota.fleet = 0; ota_mean_days = 0.001;
+      recall_mean_days = 100.0; recall_no_show = 0.0 }
+  in
+  let f = make_fleet ~size:300 () in
+  match
+    Fleet.distribute f ~channel:Secpol_lifecycle.Ota.Recall ~params
+      ~corruption:0.9 (Policy.Update.bundle (v 2))
+  with
+  | Error e -> Alcotest.fail e
+  | Ok dist ->
+      let n = Array.length dist.Fleet.adoption_days in
+      check Alcotest.int "everyone eventually adopts" 300 n;
+      let mean = Array.fold_left ( +. ) 0.0 dist.Fleet.adoption_days /. float_of_int n in
+      (* expected ~9 retries per device, each ~100 days: the true mean is
+         ~1000 days; under the bug retries cost ~0.001 days and the mean
+         collapses to the ~100-day base delay *)
+      Alcotest.(check bool)
+        (Printf.sprintf "retry delays dominate (mean %.0f days)" mean)
+        true (mean > 400.0)
+
+let test_fleet_versions_after_partial_rollout () =
+  (* a recall with no-shows leaves the fleet split; versions must account
+     for every device, with the stragglers still on v1 *)
+  let f = make_fleet ~size:400 () in
+  let params = { Secpol_lifecycle.Ota.default_params with recall_no_show = 0.3 } in
+  match
+    Fleet.distribute f ~channel:Secpol_lifecycle.Ota.Recall ~params
+      (Policy.Update.bundle (v 2))
+  with
+  | Error e -> Alcotest.fail e
+  | Ok dist ->
+      let versions = Fleet.versions f in
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 versions in
+      check Alcotest.int "every device accounted for" 400 total;
+      let count v = Option.value ~default:0 (List.assoc_opt v versions) in
+      check Alcotest.int "stragglers still on v1" dist.Fleet.never (count 1);
+      check Alcotest.int "adopters on v2"
+        (Array.length dist.Fleet.adoption_days) (count 2);
+      Alcotest.(check bool) "rollout genuinely partial" true
+        (dist.Fleet.never > 0 && count 2 > 0)
 
 let test_fleet_refuses_downgrade () =
   let f = make_fleet ~size:10 () in
@@ -274,6 +370,7 @@ let () =
           quick "recall no-shows" test_recall_never_finishes;
           quick "protection curve" test_protected_at_curve;
           quick "quantile edges" test_quantile_edges;
+          quick "quantile edges under heavy no-show" test_quantile_edges_heavy_no_show;
         ] );
       ( "fleet",
         [
@@ -281,6 +378,9 @@ let () =
           quick "OTA distribution" test_fleet_ota_distribution;
           quick "recall no-shows" test_fleet_recall_no_shows;
           quick "tampered deliveries rejected" test_fleet_rejects_tampered_deliveries;
+          quick "total corruption rejected" test_fleet_total_corruption_rejected;
+          quick "recall retries use recall mean" test_fleet_recall_retries_use_recall_mean;
+          quick "versions after partial rollout" test_fleet_versions_after_partial_rollout;
           quick "downgrade refused" test_fleet_refuses_downgrade;
         ] );
       ( "comparison",
