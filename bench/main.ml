@@ -12,6 +12,7 @@
      q4          false-block rate of derived policies on benign traffic
      perf        bechamel micro-benchmarks of the engines
      parscale    shard-per-domain scaling of the decision server
+     serve       the secpold daemon end to end over its unix socket
      ablation    design-choice ablations from DESIGN.md §7
 
    Run all with `dune exec bench/main.exe`, or name the targets. *)
@@ -29,6 +30,8 @@ module Campaign = Secpol_attack.Campaign
 module Scenarios = Secpol_attack.Scenarios
 module Lifecycle = Secpol_lifecycle
 module Par = Secpol_par
+module Serve_daemon = Secpol_serve.Daemon
+module Serve_client = Secpol_serve.Client
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -1130,6 +1133,127 @@ let campaign_report () =
           ("report", report);
         ]
 
+(* ------------------------------------------------------------------ *)
+(* Decision service                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type serve_row = {
+  s_domains : int;
+  s_requests : int;
+  s_batch : int;
+  s_elapsed_s : float;
+  s_throughput : float;
+}
+
+let serve_rows : serve_row list ref = ref []
+
+let serve_json_file : string option ref = ref None
+
+(* End-to-end cost of the daemon: wire codec + connection thread +
+   admission + pool hand-off + decide_batch, measured from a client over
+   the Unix socket — the number a deployment actually sees, as opposed
+   to parscale's in-process shard throughput. *)
+let serve_bench () =
+  section "Decision service: secpold end to end over its unix socket";
+  let db = Policy.Compile.compile_exn (V.Policy_map.baseline ()) in
+  let reqs = car_workload () in
+  let n = Array.length reqs in
+  let batch = 512 in
+  let batches = if !quick_mode then 20 else 200 in
+  let total = batch * batches in
+  let batch_reqs = Array.init batch (fun k -> reqs.(k mod n)) in
+  let warmup, repeats = if !quick_mode then (1, 3) else (2, 7) in
+  let ladder = [ 1; 2; 4; 8 ] in
+  Printf.printf
+    "%d requests per timed run (%d batches x %d), one client connection;\n\
+     domain ladder %s, %d warmup + %d timed repeats per rung, median \
+     reported (host has %d core(s))\n"
+    total batches batch
+    (String.concat "/" (List.map string_of_int ladder))
+    warmup repeats
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-22s %12s %14s\n" "configuration" "elapsed s" "req/s";
+  List.iter
+    (fun domains ->
+      let socket_path =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "secpold-bench-%d-%d.sock" (Unix.getpid ()) domains)
+      in
+      let config =
+        { Serve_daemon.default_config with socket_path; domains }
+      in
+      let daemon = Serve_daemon.start ~config db in
+      Fun.protect
+        ~finally:(fun () -> Serve_daemon.stop daemon)
+        (fun () ->
+          let client = Serve_client.connect socket_path in
+          Fun.protect
+            ~finally:(fun () -> Serve_client.close client)
+            (fun () ->
+              let run () =
+                for _ = 1 to batches do
+                  let b = Serve_client.decide client batch_reqs in
+                  if b.Serve_client.degraded || b.Serve_client.shed then
+                    failwith "serve bench: degraded or shed response"
+                done
+              in
+              let median_s, _ = Protocol.measure ~warmup ~repeats run in
+              let throughput = float_of_int total /. median_s in
+              Printf.printf "%-22s %12.4f %14.0f\n"
+                (Printf.sprintf "%d domain(s)" domains)
+                median_s throughput;
+              serve_rows :=
+                !serve_rows
+                @ [
+                    {
+                      s_domains = domains;
+                      s_requests = total;
+                      s_batch = batch;
+                      s_elapsed_s = median_s;
+                      s_throughput = throughput;
+                    };
+                  ])))
+    ladder
+
+let serve_report () =
+  let scaling =
+    match
+      ( List.find_opt (fun r -> r.s_domains = 1) !serve_rows,
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | Some b when b.s_domains >= r.s_domains -> acc
+            | _ -> Some r)
+          None !serve_rows )
+    with
+    | Some base, Some top when base.s_throughput > 0.0 ->
+        Policy.Json.Float (top.s_throughput /. base.s_throughput)
+    | _ -> Policy.Json.Null
+  in
+  Policy.Json.Obj
+    [
+      ("schema", Policy.Json.Int 1);
+      ("suite", Policy.Json.String "secpol-serve");
+      ("quick", Policy.Json.Bool !quick_mode);
+      ("transport", Policy.Json.String "unix-socket");
+      ("meta", Protocol.meta ());
+      ( "runs",
+        Policy.Json.List
+          (List.map
+             (fun r ->
+               Policy.Json.Obj
+                 [
+                   ("domains", Policy.Json.Int r.s_domains);
+                   ("requests", Policy.Json.Int r.s_requests);
+                   ("batch", Policy.Json.Int r.s_batch);
+                   ("elapsed_s", Policy.Json.Float r.s_elapsed_s);
+                   ("throughput_per_s", Policy.Json.Float r.s_throughput);
+                 ])
+             !serve_rows) );
+      ("scaling", scaling);
+    ]
+
 let targets =
   [
     ("table1", table1);
@@ -1143,6 +1267,7 @@ let targets =
     ("q4", q4);
     ("perf", perf);
     ("parscale", parscale);
+    ("serve", serve_bench);
     ("campaign", fleet_campaign);
     ("ablation", ablation);
     ("extension", extension);
@@ -1237,7 +1362,7 @@ let () =
   let usage () =
     Printf.eprintf
       "usage: main.exe [TARGET...] [--quick] [--json FILE] [--parallel-json \
-       FILE] [--campaign-json FILE] [--check-speedup X]\n\
+       FILE] [--serve-json FILE] [--campaign-json FILE] [--check-speedup X]\n\
       \                [--check-batched-speedup X] [--baseline FILE] \
        [--parallel-baseline FILE] [--tolerance PCT]\nknown targets: %s\n"
       (String.concat ", " (List.map fst targets));
@@ -1253,6 +1378,9 @@ let () =
         parse names rest
     | "--parallel-json" :: file :: rest ->
         parallel_json_file := Some file;
+        parse names rest
+    | "--serve-json" :: file :: rest ->
+        serve_json_file := Some file;
         parse names rest
     | "--campaign-json" :: file :: rest ->
         campaign_json_file := Some file;
@@ -1281,9 +1409,9 @@ let () =
             check_batched := Some v;
             parse names rest
         | None -> usage ())
-    | ( "--json" | "--parallel-json" | "--campaign-json" | "--check-speedup"
-      | "--check-batched-speedup" | "--baseline" | "--parallel-baseline"
-      | "--tolerance" )
+    | ( "--json" | "--parallel-json" | "--serve-json" | "--campaign-json"
+      | "--check-speedup" | "--check-batched-speedup" | "--baseline"
+      | "--parallel-baseline" | "--tolerance" )
       :: [] ->
         usage ()
     | name :: rest ->
@@ -1320,6 +1448,15 @@ let () =
       close_out oc;
       Printf.printf "\nwrote %s (%d parallel scaling runs)\n" file
         (List.length !par_rows));
+  (match !serve_json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Policy.Json.to_string (serve_report ()));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (%d serving ladder runs)\n" file
+        (List.length !serve_rows));
   (match !campaign_json_file with
   | None -> ()
   | Some file ->

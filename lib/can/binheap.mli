@@ -1,0 +1,32 @@
+(** A mutable binary min-heap, the arbitration queue behind {!Bus}.
+
+    The bus used to keep pending frames in a list: [pending] was
+    [List.length], every arbitration slot re-filtered the losers, and the
+    load gauges walked the whole list — O(n²) under a babbling-idiot
+    storm, which the fault-plan runs pay for.  A heap makes the winning
+    frame a O(log n) pop and the queue depth an O(1) field read. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [cmp a b < 0] means [a] pops before [b].  [capacity] (default 16) is
+    only the initial allocation; the heap grows by doubling. *)
+
+val length : 'a t -> int
+(** O(1). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** O(log n) amortised. *)
+
+val peek : 'a t -> 'a option
+(** The minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val drain_if : 'a t -> ('a -> bool) -> 'a list
+(** Remove every element satisfying the predicate in one O(n) sweep
+    (the survivors are re-heapified bottom-up).  The removed elements
+    are returned in {e unspecified} order — sort if order matters. *)

@@ -27,7 +27,7 @@ type t = {
   rng : Rng.t;
   trace : Trace.t;
   mutable stations : station list;
-  mutable queue : pending list;
+  queue : pending Binheap.t;
   mutable busy : bool;
   mutable seq : int;
   mutable busy_time : float;
@@ -37,6 +37,15 @@ type t = {
   c_wire_errors : Obs.Counter.t;
   tx_latency : Obs.Histogram.t; (* queue-to-delivery, sim milliseconds *)
 }
+
+(* Arbitration order: dominant identifier wins; FIFO (by seq) among equal
+   ids, which models a node's internal queue order.  A retried frame keeps
+   its seq, so it re-enters arbitration at its original FIFO position
+   rather than behind frames queued while it was on the wire. *)
+let arbitration_order (a : pending) (b : pending) =
+  match Identifier.arbitration_compare a.frame.Frame.id b.frame.Frame.id with
+  | 0 -> compare a.seq b.seq
+  | c -> c
 
 let create ?(corrupt_prob = 0.0) ?(max_retries = 16) ~bitrate sim =
   if bitrate <= 0.0 then invalid_arg "Bus.create: bitrate must be positive";
@@ -50,7 +59,7 @@ let create ?(corrupt_prob = 0.0) ?(max_retries = 16) ~bitrate sim =
     rng = Rng.split (Engine.rng sim);
     trace = Trace.create ();
     stations = [];
-    queue = [];
+    queue = Binheap.create ~cmp:arbitration_order ();
     busy = false;
     seq = 0;
     busy_time = 0.0;
@@ -81,10 +90,11 @@ let attach t ~name ~deliver ~on_wire_error =
    alone — it is on the wire and completes physically. *)
 let detach t name =
   t.stations <- List.filter (fun s -> s.name <> name) t.stations;
-  let dropped, kept =
-    List.partition (fun (p : pending) -> p.sender = name) t.queue
+  let dropped =
+    List.sort
+      (fun (a : pending) b -> compare a.seq b.seq)
+      (Binheap.drain_if t.queue (fun (p : pending) -> p.sender = name))
   in
-  t.queue <- kept;
   let now = Engine.now t.sim in
   List.iter
     (fun (p : pending) ->
@@ -102,7 +112,7 @@ let set_corrupt_prob t p =
 
 let stations t = List.map (fun s -> s.name) t.stations
 
-let pending t = List.length t.queue
+let pending t = Binheap.length t.queue
 
 let frames_sent t = Obs.Counter.value t.c_frames
 
@@ -130,29 +140,12 @@ let attach_obs t reg =
       utilisation t);
   Obs.Registry.register_gauge reg "can.bus.busy_time_s" (fun () -> t.busy_time);
   Obs.Registry.register_gauge reg "can.bus.pending" (fun () ->
-      float_of_int (List.length t.queue))
-
-(* Arbitration: dominant identifier wins; FIFO (by seq) among equal ids,
-   which models a node's internal queue order. *)
-let arbitrate queue =
-  let better a b =
-    match Identifier.arbitration_compare a.frame.Frame.id b.frame.Frame.id with
-    | 0 -> a.seq < b.seq
-    | c -> c < 0
-  in
-  match queue with
-  | [] -> None
-  | first :: rest ->
-      Some (List.fold_left (fun best p -> if better p best then p else best) first rest)
-
-let remove queue (winner : pending) =
-  List.filter (fun (p : pending) -> p.seq <> winner.seq) queue
+      float_of_int (Binheap.length t.queue))
 
 let rec start_transmission t =
-  match arbitrate t.queue with
+  match Binheap.pop t.queue with
   | None -> t.busy <- false
   | Some winner ->
-      t.queue <- remove t.queue winner;
       t.busy <- true;
       let duration = Frame.transmission_time winner.frame ~bitrate:t.bitrate in
       Engine.schedule_in t.sim ~delay:duration (fun sim ->
@@ -175,7 +168,7 @@ let rec start_transmission t =
             else begin
               Obs.Counter.incr t.c_retries;
               winner.on_outcome (Retried (winner.attempts + 1));
-              t.queue <- t.queue @ [ { winner with attempts = winner.attempts + 1 } ]
+              Binheap.push t.queue { winner with attempts = winner.attempts + 1 }
             end
           end
           else begin
@@ -206,5 +199,5 @@ let transmit t ~sender ?(on_outcome = fun _ -> ()) frame =
     }
   in
   t.seq <- t.seq + 1;
-  t.queue <- t.queue @ [ p ];
+  Binheap.push t.queue p;
   if not t.busy then start_transmission t

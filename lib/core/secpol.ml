@@ -13,6 +13,8 @@
     - {!Selinux}: the SELinux-style software policy engine.
     - {!Par}: shard-per-domain parallel serving of policy decisions and
       HPE frame gating (one engine per domain, merged telemetry).
+    - {!Serve}: the [secpold] decision daemon — wire protocol, persistent
+      pool serving, RCU-style hot policy swap.
     - {!Vehicle}: the connected-car case study (paper §V).
     - {!Faults}: fault injection, fail-safe watchdogs and chaos campaigns.
     - {!Attack}: Table-I attack scenarios and campaigns.
@@ -26,6 +28,7 @@ module Policy = Secpol_policy
 module Can = Secpol_can
 module Hpe = Secpol_hpe
 module Par = Secpol_par
+module Serve = Secpol_serve
 module Selinux = Secpol_selinux
 module Vehicle = Secpol_vehicle
 module Faults = Secpol_faults

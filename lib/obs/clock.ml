@@ -15,3 +15,4 @@ let now () =
   clamp ()
 
 let elapsed_ns ~since = Float.max 0.0 ((now () -. since) *. 1e9)
+let resolution = 1e-6

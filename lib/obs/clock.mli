@@ -19,3 +19,9 @@ val now : unit -> float
 
 val elapsed_ns : since:float -> float
 (** Nanoseconds elapsed since an earlier [now] reading (never negative). *)
+
+val resolution : float
+(** Smallest interval this clock can distinguish, in seconds (1 µs — the
+    granularity of [Unix.gettimeofday]).  Two [now] readings closer than
+    this may compare equal; timing code dividing by an elapsed interval
+    should clamp to [resolution] rather than special-case zero. *)

@@ -81,8 +81,11 @@ let finish ~domains ~started slices =
   let outcomes =
     scatter n (List.map (fun (idxs, outs, _, _) -> (idxs, outs)) slices)
   in
-  let elapsed_s = Clock.now () -. started in
-  let throughput = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
+  (* Clamp to the clock's resolution: a sub-resolution quick run then
+     reports a conservative lower bound on throughput instead of 0.0,
+     which would poison downstream ratio gates. *)
+  let elapsed_s = Float.max (Clock.now () -. started) Clock.resolution in
+  let throughput = float_of_int n /. elapsed_s in
   {
     outcomes;
     registry;
@@ -98,21 +101,55 @@ let finish ~domains ~started slices =
       };
   }
 
+(* Start barrier: [Domain.spawn] costs ~ms per domain, so starting the
+   clock before spawning bills startup as serving time — at quick sizes
+   that understates multi-domain throughput enough to flap scaling
+   gates.  Each worker signals ready then parks on a condition variable
+   until released; the clock starts only once every domain is running.
+   Parking (rather than spinning) matters when domains outnumber cores:
+   a spinning worker must burn a scheduling quantum just to notice the
+   release, which would land inside the timed region. *)
+let with_start_barrier ~domains spawn_workers =
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let ready = ref 0 in
+  let go = ref false in
+  let gate () =
+    Mutex.lock mu;
+    incr ready;
+    if !ready = domains then Condition.broadcast cv;
+    while not !go do
+      Condition.wait cv mu
+    done;
+    Mutex.unlock mu
+  in
+  let workers = spawn_workers gate in
+  Mutex.lock mu;
+  while !ready < domains do
+    Condition.wait cv mu
+  done;
+  let started = Clock.now () in
+  go := true;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  (started, workers)
+
 let run ?(domains = 1) ?(key = Partition.Subject) ?(strategy = Engine.Deny_overrides)
     ?cache ?cache_capacity db work =
   if domains < 1 then invalid_arg "Serve.run: domains < 1";
   let table = Table.compile ~strategy db in
   let requests = Array.map snd work in
   let shards = Partition.assign key ~shards:domains requests in
-  (* timed region: serving only — compile and partition are one-time,
-     domain-count-independent costs *)
-  let started = Clock.now () in
-  let workers =
-    Array.map
-      (fun idxs ->
-        Domain.spawn (fun () ->
-            serve_slice ?cache ?cache_capacity table db work idxs))
-      shards
+  (* timed region: serving only — compile, partition and domain startup
+     are one-time costs excluded by the start barrier *)
+  let started, workers =
+    with_start_barrier ~domains:(Array.length shards) (fun gate ->
+        Array.map
+          (fun idxs ->
+            Domain.spawn (fun () ->
+                gate ();
+                serve_slice ?cache ?cache_capacity table db work idxs))
+          shards)
   in
   let slices =
     Array.to_list
@@ -172,8 +209,8 @@ let finish_batch ~domains ~started slices =
   let decisions =
     scatter n (List.map (fun (idxs, ds, _, _) -> (idxs, ds)) slices)
   in
-  let elapsed_s = Clock.now () -. started in
-  let throughput = if elapsed_s > 0. then float_of_int n /. elapsed_s else 0. in
+  let elapsed_s = Float.max (Clock.now () -. started) Clock.resolution in
+  let throughput = float_of_int n /. elapsed_s in
   {
     decisions;
     registry;
@@ -196,12 +233,14 @@ let run_batch ?(domains = 1) ?(key = Partition.Subject)
   let table = Table.compile ~strategy db in
   let requests = Array.map snd work in
   let shards = Partition.assign key ~shards:domains requests in
-  let started = Clock.now () in
-  let workers =
-    Array.map
-      (fun idxs ->
-        Domain.spawn (fun () -> serve_slice_batch table db work idxs))
-      shards
+  let started, workers =
+    with_start_barrier ~domains:(Array.length shards) (fun gate ->
+        Array.map
+          (fun idxs ->
+            Domain.spawn (fun () ->
+                gate ();
+                serve_slice_batch table db work idxs))
+          shards)
   in
   let slices =
     Array.to_list

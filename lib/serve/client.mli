@@ -1,0 +1,47 @@
+(** A minimal blocking client for {!Daemon}, used by the [secpold] CLI
+    subcommands, the tests and the benchmark driver.  One request in
+    flight per connection; open several connections for concurrency. *)
+
+module Ir = Secpol_policy.Ir
+
+type t
+
+exception Protocol of string
+(** The daemon answered something other than the expected response. *)
+
+val connect : ?attempts:int -> ?backoff_s:float -> string -> t
+(** Connect to a Unix-domain socket path, retrying [ECONNREFUSED] and
+    [ENOENT] over [attempts] × [backoff_s] (default 50 × 50 ms) so a
+    client can race the daemon's startup. *)
+
+val connect_tcp : ?attempts:int -> ?backoff_s:float -> port:int -> string -> t
+
+val close : t -> unit
+
+type decision_batch = {
+  degraded : bool;
+      (** some answers are fail-safe denies (stall or watchdog) *)
+  shed : bool;  (** some answers are fail-safe denies (admission shed) *)
+  allows : bool array;  (** answer [i] is for request [i] *)
+}
+
+val decide : t -> Ir.request array -> decision_batch
+(** @raise Protocol on a mismatched or unexpected response. *)
+
+val decide_one : t -> Ir.request -> bool
+
+val stats : t -> string
+(** The daemon's stats report, as a JSON string. *)
+
+type reload_outcome = {
+  status : Wire.reload_status;
+  widened : int;
+  tightened : int;
+  changed : int;
+  epoch : int;
+  detail : string;
+}
+
+val reload : t -> ?allow_widen:bool -> string -> reload_outcome
+(** Ship policy {e source text} to the daemon for a gated hot swap.
+    [allow_widen] (default false) overrides the widening refusal. *)

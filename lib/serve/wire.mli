@@ -1,0 +1,75 @@
+(** The daemon's wire format: compact length-prefixed binary frames.
+
+    A frame is a little-endian [u32] payload length followed by the
+    payload; a payload is one type byte and the message body.  Decide
+    requests ship their batch {e columnar} — all modes, then all
+    subjects, assets, ops, message ids — mirroring the struct-of-arrays
+    arena ({!Secpol_policy.Batch}) the daemon decodes them into; decide
+    responses pack one decision per bit (LSB first, 1 = allow).
+
+    Decoding {e fails closed}: any malformed input — truncated body,
+    oversized length prefix, unknown type or op tag, trailing bytes —
+    raises {!Malformed}, and the daemon's contract is to count it and
+    drop the connection rather than guess. *)
+
+module Ir = Secpol_policy.Ir
+
+exception Malformed of string
+
+val max_payload : int
+(** Frames larger than this (16 MiB) are rejected before allocation. *)
+
+val max_batch : int
+(** Requests per decide message (65535 — the count is a [u16]). *)
+
+type reload_status =
+  | Swapped  (** new generation published *)
+  | Refused_widened  (** verify gate: the update widens allow regions *)
+  | Rejected  (** parse/compile failure; nothing changed *)
+
+type msg =
+  | Decide_req of { id : int; reqs : Ir.request array }
+  | Decide_resp of {
+      id : int;
+      degraded : bool;
+          (** answers are fail-safe denies: a shard stalled or missed its
+              watchdog deadline *)
+      shed : bool;
+          (** answers are fail-safe denies: admission shed the batch *)
+      allows : bool array;
+    }
+  | Stats_req of { id : int }
+  | Stats_resp of { id : int; body : string }  (** [body] is JSON *)
+  | Reload_req of { id : int; allow_widen : bool; source : string }
+  | Reload_resp of {
+      id : int;
+      status : reload_status;
+      widened : int;
+      tightened : int;
+      changed : int;
+      epoch : int;  (** generation now serving *)
+      detail : string;
+    }
+  | Error_resp of { id : int; message : string }
+
+val encode_payload : msg -> string
+(** The payload bytes (no length prefix).
+    @raise Malformed when a field is unrepresentable (batch over
+    {!max_batch}, negative message id, out-of-range integer). *)
+
+val decode_payload : string -> msg
+(** Inverse of {!encode_payload}: [decode_payload (encode_payload m)]
+    equals [m] for every representable message.
+    @raise Malformed on anything else. *)
+
+val input_msg : Unix.file_descr -> msg
+(** Read one complete frame (blocking).
+    @raise Malformed on an oversized prefix or an undecodable payload;
+    @raise End_of_file when the peer closed mid-frame or cleanly. *)
+
+val output_msg : Unix.file_descr -> msg -> unit
+(** Write one complete frame (blocking). *)
+
+val equal : msg -> msg -> bool
+
+val type_name : msg -> string

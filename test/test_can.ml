@@ -19,6 +19,50 @@ let check = Alcotest.check
 
 let quick name f = Alcotest.test_case name `Quick f
 
+(* ---------- Binary heap (the bus arbitration queue) ---------- *)
+
+module Binheap = Secpol_can.Binheap
+
+let heap_drain h =
+  let rec go acc =
+    match Binheap.pop h with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let prop_binheap_sorted =
+  QCheck.Test.make ~name:"binheap pops in cmp order" ~count:300
+    QCheck.(list (int_bound 1000))
+    (fun xs ->
+      let h = Binheap.create ~cmp:compare () in
+      List.iter (Binheap.push h) xs;
+      heap_drain h = List.sort compare xs)
+
+let test_binheap_basics () =
+  let h = Binheap.create ~capacity:2 ~cmp:compare () in
+  Alcotest.(check bool) "empty" true (Binheap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Binheap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Binheap.pop h);
+  List.iter (Binheap.push h) [ 5; 1; 4; 1; 3 ];
+  check Alcotest.int "length" 5 (Binheap.length h);
+  Alcotest.(check (option int)) "peek is min" (Some 1) (Binheap.peek h);
+  check Alcotest.int "peek does not remove" 5 (Binheap.length h);
+  Alcotest.(check (list int)) "duplicates survive" [ 1; 1; 3; 4; 5 ]
+    (heap_drain h)
+
+let test_binheap_drain_if () =
+  let h = Binheap.create ~cmp:compare () in
+  for i = 0 to 9 do
+    Binheap.push h i
+  done;
+  let evens = Binheap.drain_if h (fun x -> x mod 2 = 0) in
+  Alcotest.(check (list int)) "dropped the evens" [ 0; 2; 4; 6; 8 ]
+    (List.sort compare evens);
+  check Alcotest.int "survivors stay" 5 (Binheap.length h);
+  Alcotest.(check (list int)) "survivors still pop in order" [ 1; 3; 5; 7; 9 ]
+    (heap_drain h);
+  Alcotest.(check (list int)) "drain on empty" []
+    (Binheap.drain_if h (fun _ -> true))
+
 (* ---------- Identifiers ---------- *)
 
 let test_id_ranges () =
@@ -823,6 +867,12 @@ let test_candump_export_import_replay () =
 let () =
   Alcotest.run "secpol_can"
     [
+      ( "binheap",
+        [
+          quick "basics" test_binheap_basics;
+          quick "drain_if" test_binheap_drain_if;
+          QCheck_alcotest.to_alcotest prop_binheap_sorted;
+        ] );
       ( "identifier",
         [
           quick "ranges" test_id_ranges;

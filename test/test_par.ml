@@ -14,6 +14,7 @@ module Identifier = Secpol_can.Identifier
 module Registry = Secpol_obs.Registry
 module Counter = Secpol_obs.Counter
 module Histogram = Secpol_obs.Histogram
+module Clock = Secpol_obs.Clock
 
 let check = Alcotest.check
 
@@ -124,6 +125,106 @@ let test_serve_stats_shape () =
     (Array.fold_left ( + ) 0 r.Serve.stats.per_shard);
   check Alcotest.int "every request decided" 50
     r.Serve.stats.engine.Engine.decisions
+
+(* The timed region must start only after every domain is running:
+   [Domain.spawn] costs ~ms per domain, and billing startup as serving
+   time made the measured region scale with the domain count.  The
+   observable contract: the wall time of a [Serve.run] call spent
+   OUTSIDE the reported [elapsed_s] must at least cover the cost of
+   spawning the domains.  Before the barrier fix that gap was only the
+   policy compile + partition (microseconds), so the assertion bites. *)
+let test_serve_excludes_spawn_overhead () =
+  let db = compile_ok rated_source in
+  let domains = 8 in
+  let work =
+    Array.init domains (fun k ->
+        ( float_of_int k,
+          {
+            Ir.mode = "normal";
+            subject = Printf.sprintf "s%d" k;
+            asset = "lock";
+            op = Ir.Write;
+            msg_id = None;
+          } ))
+  in
+  let min_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      best := Float.min !best (f ())
+    done;
+    !best
+  in
+  (* startup cost: spawn [domains] domains and wait until all are
+     running — exactly the phase the start barrier keeps off the clock.
+     Joins happen outside the measurement. *)
+  let spawn_cost =
+    min_of 5 (fun () ->
+        let mu = Mutex.create () in
+        let cv = Condition.create () in
+        let ready = ref 0 in
+        let go = ref false in
+        let t0 = Clock.now () in
+        let ds =
+          Array.init domains (fun _ ->
+              Domain.spawn (fun () ->
+                  Mutex.lock mu;
+                  incr ready;
+                  if !ready = domains then Condition.broadcast cv;
+                  while not !go do
+                    Condition.wait cv mu
+                  done;
+                  Mutex.unlock mu))
+        in
+        Mutex.lock mu;
+        while !ready < domains do
+          Condition.wait cv mu
+        done;
+        let dt = Clock.now () -. t0 in
+        go := true;
+        Condition.broadcast cv;
+        Mutex.unlock mu;
+        Array.iter Domain.join ds;
+        dt)
+  in
+  let outside =
+    min_of 10 (fun () ->
+        let t0 = Clock.now () in
+        let r = Serve.run ~domains db work in
+        Clock.now () -. t0 -. r.Serve.stats.elapsed_s)
+  in
+  check Alcotest.bool
+    (Printf.sprintf
+       "time outside the measured region (%.6fs) covers spawn cost (%.6fs)"
+       outside spawn_cost)
+    true
+    (outside >= 0.5 *. spawn_cost)
+
+(* A run faster than the clock can measure must clamp to the clock's
+   resolution, not report a zero or infinite throughput. *)
+let test_serve_throughput_clamped () =
+  let db = compile_ok rated_source in
+  let work =
+    [|
+      ( 0.,
+        {
+          Ir.mode = "normal";
+          subject = "alice";
+          asset = "lock";
+          op = Ir.Write;
+          msg_id = None;
+        } );
+    |]
+  in
+  let r = Serve.run_sequential db work in
+  check Alcotest.bool "elapsed at least clock resolution" true
+    (r.Serve.stats.elapsed_s >= Clock.resolution);
+  check Alcotest.bool "throughput positive and finite" true
+    (r.Serve.stats.throughput > 0.
+    && Float.is_finite r.Serve.stats.throughput);
+  let b = Serve.run_batch_sequential db work in
+  check Alcotest.bool "batched throughput positive and finite" true
+    (b.Serve.stats.throughput > 0.
+    && Float.is_finite b.Serve.stats.throughput)
 
 let test_serve_validates_domains () =
   let db = compile_ok rated_source in
@@ -366,6 +467,10 @@ let () =
         [
           quick "matches sequential (rated policy)" test_serve_matches_sequential;
           quick "stats shape" test_serve_stats_shape;
+          quick "spawn cost outside timed region"
+            test_serve_excludes_spawn_overhead;
+          quick "throughput clamped at clock resolution"
+            test_serve_throughput_clamped;
           quick "validation" test_serve_validates_domains;
           quick "batched run matches scalar run" test_serve_batch_matches_run;
           QCheck_alcotest.to_alcotest prop_sharded_equals_sequential;
