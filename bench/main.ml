@@ -12,6 +12,7 @@
      q4          false-block rate of derived policies on benign traffic
      perf        bechamel micro-benchmarks of the engines
      parscale    shard-per-domain scaling of the decision server
+     topology    central vs distributed enforcement over four segments
      serve       the secpold daemon end to end over its unix socket
      ablation    design-choice ablations from DESIGN.md §7
 
@@ -1254,6 +1255,260 @@ let serve_report () =
       ("scaling", scaling);
     ]
 
+let json_float f =
+  if Float.is_finite f then Policy.Json.Float f else Policy.Json.Null
+
+(* ------------------------------------------------------------------ *)
+(* Topology: central vs distributed enforcement                        *)
+(* ------------------------------------------------------------------ *)
+
+module Faults = Secpol_faults
+module Tcar = V.Topology_car
+module Topology = Can.Topology
+module Gate = Par.Frame_gate
+
+let topology_json_file : string option ref = ref None
+
+let topology_baseline_file : string option ref = ref None
+
+let topology_report : Policy.Json.t option ref = ref None
+
+(* Every gate crossing of a topology drive: one Tx event per transmission
+   attempt at the sender's gate, one Rx event per reception at the
+   receiver's — across every segment bus. *)
+let topo_gate_events car =
+  List.concat_map
+    (fun seg ->
+      List.map
+        (fun (e : Can.Trace.entry) ->
+          let event node dir =
+            { Gate.time = e.time; node; dir; id = e.frame.Can.Frame.id }
+          in
+          match e.event with
+          | Can.Trace.Tx_ok | Tx_error | Tx_abandoned | Tx_refused ->
+              event e.node Gate.Tx
+          | Rx_delivered r | Rx_filtered r | Rx_blocked (r, _) | Rx_line_error r
+            ->
+              event r Gate.Rx)
+        (Can.Trace.entries (Can.Bus.trace (Tcar.bus car seg))))
+    (Tcar.segments car)
+  |> Array.of_list
+
+let topology_bench () =
+  section "Topology: enforcement placement over the four-segment car";
+  let seconds = if !quick_mode then 1.0 else 2.0 in
+  let warmup, repeats = if !quick_mode then (1, 5) else (3, 11) in
+  let car = Tcar.create ~seed:42L ~placement:`Distributed () in
+  Tcar.run car ~seconds;
+  let topo = Tcar.topology car in
+  subsection
+    (Printf.sprintf "Per-segment load (%.1f s of benign traffic)" seconds);
+  Printf.printf "%-14s %12s %10s %12s\n" "segment" "utilisation" "frames"
+    "deliveries";
+  let segment_rows =
+    List.map
+      (fun seg ->
+        let bus = Tcar.bus car seg in
+        let util = Can.Bus.utilisation bus in
+        let frames = Can.Bus.frames_sent bus in
+        let deliveries = Tcar.deliveries_in car seg in
+        Printf.printf "%-14s %11.1f%% %10d %12d\n" seg (100.0 *. util) frames
+          deliveries;
+        Policy.Json.Obj
+          [
+            ("name", Policy.Json.String seg);
+            ("utilisation", json_float util);
+            ("frames_sent", Policy.Json.Int frames);
+            ("deliveries", Policy.Json.Int deliveries);
+          ])
+      (Tcar.segments car)
+  in
+  (* Distributed placement replays EVERY gate crossing through the
+     per-node HPE bank; central placement evaluates only what reaches a
+     gateway: each transmission is checked once per gateway attached to
+     its segment.  Same captured traffic, two enforcement workloads. *)
+  subsection "Enforcement replay: per-node HPE banks vs gateway whitelists";
+  let events = topo_gate_events car in
+  let engine = V.Policy_map.engine (V.Policy_map.baseline ()) in
+  let node_configs =
+    List.filter_map
+      (fun (node, _) ->
+        match
+          V.Policy_map.hpe_config_for engine ~mode:V.Modes.Normal ~node
+        with
+        | cfg -> Some (node, cfg)
+        | exception Invalid_argument _ -> None)
+      (Tcar.nodes car)
+  in
+  let gateway_names = Topology.gateway_names topo in
+  let gateway_configs =
+    List.map
+      (fun gw ->
+        let ids =
+          Topology.crossing_ids topo ~gateway:gw `A_to_b
+          @ Topology.crossing_ids topo ~gateway:gw `B_to_a
+          |> List.sort_uniq compare
+        in
+        (gw, Hpe.Config.make ~read_ids:ids ~write_ids:[] ()))
+      gateway_names
+  in
+  let central_events =
+    Array.of_list
+      (List.concat_map
+         (fun seg ->
+           let attached =
+             List.filter
+               (fun gw ->
+                 let a, b = Topology.link topo gw in
+                 a = seg || b = seg)
+               gateway_names
+           in
+           List.concat_map
+             (fun (e : Can.Trace.entry) ->
+               match e.event with
+               | Can.Trace.Tx_ok | Tx_error | Tx_abandoned ->
+                   List.map
+                     (fun gw ->
+                       {
+                         Gate.time = e.time;
+                         node = gw;
+                         dir = Gate.Rx;
+                         id = e.frame.Can.Frame.id;
+                       })
+                     attached
+               | _ -> [])
+             (Can.Trace.entries (Can.Bus.trace (Tcar.bus car seg))))
+         (Tcar.segments car))
+  in
+  let per_event ~count median_s =
+    if count = 0 then Float.nan else median_s /. float_of_int count *. 1e9
+  in
+  let dist_med, _ =
+    Protocol.measure ~warmup ~repeats (fun () ->
+        ignore (Gate.run_sequential node_configs events))
+  in
+  let central_med, _ =
+    Protocol.measure ~warmup ~repeats (fun () ->
+        ignore (Gate.run_sequential gateway_configs central_events))
+  in
+  let dist_ns = per_event ~count:(Array.length events) dist_med in
+  let central_ns = per_event ~count:(Array.length central_events) central_med in
+  (* the sharded bank grouped one-bank-per-segment must agree with the
+     sequential reference verdict for verdict *)
+  let seq = Gate.run_sequential node_configs events in
+  let sharded =
+    Gate.run ~domains:2
+      ~group:(fun e ->
+        match Tcar.segment_of car e.Gate.node with
+        | Some seg -> seg
+        | None -> e.Gate.node)
+      node_configs events
+  in
+  let sharded_ok = sharded.Gate.verdicts = seq.Gate.verdicts in
+  let central_fraction =
+    if Array.length events = 0 then 0.0
+    else float_of_int (Array.length central_events)
+         /. float_of_int (Array.length events)
+  in
+  Printf.printf "%-58s %14s %10s\n" "placement" "ns/event" "events";
+  Printf.printf "%-58s %14.1f %10d\n" "distributed (per-node HPE gate banks)"
+    dist_ns (Array.length events);
+  Printf.printf "%-58s %14.1f %10d\n" "central (gateway whitelists only)"
+    central_ns
+    (Array.length central_events);
+  Printf.printf
+    "central evaluates %.3f of the distributed workload; segment-sharded \
+     bank matches sequential verdicts: %b\n"
+    central_fraction sharded_ok;
+  (* blast containment per (plan x placement): the distributed-enforcement
+     claim the trajectory gate tracks.  Deterministic for a fixed seed. *)
+  subsection "Blast containment (plan x placement)";
+  let horizon = if !quick_mode then 1.5 else 2.5 in
+  let plans =
+    [
+      Faults.Plan.segment_partition ~horizon;
+      Faults.Plan.segment_babble ~horizon;
+    ]
+  in
+  let placements = [ `Central; `Distributed ] in
+  let runs =
+    List.concat_map
+      (fun plan ->
+        List.map
+          (fun placement ->
+            let o = Faults.Blast.run ~placement ~seed:42L ~plan () in
+            let faulted = Faults.Blast.faulted o.Faults.Blast.blast in
+            Printf.printf "  %-20s %-12s %s (blast: %s)\n"
+              plan.Faults.Plan.name
+              (Tcar.placement_name placement)
+              (if o.Faults.Blast.passed then "contained" else "LEAKED")
+              (String.concat ", " faulted);
+            (plan.Faults.Plan.name, placement, o.Faults.Blast.passed, faulted))
+          placements)
+      plans
+  in
+  let containment =
+    let n = List.length runs in
+    if n = 0 then 0.0
+    else
+      float_of_int (List.length (List.filter (fun (_, _, p, _) -> p) runs))
+      /. float_of_int n
+  in
+  Printf.printf "containment: %.2f of %d (plan x placement) runs\n" containment
+    (List.length runs);
+  topology_report :=
+    Some
+      (Policy.Json.Obj
+         [
+           ("schema", Policy.Json.Int 1);
+           ("suite", Policy.Json.String "secpol-topology");
+           ("quick", Policy.Json.Bool !quick_mode);
+           ("meta", Protocol.meta ());
+           ( "workload",
+             Policy.Json.Obj
+               [
+                 ("seconds", Policy.Json.Float seconds);
+                 ("events", Policy.Json.Int (Array.length events));
+                 ( "central_events",
+                   Policy.Json.Int (Array.length central_events) );
+                 ("segments", Policy.Json.List segment_rows);
+               ] );
+           ( "latency",
+             Policy.Json.Obj
+               [
+                 ("distributed_ns_per_event", json_float dist_ns);
+                 ("central_ns_per_event", json_float central_ns);
+                 ("sharded_matches_sequential", Policy.Json.Bool sharded_ok);
+               ] );
+           ( "checks",
+             Policy.Json.Obj
+               [ ("central_fraction", json_float central_fraction) ] );
+           ( "blast",
+             Policy.Json.Obj
+               [
+                 ("containment", json_float containment);
+                 ("horizon", Policy.Json.Float horizon);
+                 ( "runs",
+                   Policy.Json.List
+                     (List.map
+                        (fun (plan, placement, passed, faulted) ->
+                          Policy.Json.Obj
+                            [
+                              ("plan", Policy.Json.String plan);
+                              ( "placement",
+                                Policy.Json.String
+                                  (Tcar.placement_name placement) );
+                              ("passed", Policy.Json.Bool passed);
+                              ( "faulted_segments",
+                                Policy.Json.List
+                                  (List.map
+                                     (fun s -> Policy.Json.String s)
+                                     faulted) );
+                            ])
+                        runs) );
+               ] );
+         ])
+
 let targets =
   [
     ("table1", table1);
@@ -1267,6 +1522,7 @@ let targets =
     ("q4", q4);
     ("perf", perf);
     ("parscale", parscale);
+    ("topology", topology_bench);
     ("serve", serve_bench);
     ("campaign", fleet_campaign);
     ("ablation", ablation);
@@ -1301,9 +1557,6 @@ let speedup_rows () =
   | Some i, Some c when c.ns_per_op > 0.0 && Float.is_finite i.ns_per_op ->
       Some (i, c, i.ns_per_op /. c.ns_per_op)
   | _ -> None
-
-let json_float f =
-  if Float.is_finite f then Policy.Json.Float f else Policy.Json.Null
 
 let json_report () =
   let results =
@@ -1362,9 +1615,11 @@ let () =
   let usage () =
     Printf.eprintf
       "usage: main.exe [TARGET...] [--quick] [--json FILE] [--parallel-json \
-       FILE] [--serve-json FILE] [--campaign-json FILE] [--check-speedup X]\n\
+       FILE] [--serve-json FILE] [--campaign-json FILE] [--topology-json \
+       FILE] [--check-speedup X]\n\
       \                [--check-batched-speedup X] [--baseline FILE] \
-       [--parallel-baseline FILE] [--tolerance PCT]\nknown targets: %s\n"
+       [--parallel-baseline FILE] [--topology-baseline FILE] [--tolerance \
+       PCT]\nknown targets: %s\n"
       (String.concat ", " (List.map fst targets));
     exit 1
   in
@@ -1378,6 +1633,12 @@ let () =
         parse names rest
     | "--parallel-json" :: file :: rest ->
         parallel_json_file := Some file;
+        parse names rest
+    | "--topology-json" :: file :: rest ->
+        topology_json_file := Some file;
+        parse names rest
+    | "--topology-baseline" :: file :: rest ->
+        topology_baseline_file := Some file;
         parse names rest
     | "--serve-json" :: file :: rest ->
         serve_json_file := Some file;
@@ -1410,8 +1671,9 @@ let () =
             parse names rest
         | None -> usage ())
     | ( "--json" | "--parallel-json" | "--serve-json" | "--campaign-json"
-      | "--check-speedup" | "--check-batched-speedup" | "--baseline"
-      | "--parallel-baseline" | "--tolerance" )
+      | "--topology-json" | "--topology-baseline" | "--check-speedup"
+      | "--check-batched-speedup" | "--baseline" | "--parallel-baseline"
+      | "--tolerance" )
       :: [] ->
         usage ()
     | name :: rest ->
@@ -1465,6 +1727,18 @@ let () =
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote %s (campaign artifact)\n" file);
+  (match (!topology_json_file, !topology_report) with
+  | Some file, Some report ->
+      let oc = open_out file in
+      output_string oc (Policy.Json.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (topology artifact)\n" file
+  | Some _, None ->
+      Printf.eprintf
+        "--topology-json: no topology results recorded (run the topology \
+         target)\n"
+  | None, _ -> ());
   (match !check_speedup with
   | None -> ()
   | Some threshold -> (
@@ -1529,5 +1803,12 @@ let () =
     [
       ("scaling", [ "scaling" ]);
       ("batched_scaling", [ "batched_scaling" ]);
+    ];
+  run_checks ~what:"topology"
+    ~fresh:(Option.value ~default:Policy.Json.Null !topology_report)
+    ~file:!topology_baseline_file
+    [
+      ("checks.central_fraction", [ "checks"; "central_fraction" ]);
+      ("blast.containment", [ "blast"; "containment" ]);
     ];
   if !trajectory_failed then exit 4

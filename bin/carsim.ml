@@ -394,12 +394,64 @@ let replay_cmd =
 
 let chaos_cmd =
   let module F = Secpol.Faults in
-  let run seed plan_name seconds report_out =
+  let module Tcar = V.Topology_car in
+  (* segment-scoped plans run on the multi-segment topology car through
+     the blast runner; everything else keeps the flat-bus harness *)
+  let run_blast ~seed ~plan ~placement ~unbounded_gateway report_out =
+    let outcome = F.Blast.run ~placement ~unbounded_gateway ~seed ~plan () in
+    (match report_out with
+    | None -> ()
+    | Some file ->
+        Out_channel.with_open_text file (fun oc ->
+            output_string oc
+              (Secpol.Policy.Json.to_string outcome.F.Blast.report);
+            output_char oc '\n');
+        Printf.printf "blast report written to %s\n" file);
+    let blast = outcome.F.Blast.blast in
+    let car = F.Blast.car blast in
+    Printf.printf "placement: %s%s\n"
+      (Tcar.placement_name (Tcar.placement car))
+      (if unbounded_gateway then " (unbounded gateway)" else "");
+    Printf.printf "blast region: %s\n"
+      (match F.Blast.faulted blast with
+      | [] -> "(none)"
+      | segs -> String.concat ", " segs);
+    List.iter
+      (fun seg ->
+        let bus = Tcar.bus car seg in
+        Printf.printf
+          "  %-13s %s util %5.1f%%  frames %6d  deliveries %6d  pending %d\n"
+          seg
+          (if List.mem seg (F.Blast.faulted blast) then "[blast]"
+           else "       ")
+          (100.0 *. Secpol.Can.Bus.utilisation bus)
+          (Secpol.Can.Bus.frames_sent bus)
+          (Tcar.deliveries_in car seg)
+          (Secpol.Can.Bus.pending bus))
+      (Tcar.segments car);
+    List.iter
+      (fun (v : F.Invariant.violation) ->
+        Printf.printf "VIOLATION [%8.4f] %s: %s\n" v.F.Invariant.time
+          v.F.Invariant.check v.F.Invariant.detail)
+      (F.Invariant.Blast.violations outcome.F.Blast.checker);
+    if outcome.F.Blast.passed then begin
+      Printf.printf "chaos %s: blast contained\n" plan.F.Plan.name;
+      0
+    end
+    else begin
+      Printf.printf "chaos %s: CONTAINMENT VIOLATIONS\n" plan.F.Plan.name;
+      4
+    end
+  in
+  let run seed plan_name seconds placement unbounded_gateway report_out =
     match F.Plan.of_name ~seed ~horizon:seconds plan_name with
     | None ->
         Printf.eprintf "unknown plan %S (one of: %s)\n" plan_name
           (String.concat ", " F.Plan.named);
         1
+    | Some plan when F.Plan.segment_scoped plan ->
+        Format.printf "%a" F.Plan.pp plan;
+        run_blast ~seed ~plan ~placement ~unbounded_gateway report_out
     | Some plan ->
         Format.printf "%a" F.Plan.pp plan;
         let outcome = F.Chaos.run ~seed ~plan () in
@@ -439,12 +491,46 @@ let chaos_cmd =
       & info [ "plan" ] ~docv:"PLAN"
           ~doc:
             "Fault plan: stall, storm, partition, crash, hpe-corruption, \
-             skewed-stall, or mixed (seed-generated).")
+             skewed-stall, mixed (seed-generated), or a segment-scoped \
+             plan on the multi-segment car: segment-partition, \
+             segment-babble, gateway-failover.")
   in
   let seconds =
     Arg.(
       value & opt float 4.0
       & info [ "t"; "seconds" ] ~docv:"S" ~doc:"Campaign horizon.")
+  in
+  let placement =
+    let placement_conv =
+      let parse s =
+        match Tcar.placement_of_name s with
+        | Some p -> Ok p
+        | None ->
+            Error
+              (`Msg
+                 (Printf.sprintf "expected central or distributed, got %S" s))
+      in
+      let print ppf p = Format.pp_print_string ppf (Tcar.placement_name p) in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt placement_conv `Distributed
+      & info [ "placement" ] ~docv:"WHERE"
+          ~doc:
+            "Enforcement placement for segment-scoped plans: central \
+             (gateway whitelists only) or distributed (per-node HPE gate \
+             banks as well).")
+  in
+  let unbounded_gateway =
+    Arg.(
+      value & flag
+      & info [ "unbounded-gateway" ]
+          ~doc:
+            "Build the gateways with an effectively unlimited admission \
+             queue — a deliberately broken configuration whose backlog \
+             the blast-radius invariant must catch (expected exit 4 \
+             under segment-babble).")
   in
   let report_out =
     Arg.(
@@ -460,7 +546,9 @@ let chaos_cmd =
        ~doc:
          "Run a fault-injection campaign against the HPE-enforced car. \
           Exit 0 when every safety invariant held, 4 on violations.")
-    Term.(const run $ seed $ plan_name $ seconds $ report_out)
+    Term.(
+      const run $ seed $ plan_name $ seconds $ placement $ unbounded_gateway
+      $ report_out)
 
 let () =
   let info =

@@ -130,16 +130,17 @@ let utilisation t =
 
 let tx_latency t = t.tx_latency
 
-let attach_obs t reg =
-  Obs.Registry.register_counter reg "can.bus.frames_sent" t.c_frames;
-  Obs.Registry.register_counter reg "can.bus.tx_retries" t.c_retries;
-  Obs.Registry.register_counter reg "can.bus.tx_abandoned" t.c_abandoned;
-  Obs.Registry.register_counter reg "can.bus.wire_errors" t.c_wire_errors;
-  Obs.Registry.register_histogram reg "can.bus.tx_latency_ms" t.tx_latency;
-  Obs.Registry.register_gauge reg "can.bus.utilisation" (fun () ->
+let attach_obs ?(prefix = "can.bus") t reg =
+  let key suffix = prefix ^ "." ^ suffix in
+  Obs.Registry.register_counter reg (key "frames_sent") t.c_frames;
+  Obs.Registry.register_counter reg (key "tx_retries") t.c_retries;
+  Obs.Registry.register_counter reg (key "tx_abandoned") t.c_abandoned;
+  Obs.Registry.register_counter reg (key "wire_errors") t.c_wire_errors;
+  Obs.Registry.register_histogram reg (key "tx_latency_ms") t.tx_latency;
+  Obs.Registry.register_gauge reg (key "utilisation") (fun () ->
       utilisation t);
-  Obs.Registry.register_gauge reg "can.bus.busy_time_s" (fun () -> t.busy_time);
-  Obs.Registry.register_gauge reg "can.bus.pending" (fun () ->
+  Obs.Registry.register_gauge reg (key "busy_time_s") (fun () -> t.busy_time);
+  Obs.Registry.register_gauge reg (key "pending") (fun () ->
       float_of_int (Binheap.length t.queue))
 
 let rec start_transmission t =

@@ -84,8 +84,10 @@ val tx_latency : t -> Secpol_obs.Histogram.t
 (** Queue-to-delivery latency per successfully sent frame, in simulated
     milliseconds — arbitration and retransmission delay included. *)
 
-val attach_obs : t -> Secpol_obs.Registry.t -> unit
-(** Export the bus counters, the [can.bus.tx_latency_ms] histogram and the
-    load gauges ([utilisation], [busy_time_s], [pending]) under
-    [can.bus.*].  The bus always maintains these instruments; attaching
-    merely names them in the registry. *)
+val attach_obs : ?prefix:string -> t -> Secpol_obs.Registry.t -> unit
+(** Export the bus counters, the [tx_latency_ms] histogram and the load
+    gauges ([utilisation], [busy_time_s], [pending]) under
+    [<prefix>.*] (default prefix ["can.bus"]).  Multi-segment topologies
+    pass a per-segment prefix (e.g. ["can.seg.powertrain"]) so several
+    buses can share one registry.  The bus always maintains these
+    instruments; attaching merely names them in the registry. *)

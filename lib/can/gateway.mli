@@ -15,9 +15,15 @@
     carries a forwarding deadline ([forward_timeout] from admission).  When
     any bound is exceeded the frame is {e shed} — dropped and counted —
     so a partitioned or error-storming destination segment degrades the
-    gateway's throughput instead of growing its queue without limit. *)
+    gateway's throughput instead of growing its queue without limit.
+
+    All counters are kept per direction ([`A_to_b] frames seen on [a] and
+    forwarded towards [b]; [`B_to_a] the reverse) so a one-sided shed storm
+    against a faulted destination segment is visible as such. *)
 
 type t
+
+type direction = [ `A_to_b | `B_to_a ]
 
 val connect :
   ?max_in_flight:int ->
@@ -45,26 +51,57 @@ val connect :
 val name : t -> string
 
 val forwarded : t -> int
-(** Frames bridged (both directions) — counted on confirmed delivery, not
-    on admission. *)
+(** Frames bridged (both directions summed) — counted on confirmed
+    delivery, not on admission. *)
 
 val dropped : t -> int
-(** Frames the predicates refused. *)
+(** Frames the predicates refused (both directions summed). *)
 
 val shed : t -> int
 (** Whitelisted frames dropped by overload protection: admission refused at
     the in-flight bound, retry budget exhausted, or forwarding deadline
-    passed. *)
+    passed (both directions summed). *)
 
 val retries : t -> int
 (** Gateway-level re-submissions after the destination bus abandoned a
-    forward (distinct from the bus's own wire-error retransmissions). *)
+    forward (distinct from the bus's own wire-error retransmissions; both
+    directions summed). *)
+
+val forwarded_dir : t -> direction -> int
+
+val dropped_dir : t -> direction -> int
+
+val shed_dir : t -> direction -> int
+
+val retries_dir : t -> direction -> int
 
 val in_flight : t -> int
 (** Forwards currently outstanding (admitted, no final fate yet). *)
 
+val connected : t -> bool
+(** [false] between {!disconnect} and {!reconnect}. *)
+
+val set_predicates :
+  t ->
+  forward_a_to_b:(Frame.t -> bool) ->
+  forward_b_to_a:(Frame.t -> bool) ->
+  unit
+(** Replace both forwarding predicates atomically.  Used by gateway
+    failover to drop into a limp-home whitelist without rebuilding the
+    topology; frames already admitted keep forwarding. *)
+
 val attach_obs : t -> Secpol_obs.Registry.t -> unit
-(** Export the forwarded/dropped/shed/retries counters and the [in_flight]
-    gauge under [can.gateway.<name>.*]. *)
+(** Export per-direction counters under
+    [can.gateway.<name>.{a_to_b,b_to_a}.*], direction-summed aggregates
+    under the pre-split [can.gateway.<name>.{forwarded,dropped,shed,
+    retries}] names, and the [in_flight] gauge. *)
 
 val disconnect : t -> unit
+(** Detach from both buses (a crashed gateway ECU).  In-flight forwards
+    already submitted to a destination bus complete or abandon on their
+    own; nothing new is admitted.  Idempotent. *)
+
+val reconnect : t -> unit
+(** Re-attach a disconnected gateway to both buses with its current
+    predicates (possibly replaced via {!set_predicates} while down).
+    No-op when already attached. *)

@@ -1,0 +1,400 @@
+module Engine = Secpol_sim.Engine
+module Can = Secpol_can
+module Topology = Secpol_can.Topology
+module Tcar = Secpol_vehicle.Topology_car
+module Segment_map = Secpol_vehicle.Segment_map
+module Json = Secpol_policy.Json
+module Obs_json = Secpol_policy.Obs_json
+module Obs = Secpol_obs
+
+type record = {
+  entry : Plan.entry;
+  mutable injected_at : float option;
+  mutable cleared_at : float option;
+  mutable region : string list;
+      (* segments this fault blasts: the faulted segment itself, or for a
+         gateway crash everything the crash cuts off the healthy core *)
+}
+
+type t = {
+  car : Tcar.t;
+  obs : Obs.Registry.t;
+  plan : Plan.t;
+  placement : Tcar.placement;
+  records : record list;
+  mutable faulted : string list; (* union of regions, monotone *)
+  mutable babblers : int;
+}
+
+let car t = t.car
+
+let obs t = t.obs
+
+let plan t = t.plan
+
+let records t = t.records
+
+let faulted t = t.faulted
+
+(* The blast region of one fault.  For a gateway crash: sever the link
+   and keep the component with the most member nodes as the healthy core;
+   everything else is cut off and therefore inside the blast. *)
+let region_of car kind =
+  let topo = Tcar.topology car in
+  match kind with
+  | Fault.Segment_partition { segment; _ } | Fault.Segment_babble { segment; _ }
+    ->
+      [ segment ]
+  | Fault.Gateway_crash { gateway; _ } ->
+      let comps = Topology.components topo ~without:[ gateway ] in
+      let size comp =
+        List.fold_left
+          (fun acc seg -> acc + List.length (Topology.members topo seg))
+          0 comp
+      in
+      let healthy =
+        List.fold_left
+          (fun best comp -> if size comp > size best then comp else best)
+          (List.hd comps) comps
+      in
+      List.concat (List.filter (fun comp -> comp != healthy) comps)
+  | _ -> []
+
+let mark_faulted t region =
+  List.iter
+    (fun seg ->
+      if not (List.mem seg t.faulted) then t.faulted <- seg :: t.faulted)
+    region
+
+let inject t r =
+  let sim = Tcar.sim t.car in
+  let now = Engine.now sim in
+  r.injected_at <- Some now;
+  r.region <- region_of t.car r.entry.Plan.kind;
+  mark_faulted t r.region;
+  let clear f =
+    Engine.schedule_in sim ~delay:(Fault.clears_after r.entry.Plan.kind)
+      (fun sim ->
+        f ();
+        r.cleared_at <- Some (Engine.now sim))
+  in
+  let topo = Tcar.topology t.car in
+  match r.entry.Plan.kind with
+  | Fault.Segment_partition { segment; heal_after = _ } ->
+      (* a severed medium: every transmission on the segment wire-errors,
+         so gateway forwards towards it abandon, back off and shed — a
+         one-sided shed storm the per-direction counters make visible *)
+      let bus = Topology.bus topo segment in
+      let prev = Can.Bus.corrupt_prob bus in
+      Can.Bus.set_corrupt_prob bus 1.0;
+      clear (fun () ->
+          Can.Bus.set_corrupt_prob bus prev;
+          (* medium repaired: member controllers went bus-off during the
+             storm of their own failed transmissions; reset them, as a
+             post-repair controller re-init would *)
+          List.iter
+            (fun name ->
+              Can.Errors.reset
+                (Can.Controller.errors
+                   (Can.Node.controller (Tcar.node t.car name))))
+            (Topology.members topo segment))
+  | Fault.Segment_babble { segment; msg_id; period; duration } ->
+      t.babblers <- t.babblers + 1;
+      let bus = Topology.bus topo segment in
+      let rogue =
+        Can.Node.create
+          ~name:(Printf.sprintf "babbler%d" t.babblers)
+          bus
+      in
+      let jam _ =
+        ignore (Can.Node.send rogue (Can.Frame.data_std msg_id "\255"))
+      in
+      jam sim;
+      Engine.every sim ~period ~until:(now +. duration) jam;
+      clear (fun () -> Can.Node.detach rogue)
+  | Fault.Gateway_crash { gateway; down_for = _ } ->
+      let gw = Topology.gateway topo gateway in
+      Can.Gateway.disconnect gw;
+      clear (fun () ->
+          (* failover, fail closed: the repaired gateway comes back in
+             limp-home, forwarding only the minimal safety-critical
+             crossings until a maintenance action restores the full
+             whitelist (never within this run) *)
+          Topology.restrict topo ~gateway
+            ~ids:(Segment_map.minimal_crossing_ids ());
+          Can.Gateway.reconnect gw)
+  | _ ->
+      (* non-segment kinds are rejected in [run] *)
+      assert false
+
+(* ---------- end-of-run obligations ---------- *)
+
+let delivered_after car seg ~time =
+  Can.Trace.count
+    (Can.Bus.trace (Tcar.bus car seg))
+    (fun e ->
+      e.Can.Trace.time > time
+      &&
+      match e.Can.Trace.event with
+      | Can.Trace.Rx_delivered _ -> true
+      | _ -> false)
+
+let finalize t checker =
+  List.iter
+    (fun r ->
+      match (r.entry.Plan.kind, r.cleared_at) with
+      | (Fault.Segment_partition _ | Fault.Segment_babble _), Some cleared ->
+          (* a healed segment must come back: deliveries resume between the
+             heal and the horizon *)
+          List.iter
+            (fun seg ->
+              if delivered_after t.car seg ~time:cleared = 0 then
+                Invariant.Blast.fail checker ~check:"blast_recovery"
+                  (Printf.sprintf
+                     "segment %s: no deliveries after healing at %.3fs" seg
+                     cleared))
+            r.region
+      | Fault.Gateway_crash _, Some cleared ->
+          (* limp-home is fail-closed: after failover the cut-off segments
+             may only receive the minimal crossing whitelist or traffic
+             produced inside them *)
+          let topo = Tcar.topology t.car in
+          let minimal = Segment_map.minimal_crossing_ids () in
+          List.iter
+            (fun seg ->
+              let local_ids =
+                List.concat_map
+                  (fun node ->
+                    List.map
+                      (fun (m : Secpol_vehicle.Messages.t) -> m.id)
+                      (Secpol_vehicle.Messages.produced_by node))
+                  (Topology.members topo seg)
+              in
+              let allowed = minimal @ local_ids in
+              Can.Trace.entries (Can.Bus.trace (Tcar.bus t.car seg))
+              |> List.iter (fun e ->
+                     match e.Can.Trace.event with
+                     | Can.Trace.Rx_delivered _ when e.Can.Trace.time > cleared
+                       -> (
+                         match e.Can.Trace.frame.Can.Frame.id with
+                         | Can.Identifier.Standard id ->
+                             if not (List.mem id allowed) then
+                               Invariant.Blast.fail checker ~check:"limp_home"
+                                 (Printf.sprintf
+                                    "segment %s: 0x%03X delivered at %.3fs \
+                                     after fail-closed failover"
+                                    seg id e.Can.Trace.time)
+                         | Can.Identifier.Extended _ ->
+                             Invariant.Blast.fail checker ~check:"limp_home"
+                               (Printf.sprintf
+                                  "segment %s: extended frame crossed after \
+                                   failover"
+                                  seg))
+                     | _ -> ()))
+            r.region
+      | _ -> ())
+    t.records
+
+(* ---------- report ---------- *)
+
+let ms s = s *. 1000.0
+
+let opt_float = function None -> Json.Null | Some v -> Json.Float v
+
+let fault_json (r : record) =
+  let mttr =
+    match (r.injected_at, r.cleared_at) with
+    | Some i, Some c -> Some (ms (c -. i))
+    | _ -> None
+  in
+  Json.Obj
+    [
+      ("kind", Json.String (Fault.label r.entry.Plan.kind));
+      ("planned_at", Json.Float r.entry.Plan.at);
+      ("injected_at", opt_float r.injected_at);
+      ("cleared_at", opt_float r.cleared_at);
+      ("mttr_ms", opt_float mttr);
+      ("region", Json.List (List.map (fun s -> Json.String s) r.region));
+    ]
+
+let p99_of bus =
+  let h = Can.Bus.tx_latency bus in
+  if Obs.Histogram.count h = 0 then None
+  else Some (Obs.Histogram.percentile h 99.0)
+
+let segment_json t ~clean seg =
+  let bus = Tcar.bus t.car seg in
+  let p99 = p99_of bus in
+  let clean_p99 = p99_of (Tcar.bus clean seg) in
+  let ratio =
+    match (p99, clean_p99) with
+    | Some p, Some c when c > 0.0 -> Some (p /. c)
+    | _ -> None
+  in
+  Json.Obj
+    [
+      ("name", Json.String seg);
+      ("faulted", Json.Bool (List.mem seg t.faulted));
+      ("frames_sent", Json.Int (Can.Bus.frames_sent bus));
+      ("deliveries", Json.Int (Tcar.deliveries_in t.car seg));
+      ("utilisation", Json.Float (Can.Bus.utilisation bus));
+      ("pending_end", Json.Int (Can.Bus.pending bus));
+      ("tx_p99_ms", opt_float p99);
+      ("clean_tx_p99_ms", opt_float clean_p99);
+      ("p99_vs_clean", opt_float ratio);
+      ("false_blocks", Json.Int (Tcar.false_blocks_in t.car seg));
+    ]
+
+let direction_json gw dir =
+  Json.Obj
+    [
+      ("forwarded", Json.Int (Can.Gateway.forwarded_dir gw dir));
+      ("dropped", Json.Int (Can.Gateway.dropped_dir gw dir));
+      ("shed", Json.Int (Can.Gateway.shed_dir gw dir));
+      ("retries", Json.Int (Can.Gateway.retries_dir gw dir));
+    ]
+
+let gateway_json t name =
+  let gw = Topology.gateway (Tcar.topology t.car) name in
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("connected", Json.Bool (Can.Gateway.connected gw));
+      ("in_flight_end", Json.Int (Can.Gateway.in_flight gw));
+      ("a_to_b", direction_json gw `A_to_b);
+      ("b_to_a", direction_json gw `B_to_a);
+    ]
+
+let report t ~seed ~checker ~clean ~bound =
+  let violations = Invariant.Blast.violations checker in
+  Json.Obj
+    [
+      ("plan", Json.String t.plan.Plan.name);
+      ("seed", Json.String (Int64.to_string seed));
+      ("horizon", Json.Float t.plan.Plan.horizon);
+      ("placement", Json.String (Tcar.placement_name t.placement));
+      ("verdict", Json.String (if violations = [] then "pass" else "fail"));
+      ("faults", Json.List (List.map fault_json t.records));
+      ( "bound",
+        Json.Obj
+          [
+            ("max_pending", Json.Int bound.Invariant.Blast.max_pending);
+            ("p99_ms", Json.Float bound.Invariant.Blast.p99_ms);
+            ( "max_gateway_backlog",
+              Json.Int bound.Invariant.Blast.max_gateway_backlog );
+          ] );
+      ( "blast_radius",
+        Json.Obj
+          [
+            ( "faulted_segments",
+              Json.List (List.map (fun s -> Json.String s) t.faulted) );
+            ( "segments",
+              Json.List
+                (List.map (segment_json t ~clean) (Tcar.segments t.car)) );
+            ( "gateways",
+              Json.List
+                (List.map (gateway_json t)
+                   (Topology.gateway_names (Tcar.topology t.car))) );
+          ] );
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (v : Invariant.violation) ->
+               Json.Obj
+                 [
+                   ("time", Json.Float v.Invariant.time);
+                   ("check", Json.String v.Invariant.check);
+                   ("detail", Json.String v.Invariant.detail);
+                 ])
+             violations) );
+      ("telemetry", Obs_json.registry t.obs);
+    ]
+
+(* ---------- the runner ---------- *)
+
+type outcome = {
+  blast : t;
+  checker : Invariant.Blast.t;
+  report : Json.t;
+  passed : bool;
+}
+
+let run ?(placement = `Distributed) ?bound ?(slice = 0.25)
+    ?(unbounded_gateway = false) ~seed ~plan () =
+  if slice <= 0.0 then invalid_arg "Blast.run: slice must be positive";
+  List.iter
+    (fun (e : Plan.entry) ->
+      match e.Plan.kind with
+      | Fault.Segment_partition _ | Fault.Segment_babble _
+      | Fault.Gateway_crash _ ->
+          ()
+      | k ->
+          invalid_arg
+            (Printf.sprintf
+               "Blast.run: %s is not segment-scoped (use Faults.Chaos)"
+               (Fault.label k)))
+    plan.Plan.entries;
+  let bound =
+    match bound with Some b -> b | None -> Invariant.Blast.default_bound
+  in
+  let build ~obs () =
+    (* "unbounded" models the deliberately-broken gateway the containment
+       gate must catch: admission effectively never sheds, so a saturated
+       destination grows the in-flight backlog without limit *)
+    if unbounded_gateway then
+      Tcar.create ~seed ~placement ?obs ~max_in_flight:1_000_000 ()
+    else Tcar.create ~seed ~placement ?obs ()
+  in
+  let obs = Obs.Registry.create () in
+  let car = build ~obs:(Some obs) () in
+  let t =
+    {
+      car;
+      obs;
+      plan;
+      placement;
+      records =
+        List.map
+          (fun entry ->
+            { entry; injected_at = None; cleared_at = None; region = [] })
+          plan.Plan.entries;
+      faulted = [];
+      babblers = 0;
+    }
+  in
+  (match
+     Plan.validate
+       ~topology:
+         {
+           Plan.segments = Tcar.segments car;
+           gateways = Topology.gateway_names (Tcar.topology car);
+         }
+       plan
+   with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Blast.run: " ^ msg));
+  let sim = Tcar.sim car in
+  List.iter
+    (fun r ->
+      Engine.schedule sim ~at:r.entry.Plan.at (fun _ -> inject t r))
+    t.records;
+  let checker =
+    Invariant.Blast.create ~bound ~faulted:(fun () -> t.faulted) car
+  in
+  let horizon = plan.Plan.horizon in
+  let rec step at =
+    if at < horizon then begin
+      Engine.run_until sim at;
+      Invariant.Blast.check checker;
+      step (at +. slice)
+    end
+  in
+  step slice;
+  Engine.run_until sim horizon;
+  Invariant.Blast.check checker;
+  finalize t checker;
+  (* the never-faulted twin, for per-segment latency ratios in the report *)
+  let clean = build ~obs:None () in
+  Tcar.run clean ~seconds:horizon;
+  let report = report t ~seed ~checker ~clean ~bound in
+  { blast = t; checker; report; passed = Invariant.Blast.ok checker }

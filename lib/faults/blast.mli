@@ -1,0 +1,79 @@
+(** Chaos runner for segment-scoped faults on a topology car.
+
+    The flat-bus {!Harness} answers "does one car survive faults?"; this
+    runner answers the distributed-enforcement question: "when one
+    segment fails, does the failure stay there?".  It drives a
+    {!Secpol_vehicle.Topology_car} through a segment-scoped {!Plan},
+    streaming the {!Invariant.Blast} containment checks at every slice,
+    and reports the blast radius per (plan × placement):
+
+    - {b Segment_partition}: the segment medium is severed (every
+      transmission wire-errors); gateway forwards towards it abandon,
+      back off and shed — visible one-sided in the per-direction
+      counters.  Healing repairs the medium and resets the member
+      controllers' error counters.
+    - {b Segment_babble}: a rogue station saturates the segment's
+      arbitration with top-priority frames.  Bounded gateways shed at
+      admission and contain it; the deliberately-broken
+      [unbounded_gateway] build grows its backlog past the bound and
+      must be caught ([blast_gateway_backlog]).
+    - {b Gateway_crash}: the gateway disconnects; everything the crash
+      cuts off the healthy core is inside the blast.  Failover is
+      fail-closed: the gateway returns in limp-home, forwarding only
+      {!Secpol_vehicle.Segment_map.minimal_crossing_ids}.
+
+    End-of-run obligations: healed segments must deliver again
+    ([blast_recovery]); after a gateway failover, cut-off segments may
+    only receive the minimal whitelist or locally produced traffic
+    ([limp_home]).
+
+    The report's per-segment latency figures are normalised against a
+    never-faulted twin run with the same seed, placement and gateway
+    bounds. *)
+
+type t
+
+val car : t -> Secpol_vehicle.Topology_car.t
+
+val obs : t -> Secpol_obs.Registry.t
+
+val plan : t -> Plan.t
+
+type record = {
+  entry : Plan.entry;
+  mutable injected_at : float option;
+  mutable cleared_at : float option;
+  mutable region : string list;  (** segments this fault blasts *)
+}
+
+val records : t -> record list
+
+val faulted : t -> string list
+(** Union of every injected fault's blast region so far (monotone). *)
+
+type outcome = {
+  blast : t;
+  checker : Invariant.Blast.t;
+  report : Secpol_policy.Json.t;
+  passed : bool;
+}
+
+val run :
+  ?placement:Secpol_vehicle.Topology_car.placement ->
+  ?bound:Invariant.Blast.bound ->
+  ?slice:float ->
+  ?unbounded_gateway:bool ->
+  seed:int64 ->
+  plan:Plan.t ->
+  unit ->
+  outcome
+(** Build a topology car ([placement] defaults to [`Distributed]), run
+    the plan to its horizon checking {!Invariant.Blast} every [slice]
+    (default 0.25) simulated seconds, then the end-of-run obligations,
+    then a clean reference run for the report's latency ratios.
+    [unbounded_gateway] builds the gateways with an effectively
+    unlimited admission queue — the negative-containment configuration
+    CI uses to prove the gate can fail.
+    @raise Invalid_argument if the plan contains a fault that is not
+    segment-scoped, references unknown segments or gateways, or [slice]
+    is not positive. *)

@@ -6,6 +6,14 @@ type kind =
   | Hpe_corruption of { node : string; scrub_after : float }
   | Policy_stall of { down_for : float }
   | Clock_skew of { factor : float; duration : float }
+  | Segment_partition of { segment : string; heal_after : float }
+  | Segment_babble of {
+      segment : string;
+      msg_id : int;
+      period : float;
+      duration : float;
+    }
+  | Gateway_crash of { gateway : string; down_for : float }
 
 let label = function
   | Node_crash _ -> "node_crash"
@@ -15,6 +23,9 @@ let label = function
   | Hpe_corruption _ -> "hpe_corruption"
   | Policy_stall _ -> "policy_stall"
   | Clock_skew _ -> "clock_skew"
+  | Segment_partition _ -> "segment_partition"
+  | Segment_babble _ -> "segment_babble"
+  | Gateway_crash _ -> "gateway_crash"
 
 (* Sim time the fault stops acting on its own (recovery actions run then);
    a policy stall additionally leaves the vehicle latched in fail-safe. *)
@@ -26,6 +37,9 @@ let clears_after = function
   | Hpe_corruption { scrub_after; _ } -> scrub_after
   | Policy_stall { down_for } -> down_for
   | Clock_skew { duration; _ } -> duration
+  | Segment_partition { heal_after; _ } -> heal_after
+  | Segment_babble { duration; _ } -> duration
+  | Gateway_crash { down_for; _ } -> down_for
 
 let validate = function
   | Node_crash { node; down_for } ->
@@ -62,6 +76,24 @@ let validate = function
       if factor <= 0.0 then Error "clock_skew: factor must be positive"
       else if duration <= 0.0 then Error "clock_skew: duration must be positive"
       else Ok ()
+  | Segment_partition { segment; heal_after } ->
+      if segment = "" then Error "segment_partition: empty segment name"
+      else if heal_after <= 0.0 then
+        Error "segment_partition: heal_after must be positive"
+      else Ok ()
+  | Segment_babble { segment; msg_id; period; duration } ->
+      if segment = "" then Error "segment_babble: empty segment name"
+      else if msg_id < 0 || msg_id > 0x7FF then
+        Error "segment_babble: msg_id outside 11-bit range"
+      else if period <= 0.0 then Error "segment_babble: period must be positive"
+      else if duration <= 0.0 then
+        Error "segment_babble: duration must be positive"
+      else Ok ()
+  | Gateway_crash { gateway; down_for } ->
+      if gateway = "" then Error "gateway_crash: empty gateway name"
+      else if down_for <= 0.0 then
+        Error "gateway_crash: down_for must be positive"
+      else Ok ()
 
 let pp ppf = function
   | Node_crash { node; down_for } ->
@@ -80,3 +112,10 @@ let pp ppf = function
       Format.fprintf ppf "policy_stall(%.3fs)" down_for
   | Clock_skew { factor; duration } ->
       Format.fprintf ppf "clock_skew(x%.2f, %.3fs)" factor duration
+  | Segment_partition { segment; heal_after } ->
+      Format.fprintf ppf "segment_partition(%s, heal %.3fs)" segment heal_after
+  | Segment_babble { segment; msg_id; period; duration } ->
+      Format.fprintf ppf "segment_babble(%s, 0x%x every %.4fs for %.3fs)"
+        segment msg_id period duration
+  | Gateway_crash { gateway; down_for } ->
+      Format.fprintf ppf "gateway_crash(%s, %.3fs)" gateway down_for

@@ -23,6 +23,23 @@ type kind =
       (** the policy engine stops answering decisions *)
   | Clock_skew of { factor : float; duration : float }
       (** the watchdog's clock runs at [factor] x real time *)
+  | Segment_partition of { segment : string; heal_after : float }
+      (** the named topology segment's medium is severed (every
+          transmission on it wire-errors) until repaired; healing resets
+          the member controllers' error states *)
+  | Segment_babble of {
+      segment : string;
+      msg_id : int;
+      period : float;
+      duration : float;
+    }
+      (** a rogue station on the named segment floods it with
+          top-priority frames — pick a period below the frame wire time
+          to saturate arbitration *)
+  | Gateway_crash of { gateway : string; down_for : float }
+      (** the named gateway ECU drops off both its buses; after
+          [down_for] seconds it fails over into limp-home, forwarding
+          only the fail-closed minimal crossing whitelist *)
 
 val label : kind -> string
 (** Stable snake_case tag, used in reports and plan names. *)

@@ -153,6 +153,11 @@ let inject t r =
       Clock.set_factor t.clock factor;
       t.min_clock_factor <- Float.min t.min_clock_factor factor;
       clear (fun () -> Clock.set_factor t.clock prev)
+  | Fault.Segment_partition _ | Fault.Segment_babble _ | Fault.Gateway_crash _
+    ->
+      (* segment-scoped plans are rejected in [create]: the flat-bus car
+         has no segments or gateways to fault *)
+      assert false
 
 (* ---------- construction ---------- *)
 
@@ -161,6 +166,9 @@ let create ?(watchdog_period = 0.01) ?(watchdog_deadline = 0.05)
   (match Plan.validate plan with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Harness.create: " ^ msg));
+  if Plan.segment_scoped plan then
+    invalid_arg
+      "Harness.create: segment-scoped plan needs a topology car (Faults.Blast)";
   let obs = Secpol_obs.Registry.create () in
   let car = Car.create ~seed ~enforcement ~obs () in
   let configs =

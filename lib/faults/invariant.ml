@@ -1,7 +1,9 @@
 module Engine = Secpol_sim.Engine
+module Obs = Secpol_obs
 module Can = Secpol_can
 module Hpe = Secpol_hpe
 module Car = Secpol_vehicle.Car
+module Tcar = Secpol_vehicle.Topology_car
 module Modes = Secpol_vehicle.Modes
 module State = Secpol_vehicle.State
 
@@ -150,3 +152,116 @@ let finalize t ~reference =
                faulted clean))
       (state_fields car.Car.state)
       (state_fields reference.Car.state)
+
+(* ---------- blast-radius invariant (topology cars) ---------- *)
+
+module Blast = struct
+  module Topology = Can.Topology
+
+  type bound = { max_pending : int; p99_ms : float; max_gateway_backlog : int }
+
+  (* Pending and p99 are far above a healthy segment's steady state (a few
+     frames, sub-millisecond) but far below what a saturated or severed
+     segment exhibits, so drift towards the bound is a containment leak
+     long before user-visible failure.  The gateway backlog bound is twice
+     the default admission limit: a correctly bounded gateway can never
+     reach it, an unbounded one under a babbling destination does. *)
+  let default_bound =
+    { max_pending = 512; p99_ms = 25.0; max_gateway_backlog = 128 }
+
+  type seg_state = {
+    seg : string;
+    mutable last_deliveries : int;
+    mutable last_false_blocks : int;
+  }
+
+  type t = {
+    car : Tcar.t;
+    bound : bound;
+    faulted : unit -> string list;
+        (* segments currently inside a blast region; monotone over a run *)
+    states : seg_state list;
+    mutable slices : int;
+    mutable violations : violation list; (* newest first *)
+  }
+
+  let create ?(bound = default_bound) ~faulted car =
+    {
+      car;
+      bound;
+      faulted;
+      states =
+        List.map
+          (fun seg -> { seg; last_deliveries = 0; last_false_blocks = 0 })
+          (Tcar.segments car);
+      slices = 0;
+      violations = [];
+    }
+
+  let violations t = List.rev t.violations
+
+  let ok t = t.violations = []
+
+  let fail t ~check detail =
+    let time = Engine.now (Tcar.sim t.car) in
+    t.violations <- { time; check; detail } :: t.violations
+
+  (* The containment obligation, checked every slice: outside the faulted
+     region, queues stay bounded, delivery latency stays flat, frames keep
+     arriving, and enforcement never starts blocking designed traffic.
+     Inside the region anything goes — that segment is the blast. *)
+  let check_segment t st =
+    let bus = Tcar.bus t.car st.seg in
+    let pending = Can.Bus.pending bus in
+    if pending > t.bound.max_pending then
+      fail t ~check:"blast_pending"
+        (Printf.sprintf "segment %s: %d frames pending (bound %d)" st.seg
+           pending t.bound.max_pending);
+    let latency = Can.Bus.tx_latency bus in
+    if Obs.Histogram.count latency > 0 then begin
+      let p99 = Obs.Histogram.percentile latency 99.0 in
+      if p99 > t.bound.p99_ms then
+        fail t ~check:"blast_latency"
+          (Printf.sprintf "segment %s: tx p99 %.2fms (bound %.2fms)" st.seg p99
+             t.bound.p99_ms)
+    end;
+    let deliveries = Tcar.deliveries_in t.car st.seg in
+    (* two warm-up slices before demanding progress: periodic traffic needs
+       a moment to start crossing gateways *)
+    if t.slices > 2 && deliveries <= st.last_deliveries then
+      fail t ~check:"blast_liveness"
+        (Printf.sprintf "segment %s: no deliveries this slice (stuck at %d)"
+           st.seg deliveries);
+    st.last_deliveries <- deliveries;
+    let false_blocks = Tcar.false_blocks_in t.car st.seg in
+    if false_blocks > st.last_false_blocks then
+      fail t ~check:"blast_decisions"
+        (Printf.sprintf
+           "segment %s: %d new enforcement blocks on designed traffic" st.seg
+           (false_blocks - st.last_false_blocks));
+    st.last_false_blocks <- false_blocks
+
+  let check t =
+    t.slices <- t.slices + 1;
+    let faulted = t.faulted () in
+    List.iter
+      (fun st ->
+        if List.mem st.seg faulted then begin
+          (* keep the baselines warm so a healed segment is not instantly
+             flagged for history accumulated during the fault *)
+          st.last_deliveries <- Tcar.deliveries_in t.car st.seg;
+          st.last_false_blocks <- Tcar.false_blocks_in t.car st.seg
+        end
+        else check_segment t st)
+      t.states;
+    let topo = Tcar.topology t.car in
+    List.iter
+      (fun gw_name ->
+        let gw = Topology.gateway topo gw_name in
+        let backlog = Can.Gateway.in_flight gw in
+        if backlog > t.bound.max_gateway_backlog then
+          fail t ~check:"blast_gateway_backlog"
+            (Printf.sprintf "gateway %s: %d forwards in flight (bound %d)"
+               gw_name backlog t.bound.max_gateway_backlog))
+      (Topology.gateway_names topo)
+end

@@ -5,7 +5,37 @@ type entry = { at : float; kind : Fault.kind }
 
 type t = { name : string; horizon : float; entries : entry list }
 
-let validate t =
+type topology = { segments : string list; gateways : string list }
+
+(* Segment-scoped faults name topology pieces a flat-bus car does not
+   have; callers that own a topology pass it so bad names are rejected at
+   plan build, exactly like the horizon checks. *)
+let check_topology topo kind =
+  let known what names name =
+    if List.mem name names then Ok ()
+    else
+      Error
+        (Printf.sprintf "plan: %s names unknown %s %S" (Fault.label kind) what
+           name)
+  in
+  match kind with
+  | Fault.Segment_partition { segment; _ } | Fault.Segment_babble { segment; _ }
+    ->
+      known "segment" topo.segments segment
+  | Fault.Gateway_crash { gateway; _ } -> known "gateway" topo.gateways gateway
+  | _ -> Ok ()
+
+let segment_scoped t =
+  List.exists
+    (fun e ->
+      match e.kind with
+      | Fault.Segment_partition _ | Fault.Segment_babble _
+      | Fault.Gateway_crash _ ->
+          true
+      | _ -> false)
+    t.entries
+
+let validate ?topology t =
   if t.horizon <= 0.0 then Error "plan: horizon must be positive"
   else
     let rec check = function
@@ -18,8 +48,14 @@ let validate t =
                  (Fault.label e.kind) e.at t.horizon)
           else
             match Fault.validate e.kind with
-            | Ok () -> check rest
-            | Error _ as err -> err)
+            | Error _ as err -> err
+            | Ok () -> (
+                match topology with
+                | None -> check rest
+                | Some topo -> (
+                    match check_topology topo e.kind with
+                    | Ok () -> check rest
+                    | Error _ as err -> err)))
     in
     check t.entries
 
@@ -136,6 +172,71 @@ let skewed_stall ~horizon =
         ];
   }
 
+(* ---------- segment-scoped plans (topology cars only) ---------- *)
+
+(* The infotainment leaf is the designated victim: it is the
+   attack-surface segment the architecture exists to contain, and losing
+   it must not cost the chassis or powertrain anything. *)
+
+let segment_partition ~horizon =
+  {
+    name = "segment-partition";
+    horizon;
+    entries =
+      [
+        {
+          at = horizon *. 0.2;
+          kind =
+            Fault.Segment_partition
+              {
+                segment = Secpol_vehicle.Segment_map.seg_infotainment;
+                heal_after = horizon *. 0.3;
+              };
+        };
+      ];
+  }
+
+let segment_babble ~horizon =
+  {
+    name = "segment-babble";
+    horizon;
+    entries =
+      [
+        {
+          at = horizon *. 0.15;
+          kind =
+            (* 0.1 ms period is below the minimal frame wire time at
+               500 kbit/s, so the rogue saturates arbitration on its own
+               segment and gateway forwards towards it stall *)
+            Fault.Segment_babble
+              {
+                segment = Secpol_vehicle.Segment_map.seg_infotainment;
+                msg_id = 0x000;
+                period = 0.0001;
+                duration = horizon *. 0.45;
+              };
+        };
+      ];
+  }
+
+let gateway_failover ~horizon =
+  {
+    name = "gateway-failover";
+    horizon;
+    entries =
+      [
+        {
+          at = horizon *. 0.2;
+          kind =
+            Fault.Gateway_crash
+              {
+                gateway = Secpol_vehicle.Segment_map.gw_infotainment;
+                down_for = horizon *. 0.25;
+              };
+        };
+      ];
+  }
+
 let threat_trigger ?(msg_id = Secpol_vehicle.Messages.lock_command) ~at
     ~horizon () =
   if horizon <= 0.0 then
@@ -217,7 +318,19 @@ let generate ?(faults = 4) ~seed ~horizon () =
   in
   { name = Printf.sprintf "mixed-%Ld" seed; horizon; entries = sorted entries }
 
-let named = [ "stall"; "storm"; "partition"; "crash"; "hpe-corruption"; "skewed-stall"; "mixed" ]
+let named =
+  [
+    "stall";
+    "storm";
+    "partition";
+    "crash";
+    "hpe-corruption";
+    "skewed-stall";
+    "mixed";
+    "segment-partition";
+    "segment-babble";
+    "gateway-failover";
+  ]
 
 let of_name ?(seed = 42L) ?(horizon = 4.0) name =
   match name with
@@ -228,6 +341,9 @@ let of_name ?(seed = 42L) ?(horizon = 4.0) name =
   | "hpe-corruption" -> Some (hpe_corruption ~horizon)
   | "skewed-stall" -> Some (skewed_stall ~horizon)
   | "mixed" -> Some (generate ~seed ~horizon ())
+  | "segment-partition" -> Some (segment_partition ~horizon)
+  | "segment-babble" -> Some (segment_babble ~horizon)
+  | "gateway-failover" -> Some (gateway_failover ~horizon)
   | _ -> None
 
 let pp ppf t =

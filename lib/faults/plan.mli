@@ -10,8 +10,19 @@ type entry = { at : float; kind : Fault.kind }
 
 type t = { name : string; horizon : float; entries : entry list }
 
-val validate : t -> (unit, string) result
-(** Every entry inside [0, horizon) and individually well-formed. *)
+type topology = { segments : string list; gateways : string list }
+(** The names a segment-scoped plan may reference. *)
+
+val validate : ?topology:topology -> t -> (unit, string) result
+(** Every entry inside [0, horizon) and individually well-formed.  With
+    [topology], segment-scoped entries naming unknown segments or
+    gateways are rejected too — a flat-bus harness passes the empty
+    topology, so any segment-scoped entry is an error there. *)
+
+val segment_scoped : t -> bool
+(** The plan contains at least one segment-scoped fault
+    ([Segment_partition], [Segment_babble], [Gateway_crash]) and so needs
+    a topology car ({!Blast}) rather than the flat-bus harness. *)
 
 val degrading : t -> bool
 (** [true] when the plan is expected to end latched in [Fail_safe] (it
@@ -37,6 +48,17 @@ val hpe_corruption : horizon:float -> t
 val skewed_stall : horizon:float -> t
 (** A policy stall while the watchdog's clock runs slow — detection must
     still happen within the skew-adjusted bound. *)
+
+val segment_partition : horizon:float -> t
+(** The infotainment segment's medium is severed, then repaired. *)
+
+val segment_babble : horizon:float -> t
+(** A rogue station saturates the infotainment segment's arbitration with
+    top-priority frames (period below the frame wire time). *)
+
+val gateway_failover : horizon:float -> t
+(** The infotainment gateway crashes, then fails over into the
+    fail-closed minimal-crossing limp-home. *)
 
 val threat_trigger : ?msg_id:int -> at:float -> horizon:float -> unit -> t
 (** A single Table-I threat going live at [at] and staying live until the

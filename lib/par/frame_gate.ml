@@ -130,11 +130,10 @@ let finish ~domains ~started slices =
       };
   }
 
-let run ?(domains = 1) configs events =
+let run ?(domains = 1) ?group configs events =
   if domains < 1 then invalid_arg "Frame_gate.run: domains < 1";
-  let shards =
-    Partition.assign_by ~shards:domains (fun (e : event) -> e.node) events
-  in
+  let key = match group with Some f -> f | None -> fun (e : event) -> e.node in
+  let shards = Partition.assign_by ~shards:domains key events in
   (* timed region: gating only — partitioning is a one-time cost *)
   let started = Clock.now () in
   let workers =

@@ -48,12 +48,18 @@ type result = {
 
 val run :
   ?domains:int ->
+  ?group:(event -> string) ->
   (string * Secpol_hpe.Config.t) list ->
   event array ->
   result
 (** [run configs events] gates every event through its node's configuration
-    (commonly built with {!Secpol_hpe.Config.of_policy}), sharding nodes
-    across [domains] (default 1) worker domains.
+    (commonly built with {!Secpol_hpe.Config.of_policy}), sharding events
+    across [domains] (default 1) worker domains by [group] (default the
+    node name — the paper's gate-per-node slicing).  A topology bench
+    groups by {e segment} instead, modelling one gate bank per segment.
+    [group] must refine the per-node slicing: every event of one node
+    must map to the same key, or rate-limiter state is split across
+    shards and verdicts diverge from {!run_sequential}.
     @raise Invalid_argument when [domains < 1]. *)
 
 val run_sequential :

@@ -2,8 +2,7 @@ module Engine = Secpol_sim.Engine
 module Bus = Secpol_can.Bus
 module Node = Secpol_can.Node
 module Gateway = Secpol_can.Gateway
-module Frame = Secpol_can.Frame
-module Identifier = Secpol_can.Identifier
+module Topology = Secpol_can.Topology
 
 type t = {
   sim : Engine.t;
@@ -21,6 +20,9 @@ let comfort_nodes = [ Names.infotainment; Names.telematics; Names.door_locks ]
 
 let side node = if List.mem node powertrain_nodes then `Powertrain else `Comfort
 
+(* The symmetric union of both directions' whitelists, kept for
+   compatibility with the original hand-wired module: an ID crosses iff
+   some designed producer and consumer sit on opposite sides. *)
 let crossing_ids () =
   Messages.all
   |> List.filter_map (fun (m : Messages.t) ->
@@ -34,10 +36,14 @@ let crossing_ids () =
          if crosses then Some m.id else None)
   |> List.sort_uniq compare
 
+(* The two-bus car is now just the two-segment spec on the topology
+   graph: buses, gateway and per-direction whitelists are derived from
+   the message map by [Topology.create], not wired by hand here. *)
 let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(driving = true) () =
   let sim = Engine.create ~seed () in
-  let powertrain = Bus.create ~bitrate sim in
-  let comfort = Bus.create ~bitrate sim in
+  let spec = Segment_map.two_segment_spec () in
+  let flows = Segment_map.flows ~spec () in
+  let topo = Topology.create ~bitrate sim spec ~flows in
   let state = if driving then State.driving () else State.create () in
   let builders =
     [
@@ -51,6 +57,8 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(driving = true) () =
       (Names.door_locks, Door_locks.create);
     ]
   in
+  let powertrain = Topology.bus topo Segment_map.seg_powertrain in
+  let comfort = Topology.bus topo Segment_map.seg_comfort in
   let nodes =
     List.map
       (fun (name, build) ->
@@ -58,16 +66,7 @@ let create ?(seed = 42L) ?(bitrate = 500_000.0) ?(driving = true) () =
         (name, build sim bus state))
       builders
   in
-  let whitelist = crossing_ids () in
-  let allowed (frame : Frame.t) =
-    match frame.id with
-    | Identifier.Standard id -> List.mem id whitelist
-    | Identifier.Extended _ -> false
-  in
-  let gateway =
-    Gateway.connect ~name:"gateway" ~a:powertrain ~b:comfort
-      ~forward_a_to_b:allowed ~forward_b_to_a:allowed ()
-  in
+  let gateway = Topology.gateway topo "gateway" in
   { sim; powertrain; comfort; gateway; state; nodes }
 
 let node t name =

@@ -2,11 +2,13 @@
 
     The paper's guideline countermeasure list includes "CAN bus gateway:
     limit components with CAN bus access".  This module builds that
-    architecture: a powertrain bus (sensors, EV-ECU, EPS, engine, safety)
-    and a comfort bus (infotainment, telematics, door locks) joined by a
-    {!Secpol_can.Gateway} whose whitelist is derived from the message map
-    (an ID crosses iff some designed producer and consumer sit on opposite
-    sides).
+    architecture as the two-segment special case of {!Secpol_can.Topology}
+    (spec {!Segment_map.two_segment_spec}): a powertrain bus (sensors,
+    EV-ECU, EPS, engine, safety) and a comfort bus (infotainment,
+    telematics, door locks) joined by a {!Secpol_can.Gateway} whose
+    per-direction whitelists are derived from the message map and policy
+    (an ID crosses a direction iff a designed, policy-permitted flow's
+    path uses it).
 
     The ablation bench compares it with the flat-bus + HPE car: the
     gateway stops cross-segment injection of IDs that never legitimately

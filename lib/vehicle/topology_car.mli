@@ -1,0 +1,92 @@
+(** The multi-segment reference car with a placement switch.
+
+    Builds the full ECU set on a {!Secpol_can.Topology} graph (default:
+    {!Segment_map.spec}, the four-segment star) with routing derived from
+    the message map filtered by the policy, and distributes enforcement
+    according to [placement] — the DiSPEL central-vs-distributed
+    comparison as one flag:
+
+    - [`Central]: enforcement lives only in the gateways' policy-derived
+      ID whitelists (plus stock ECU acceptance filters).  A forged frame
+      whose ID legitimately crosses is forwarded regardless of origin —
+      the per-ID residual weakness.
+    - [`Distributed] (default): every node additionally carries an HPE
+      provisioned from the policy for the current mode, so forged traffic
+      is blocked at its source segment and spoofed IDs at the write gate.
+
+    Fail-safe entry mirrors {!Car}: HPE configs for [Fail_safe] are cached
+    at build time so degradation never depends on the policy engine
+    answering. *)
+
+type placement = [ `Central | `Distributed ]
+
+val placement_name : placement -> string
+
+val placement_of_name : string -> placement option
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?bitrate:float ->
+  ?driving:bool ->
+  ?placement:placement ->
+  ?policy:Secpol_policy.Ast.policy ->
+  ?spec:Secpol_can.Topology.spec ->
+  ?obs:Secpol_obs.Registry.t ->
+  ?max_in_flight:int ->
+  ?retry_backoff:float ->
+  ?max_retries:int ->
+  ?forward_timeout:float ->
+  unit ->
+  t
+(** The gateway bounds ([max_in_flight] etc.) apply to every gateway;
+    defaults are {!Secpol_can.Gateway.connect}'s.  [obs] registers every
+    segment bus (under [can.seg.<segment>.*]), gateway, HPE and the
+    policy engine in one registry. *)
+
+val sim : t -> Secpol_sim.Engine.t
+
+val topology : t -> Secpol_can.Topology.t
+
+val placement : t -> placement
+
+val state : t -> State.t
+
+val node : t -> string -> Secpol_can.Node.t
+(** @raise Invalid_argument on unknown node names. *)
+
+val nodes : t -> (string * Secpol_can.Node.t) list
+
+val hpe : t -> string -> Secpol_hpe.Engine.t option
+(** [None] for every node under [`Central] placement. *)
+
+val run : t -> seconds:float -> unit
+
+val mode : t -> Modes.t
+
+val set_mode : t -> Modes.t -> unit
+(** Switch operating mode and (under [`Distributed]) re-provision every
+    HPE for it. *)
+
+val enter_fail_safe : t -> reason:string -> unit
+(** Latch [Fail_safe] from build-time cached configs — never consults the
+    policy engine. *)
+
+val segments : t -> string list
+
+val segment_of : t -> string -> string option
+
+val bus : t -> string -> Secpol_can.Bus.t
+(** By segment name.  @raise Invalid_argument on unknown names. *)
+
+val deliveries_in : t -> string -> int
+(** Frames delivered to the segment's member nodes so far.
+    @raise Invalid_argument on unknown segment names. *)
+
+val total_deliveries : t -> int
+
+val false_blocks_in : t -> string -> int
+(** Enforcement blocks that hit designed traffic in one segment: HPE
+    write-gate blocks at member nodes plus read-gate blocks of frames
+    whose receiver is a designed consumer.  Always 0 under [`Central]. *)

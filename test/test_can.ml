@@ -752,6 +752,95 @@ let test_gateway_deadline_sheds () =
   check Alcotest.int "no retries past the deadline" 0 (Gateway.retries gw);
   check Alcotest.int "shed once" 1 (Gateway.shed gw)
 
+let test_gateway_retry_exhaustion_sheds_exactly_once () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  let bus_b = Bus.create ~bitrate:500_000.0 sim in
+  let sender = Node.create ~name:"sender" bus_a in
+  let receiver = Node.create ~name:"receiver" bus_b in
+  (* the deadline sits just past where the retry budget runs out: one
+     abandonment cycle is ~1.8 ms, so retry 1 fires at ~3.9 ms and retry 2
+     at ~9.6 ms, both inside the 11 ms window, and the second retry's
+     abandonment at ~13.4 ms exhausts the budget.  Retry exhaustion and
+     deadline expiry nearly coincide — the frame must still be accounted
+     shed exactly once, through exactly one path *)
+  let gw =
+    Gateway.connect ~max_retries:2 ~retry_backoff:0.002 ~forward_timeout:0.011
+      ~name:"gw" ~a:bus_a ~b:bus_b
+      ~forward_a_to_b:(fun _ -> true)
+      ~forward_b_to_a:(fun _ -> true)
+      ()
+  in
+  Bus.set_corrupt_prob bus_b 1.0;
+  ignore (Node.send sender (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.5;
+  check Alcotest.int "both retries fit the window" 2 (Gateway.retries gw);
+  check Alcotest.int "shed exactly once" 1 (Gateway.shed gw);
+  check Alcotest.int "nothing crossed" 0 (Node.received_count receiver);
+  check Alcotest.int "in-flight drained" 0 (Gateway.in_flight gw)
+
+let test_gateway_backoff_doubling_respects_deadline () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  let bus_b = Bus.create ~bitrate:500_000.0 sim in
+  let sender = Node.create ~name:"sender" bus_a in
+  let _receiver = Node.create ~name:"receiver" bus_b in
+  (* the first 2 ms backoff fits the 8 ms window (retry at ~3.9 ms), the
+     doubled 4 ms backoff from the second abandonment at ~5.6 ms would
+     land at ~9.6 ms — past the deadline, so no retry is scheduled and the
+     frame is shed with most of the retry budget unspent *)
+  let gw =
+    Gateway.connect ~max_retries:5 ~retry_backoff:0.002 ~forward_timeout:0.008
+      ~name:"gw" ~a:bus_a ~b:bus_b
+      ~forward_a_to_b:(fun _ -> true)
+      ~forward_b_to_a:(fun _ -> true)
+      ()
+  in
+  Bus.set_corrupt_prob bus_b 1.0;
+  ignore (Node.send sender (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.5;
+  check Alcotest.int "only the first backoff fit" 1 (Gateway.retries gw);
+  check Alcotest.int "then shed" 1 (Gateway.shed gw);
+  check Alcotest.int "in-flight drained" 0 (Gateway.in_flight gw)
+
+let test_gateway_per_direction_counters () =
+  let sim = Engine.create () in
+  let bus_a = Bus.create ~bitrate:500_000.0 sim in
+  let bus_b = Bus.create ~bitrate:500_000.0 sim in
+  let a = Node.create ~name:"a" bus_a in
+  let b = Node.create ~name:"b" bus_b in
+  let gw =
+    Gateway.connect ~max_retries:1 ~retry_backoff:0.002 ~name:"gw" ~a:bus_a
+      ~b:bus_b
+      ~forward_a_to_b:(fun f -> Identifier.raw f.Frame.id = 0x100)
+      ~forward_b_to_a:(fun f -> Identifier.raw f.Frame.id = 0x200)
+      ()
+  in
+  (* healthy phase: one forward and one drop per direction *)
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  ignore (Node.send a (Frame.data_std 0x300 ""));
+  ignore (Node.send b (Frame.data_std 0x200 ""));
+  ignore (Node.send b (Frame.data_std 0x300 ""));
+  Engine.run_until sim 0.1;
+  (* one-sided fault: only the a->b destination storms with errors, so
+     retries and sheds accrue on a->b while b->a stays clean *)
+  Bus.set_corrupt_prob bus_b 1.0;
+  ignore (Node.send a (Frame.data_std 0x100 ""));
+  Engine.run_until sim 0.5;
+  check Alcotest.int "a->b forwarded" 1 (Gateway.forwarded_dir gw `A_to_b);
+  check Alcotest.int "b->a forwarded" 1 (Gateway.forwarded_dir gw `B_to_a);
+  check Alcotest.int "a->b dropped" 1 (Gateway.dropped_dir gw `A_to_b);
+  check Alcotest.int "b->a dropped" 1 (Gateway.dropped_dir gw `B_to_a);
+  check Alcotest.int "a->b retried" 1 (Gateway.retries_dir gw `A_to_b);
+  check Alcotest.int "b->a never retried" 0 (Gateway.retries_dir gw `B_to_a);
+  check Alcotest.int "a->b shed" 1 (Gateway.shed_dir gw `A_to_b);
+  check Alcotest.int "b->a never shed" 0 (Gateway.shed_dir gw `B_to_a);
+  (* the aggregates are exactly the direction sums *)
+  check Alcotest.int "forwarded sum" 2 (Gateway.forwarded gw);
+  check Alcotest.int "dropped sum" 2 (Gateway.dropped gw);
+  check Alcotest.int "retries sum" 1 (Gateway.retries gw);
+  check Alcotest.int "shed sum" 1 (Gateway.shed gw)
+
 let test_bus_corrupt_prob_setter () =
   let _, bus = make_bus ~corrupt_prob:0.25 () in
   check Alcotest.(float 0.0) "reads back" 0.25 (Bus.corrupt_prob bus);
@@ -939,6 +1028,11 @@ let () =
           quick "sheds at in-flight bound" test_gateway_sheds_at_capacity;
           quick "retry backoff then shed" test_gateway_retry_backoff_then_shed;
           quick "deadline sheds" test_gateway_deadline_sheds;
+          quick "retry exhaustion sheds exactly once"
+            test_gateway_retry_exhaustion_sheds_exactly_once;
+          quick "backoff doubling respects deadline"
+            test_gateway_backoff_doubling_respects_deadline;
+          quick "per-direction counters" test_gateway_per_direction_counters;
         ] );
       ( "fault-points",
         [

@@ -333,6 +333,22 @@ let test_chaos_skewed_stall_still_bounded () =
   Alcotest.(check bool) "inside the skew-adjusted bound" true
     (entered <= F.Harness.failsafe_bound h ~stall_at)
 
+let test_segment_plans_need_topology_car () =
+  List.iter
+    (fun name ->
+      match F.Plan.of_name ~horizon:2.0 name with
+      | None -> Alcotest.fail (name ^ " is not a named plan")
+      | Some plan -> (
+          Alcotest.(check bool)
+            (name ^ " segment-scoped") true
+            (F.Plan.segment_scoped plan);
+          (* the flat-bus harness has no segments or gateways to fault:
+             it must refuse and point at the topology runner *)
+          match F.Harness.create ~seed:7L ~plan () with
+          | exception Invalid_argument _ -> ()
+          | _ -> Alcotest.fail (name ^ " accepted by the flat harness")))
+    [ "segment-partition"; "segment-babble"; "gateway-failover" ]
+
 let test_invariant_catches_unapproved_delivery () =
   (* the safety net must not be vacuous: hand the checker a fabricated
      unapproved delivery and it has to object *)
@@ -397,6 +413,8 @@ let () =
       ( "plans",
         [
           quick "seeded generation" test_plan_generation_deterministic;
+          quick "segment plans need a topology car"
+            test_segment_plans_need_topology_car;
           quick "checker not vacuous" test_invariant_catches_unapproved_delivery;
         ] );
       ( "chaos",
